@@ -1,0 +1,432 @@
+//! IPv4 5-tuple match construction.
+//!
+//! Real firewall rules are written over the classic 5-tuple — source and
+//! destination IPv4 prefixes, source and destination port ranges, and a
+//! protocol — not over raw ternary strings. This module packs a
+//! [`FiveTuple`] into the 104-bit ternary layout used by packet
+//! classifiers (and by ClassBench):
+//!
+//! | bits (high → low) | field |
+//! |---|---|
+//! | 103..72 | source IPv4 address |
+//! | 71..40  | destination IPv4 address |
+//! | 39..24  | source port |
+//! | 23..8   | destination port |
+//! | 7..0    | protocol |
+//!
+//! Exact-match ports and protocols map directly; arbitrary port *ranges*
+//! are expanded into the minimal set of prefix cubes (the standard TCAM
+//! range-expansion, at most `2·16 − 2` cubes per range).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::{Ternary, MAX_WIDTH};
+
+/// Total width of the packed 5-tuple in bits.
+pub const FIVE_TUPLE_WIDTH: u32 = 104;
+
+const _: () = assert!(FIVE_TUPLE_WIDTH <= MAX_WIDTH);
+
+/// An IPv4 prefix, e.g. `10.0.0.0/8`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Prefix {
+    /// Network address (host bits ignored).
+    pub addr: Ipv4Addr,
+    /// Prefix length 0..=32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix; host bits beyond `len` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let raw = u32::from(addr);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Prefix {
+            addr: Ipv4Addr::from(raw & mask),
+            len,
+        }
+    }
+
+    /// The match-anything prefix `0.0.0.0/0`.
+    pub fn any() -> Self {
+        Prefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    fn care_value(&self) -> (u32, u32) {
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
+        (mask, u32::from(self.addr) & mask)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// A port set: any, one port, or an inclusive range.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Ports {
+    /// All 65536 ports.
+    Any,
+    /// Exactly this port.
+    Exact(u16),
+    /// The inclusive range `lo..=hi`.
+    Range(u16, u16),
+}
+
+impl Ports {
+    /// The minimal prefix-cube cover of the port set, as
+    /// `(care, value)` pairs over 16 bits.
+    fn to_cubes(self) -> Vec<(u16, u16)> {
+        match self {
+            Ports::Any => vec![(0, 0)],
+            Ports::Exact(p) => vec![(u16::MAX, p)],
+            Ports::Range(lo, hi) => range_to_prefixes(lo, hi),
+        }
+    }
+}
+
+impl fmt::Display for Ports {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ports::Any => write!(f, "*"),
+            Ports::Exact(p) => write!(f, "{p}"),
+            Ports::Range(lo, hi) => write!(f, "{lo}-{hi}"),
+        }
+    }
+}
+
+/// Minimal prefix cover of `[lo, hi]` over 16-bit values, as
+/// `(care_mask, value)` pairs — the classic TCAM range expansion.
+fn range_to_prefixes(lo: u16, hi: u16) -> Vec<(u16, u16)> {
+    assert!(lo <= hi, "empty port range {lo}-{hi}");
+    let mut out = Vec::new();
+    let mut cur = lo as u32;
+    let end = hi as u32;
+    while cur <= end {
+        // Largest power-of-two block starting at `cur` that fits.
+        let max_align = if cur == 0 { 16 } else { cur.trailing_zeros() };
+        let mut size_log = max_align.min(16);
+        while size_log > 0 && cur + (1 << size_log) - 1 > end {
+            size_log -= 1;
+        }
+        let care = if size_log >= 16 {
+            0u16
+        } else {
+            u16::MAX << size_log
+        };
+        out.push((care, cur as u16));
+        cur += 1 << size_log;
+        if cur == 0x1_0000 {
+            break;
+        }
+    }
+    out
+}
+
+/// A protocol constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    /// Any protocol.
+    Any,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1).
+    Icmp,
+    /// A raw protocol number.
+    Number(u8),
+}
+
+impl Protocol {
+    fn care_value(self) -> (u8, u8) {
+        match self {
+            Protocol::Any => (0, 0),
+            Protocol::Tcp => (u8::MAX, 6),
+            Protocol::Udp => (u8::MAX, 17),
+            Protocol::Icmp => (u8::MAX, 1),
+            Protocol::Number(n) => (u8::MAX, n),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Any => write!(f, "ip"),
+            Protocol::Tcp => write!(f, "tcp"),
+            Protocol::Udp => write!(f, "udp"),
+            Protocol::Icmp => write!(f, "icmp"),
+            Protocol::Number(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// An IPv4 5-tuple match specification.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use flowplace_acl::fivetuple::{FiveTuple, Ports, Prefix, Protocol};
+///
+/// let spec = FiveTuple {
+///     src: Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+///     dst: Prefix::new(Ipv4Addr::new(192, 168, 1, 0), 24),
+///     src_ports: Ports::Any,
+///     dst_ports: Ports::Exact(443),
+///     protocol: Protocol::Tcp,
+/// };
+/// let cubes = spec.to_ternaries();
+/// assert_eq!(cubes.len(), 1); // exact port: no range expansion
+/// assert_eq!(cubes[0].width(), 104);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FiveTuple {
+    /// Source address prefix.
+    pub src: Prefix,
+    /// Destination address prefix.
+    pub dst: Prefix,
+    /// Source port set.
+    pub src_ports: Ports,
+    /// Destination port set.
+    pub dst_ports: Ports,
+    /// Protocol.
+    pub protocol: Protocol,
+}
+
+impl FiveTuple {
+    /// A match-everything tuple.
+    pub fn any() -> Self {
+        FiveTuple {
+            src: Prefix::any(),
+            dst: Prefix::any(),
+            src_ports: Ports::Any,
+            dst_ports: Ports::Any,
+            protocol: Protocol::Any,
+        }
+    }
+
+    /// Packs the tuple into ternary cubes (one per port-range fragment
+    /// combination; exactly one when both port sets are `Any`/`Exact`).
+    pub fn to_ternaries(&self) -> Vec<Ternary> {
+        let (src_care, src_val) = self.src.care_value();
+        let (dst_care, dst_val) = self.dst.care_value();
+        let (proto_care, proto_val) = self.protocol.care_value();
+        let mut out = Vec::new();
+        for (spc, spv) in self.src_ports.to_cubes() {
+            for (dpc, dpv) in self.dst_ports.to_cubes() {
+                let care: u128 = ((src_care as u128) << 72)
+                    | ((dst_care as u128) << 40)
+                    | ((spc as u128) << 24)
+                    | ((dpc as u128) << 8)
+                    | proto_care as u128;
+                let value: u128 = ((src_val as u128) << 72)
+                    | ((dst_val as u128) << 40)
+                    | ((spv as u128) << 24)
+                    | ((dpv as u128) << 8)
+                    | proto_val as u128;
+                out.push(Ternary::new(FIVE_TUPLE_WIDTH, care, value));
+            }
+        }
+        out
+    }
+
+    /// The packed header bits of a concrete 5-tuple packet (no wildcards),
+    /// for building test [`Packet`](crate::Packet)s.
+    pub fn pack_concrete(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        protocol: u8,
+    ) -> u128 {
+        ((u32::from(src) as u128) << 72)
+            | ((u32::from(dst) as u128) << 40)
+            | ((src_port as u128) << 24)
+            | ((dst_port as u128) << 8)
+            | protocol as u128
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} sport {} dport {}",
+            self.protocol, self.src, self.dst, self.src_ports, self.dst_ports
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 8);
+        assert_eq!(p.addr, Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(Prefix::any().to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn range_expansion_is_exact_cover() {
+        for (lo, hi) in [(0u16, 65535u16), (1, 1), (80, 88), (1024, 65535), (5, 6), (0, 7)] {
+            let cubes = range_to_prefixes(lo, hi);
+            // Every port in range is covered exactly once; none outside.
+            for port in 0..=u16::MAX {
+                let covered = cubes
+                    .iter()
+                    .filter(|(care, val)| (port ^ val) & care == 0)
+                    .count();
+                let expected = usize::from(port >= lo && port <= hi);
+                assert_eq!(covered, expected, "port {port} in [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn range_expansion_is_minimal_for_worst_case() {
+        // [1, 65534] is the classic worst case: 30 prefixes.
+        assert_eq!(range_to_prefixes(1, 65534).len(), 30);
+        assert_eq!(range_to_prefixes(0, 65535).len(), 1);
+    }
+
+    #[test]
+    fn tuple_matches_concrete_packets() {
+        let spec = FiveTuple {
+            src: Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+            dst: Prefix::new(Ipv4Addr::new(192, 168, 1, 0), 24),
+            src_ports: Ports::Any,
+            dst_ports: Ports::Range(8000, 8080),
+            protocol: Protocol::Tcp,
+        };
+        let cubes = spec.to_ternaries();
+        let hit = |src, dst, sp, dp, proto| {
+            let bits = FiveTuple::pack_concrete(src, dst, sp, dp, proto);
+            let pkt = Packet::from_bits(bits, FIVE_TUPLE_WIDTH);
+            cubes.iter().any(|c| c.matches(&pkt))
+        };
+        assert!(hit(
+            Ipv4Addr::new(10, 9, 9, 9),
+            Ipv4Addr::new(192, 168, 1, 77),
+            1234,
+            8040,
+            6
+        ));
+        // Wrong dst port.
+        assert!(!hit(
+            Ipv4Addr::new(10, 9, 9, 9),
+            Ipv4Addr::new(192, 168, 1, 77),
+            1234,
+            9000,
+            6
+        ));
+        // Wrong protocol.
+        assert!(!hit(
+            Ipv4Addr::new(10, 9, 9, 9),
+            Ipv4Addr::new(192, 168, 1, 77),
+            1234,
+            8040,
+            17
+        ));
+        // Src outside 10/8.
+        assert!(!hit(
+            Ipv4Addr::new(11, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 77),
+            1234,
+            8040,
+            6
+        ));
+    }
+
+    #[test]
+    fn any_tuple_is_one_full_wildcard() {
+        let cubes = FiveTuple::any().to_ternaries();
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].wildcard_count(), FIVE_TUPLE_WIDTH);
+    }
+
+    #[test]
+    fn policies_from_tuples_work_end_to_end() {
+        use crate::{Action, Policy, Rule};
+        // Permit web traffic to the DMZ, drop everything else to it.
+        let permit = FiveTuple {
+            src: Prefix::any(),
+            dst: Prefix::new(Ipv4Addr::new(203, 0, 113, 0), 24),
+            src_ports: Ports::Any,
+            dst_ports: Ports::Exact(443),
+            protocol: Protocol::Tcp,
+        };
+        let drop = FiveTuple {
+            src: Prefix::any(),
+            dst: Prefix::new(Ipv4Addr::new(203, 0, 113, 0), 24),
+            src_ports: Ports::Any,
+            dst_ports: Ports::Any,
+            protocol: Protocol::Any,
+        };
+        let mut rules = Vec::new();
+        let mut prio = 100;
+        for cube in permit.to_ternaries() {
+            rules.push(Rule::new(cube, Action::Permit, prio));
+            prio -= 1;
+        }
+        for cube in drop.to_ternaries() {
+            rules.push(Rule::new(cube, Action::Drop, prio));
+            prio -= 1;
+        }
+        let policy = Policy::from_rules(rules).unwrap();
+        let https = Packet::from_bits(
+            FiveTuple::pack_concrete(
+                Ipv4Addr::new(8, 8, 8, 8),
+                Ipv4Addr::new(203, 0, 113, 10),
+                5555,
+                443,
+                6,
+            ),
+            FIVE_TUPLE_WIDTH,
+        );
+        let ssh = Packet::from_bits(
+            FiveTuple::pack_concrete(
+                Ipv4Addr::new(8, 8, 8, 8),
+                Ipv4Addr::new(203, 0, 113, 10),
+                5555,
+                22,
+                6,
+            ),
+            FIVE_TUPLE_WIDTH,
+        );
+        assert_eq!(policy.evaluate(&https), Action::Permit);
+        assert_eq!(policy.evaluate(&ssh), Action::Drop);
+    }
+
+    #[test]
+    fn display_forms() {
+        let spec = FiveTuple {
+            src: Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+            dst: Prefix::any(),
+            src_ports: Ports::Exact(53),
+            dst_ports: Ports::Range(1024, 2047),
+            protocol: Protocol::Udp,
+        };
+        assert_eq!(
+            spec.to_string(),
+            "udp 10.0.0.0/8 -> 0.0.0.0/0 sport 53 dport 1024-2047"
+        );
+    }
+}

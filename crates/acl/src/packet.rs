@@ -1,0 +1,103 @@
+//! Concrete packet headers.
+
+use std::fmt;
+
+use crate::ternary::MAX_WIDTH;
+
+/// A fully specified packet header of a given bit width.
+///
+/// Only the low `width` bits are significant; higher bits are cleared on
+/// construction so equality and hashing are structural.
+///
+/// # Example
+///
+/// ```
+/// use flowplace_acl::{Packet, Ternary};
+///
+/// let p = Packet::from_bits(0b1010, 4);
+/// assert!(Ternary::parse("10*0").unwrap().matches(&p));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Packet {
+    bits: u128,
+    width: u32,
+}
+
+impl Packet {
+    /// Creates a packet from the low `width` bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn from_bits(bits: u128, width: u32) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "packet width {width} not in 1..={MAX_WIDTH}"
+        );
+        let mask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        Packet {
+            bits: bits & mask,
+            width,
+        }
+    }
+
+    /// The header bits (low `width` bits significant).
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// The header width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_high_bits() {
+        let p = Packet::from_bits(0b11111, 3);
+        assert_eq!(p.bits(), 0b111);
+        assert_eq!(p, Packet::from_bits(0b111, 3));
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let p = Packet::from_bits(0b0110, 4);
+        assert_eq!(p.to_string(), "0110");
+        assert_eq!(format!("{p:?}"), "Packet(0110)");
+    }
+
+    #[test]
+    fn width_128_supported() {
+        let p = Packet::from_bits(u128::MAX, 128);
+        assert_eq!(p.bits(), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = Packet::from_bits(0, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Single ACL rules.
+
+use std::fmt;
+
+use crate::Ternary;
+
+/// The decision field of an ACL rule: packets matching the rule are either
+/// permitted (forwarded) or dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Action {
+    /// Forward the packet.
+    Permit,
+    /// Discard the packet.
+    Drop,
+}
+
+impl Action {
+    /// The opposite action.
+    pub fn opposite(self) -> Action {
+        match self {
+            Action::Permit => Action::Drop,
+            Action::Drop => Action::Permit,
+        }
+    }
+
+    /// True iff the action is [`Action::Drop`].
+    pub fn is_drop(self) -> bool {
+        matches!(self, Action::Drop)
+    }
+
+    /// True iff the action is [`Action::Permit`].
+    pub fn is_permit(self) -> bool {
+        matches!(self, Action::Permit)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Permit => write!(f, "PERMIT"),
+            Action::Drop => write!(f, "DROP"),
+        }
+    }
+}
+
+/// Index of a rule within its [`Policy`](crate::Policy), in descending
+/// priority order (`RuleId(0)` is the highest-priority rule).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RuleId(pub usize);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A single ACL rule: the tuple `(m, d, t)` from the paper — a ternary
+/// matching field, a PERMIT/DROP decision, and a priority.
+///
+/// Larger `priority` values win: a packet is subject to the
+/// highest-priority rule whose matching field it matches.
+///
+/// # Example
+///
+/// ```
+/// use flowplace_acl::{Action, Rule, Ternary};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let r = Rule::new(Ternary::parse("10**")?, Action::Drop, 7);
+/// assert!(r.action().is_drop());
+/// assert_eq!(r.priority(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    match_field: Ternary,
+    action: Action,
+    priority: u32,
+}
+
+impl Rule {
+    /// Creates a rule from a matching field, an action, and a priority.
+    pub fn new(match_field: Ternary, action: Action, priority: u32) -> Self {
+        Rule {
+            match_field,
+            action,
+            priority,
+        }
+    }
+
+    /// The ternary matching field `m`.
+    pub fn match_field(&self) -> &Ternary {
+        &self.match_field
+    }
+
+    /// The decision `d`.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// The priority `t` (larger wins).
+    pub fn priority(&self) -> u32 {
+        self.priority
+    }
+
+    /// Returns this rule with a different priority.
+    pub fn with_priority(&self, priority: u32) -> Rule {
+        Rule { priority, ..*self }
+    }
+
+    /// True if the two rules match at least one common packet.
+    pub fn overlaps(&self, other: &Rule) -> bool {
+        self.match_field.intersects(&other.match_field)
+    }
+
+    /// True if the rules have identical match fields and actions
+    /// (the merge criterion of §IV-B, ignoring priority and policy).
+    pub fn is_identical_to(&self, other: &Rule) -> bool {
+        self.match_field == other.match_field && self.action == other.action
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}", self.priority, self.match_field, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    #[test]
+    fn action_helpers() {
+        assert!(Action::Drop.is_drop());
+        assert!(Action::Permit.is_permit());
+        assert_eq!(Action::Drop.opposite(), Action::Permit);
+        assert_eq!(Action::Permit.opposite(), Action::Drop);
+        assert_eq!(Action::Drop.to_string(), "DROP");
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Rule::new(t("1**"), Action::Drop, 1);
+        let b = Rule::new(t("10*"), Action::Permit, 2);
+        let c = Rule::new(t("0**"), Action::Permit, 3);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn identical_ignores_priority() {
+        let a = Rule::new(t("1*0"), Action::Drop, 1);
+        let b = Rule::new(t("1*0"), Action::Drop, 9);
+        let c = Rule::new(t("1*0"), Action::Permit, 1);
+        assert!(a.is_identical_to(&b));
+        assert!(!a.is_identical_to(&c));
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let r = Rule::new(t("1*"), Action::Drop, 4);
+        assert_eq!(r.to_string(), "[4] 1* DROP");
+    }
+
+    #[test]
+    fn with_priority_keeps_rest() {
+        let r = Rule::new(t("1*"), Action::Drop, 4).with_priority(9);
+        assert_eq!(r.priority(), 9);
+        assert_eq!(r.match_field(), &t("1*"));
+        assert_eq!(r.action(), Action::Drop);
+    }
+}

@@ -1,0 +1,422 @@
+//! Fixed-width ternary match fields.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Packet;
+
+/// Maximum supported match-field width in bits.
+///
+/// Headers are stored in a `u128`, which comfortably covers the classic
+/// 104-bit IPv4 5-tuple used by packet classifiers.
+pub const MAX_WIDTH: u32 = 128;
+
+/// A ternary match field: an array of `{0, 1, *}` elements, as used in the
+/// matching part of an OpenFlow/TCAM rule.
+///
+/// Internally a pair of bit masks over the low `width` bits of a `u128`:
+/// `care` selects the positions that must match exactly and `value` holds the
+/// required bit at each cared position. Bits of `value` outside `care`, and
+/// bits of both masks at or above `width`, are always zero (a canonical form
+/// that makes `Eq`/`Hash` structural equality).
+///
+/// Bit `0` is the least-significant header bit; the textual form produced by
+/// [`Ternary::parse`]/`Display` writes the most-significant bit first.
+///
+/// # Example
+///
+/// ```
+/// use flowplace_acl::{Packet, Ternary};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = Ternary::parse("1*0")?; // matches 100 and 110
+/// assert!(t.matches(&Packet::from_bits(0b100, 3)));
+/// assert!(t.matches(&Packet::from_bits(0b110, 3)));
+/// assert!(!t.matches(&Packet::from_bits(0b101, 3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ternary {
+    width: u32,
+    care: u128,
+    value: u128,
+}
+
+/// Error returned when parsing a ternary string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTernaryError {
+    /// The string was empty or longer than [`MAX_WIDTH`] characters.
+    BadWidth(usize),
+    /// A character other than `0`, `1`, or `*` was found.
+    BadChar(char),
+}
+
+impl fmt::Display for ParseTernaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTernaryError::BadWidth(w) => {
+                write!(f, "ternary width {w} not in 1..={MAX_WIDTH}")
+            }
+            ParseTernaryError::BadChar(c) => {
+                write!(f, "invalid ternary character {c:?} (expected 0, 1, or *)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTernaryError {}
+
+impl Ternary {
+    /// Creates a ternary field from raw `care`/`value` masks.
+    ///
+    /// Bits of `value` outside `care` and bits above `width` are cleared,
+    /// so any input produces a canonical field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn new(width: u32, care: u128, value: u128) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "ternary width {width} not in 1..={MAX_WIDTH}"
+        );
+        let wmask = Self::width_mask(width);
+        let care = care & wmask;
+        Ternary {
+            width,
+            care,
+            value: value & care,
+        }
+    }
+
+    /// The all-wildcard field (`*...*`) of the given width, matching every
+    /// packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn any(width: u32) -> Self {
+        Ternary::new(width, 0, 0)
+    }
+
+    /// A fully specified field matching exactly the packet `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn exact(width: u32, bits: u128) -> Self {
+        let wmask = Self::width_mask(width);
+        Ternary::new(width, wmask, bits)
+    }
+
+    /// Parses a ternary string such as `"10**1"`, most-significant bit first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTernaryError`] if the string is empty, longer than
+    /// [`MAX_WIDTH`], or contains characters other than `0`, `1`, `*`.
+    pub fn parse(s: &str) -> Result<Self, ParseTernaryError> {
+        let n = s.chars().count();
+        if n == 0 || n > MAX_WIDTH as usize {
+            return Err(ParseTernaryError::BadWidth(n));
+        }
+        let mut care = 0u128;
+        let mut value = 0u128;
+        for c in s.chars() {
+            care <<= 1;
+            value <<= 1;
+            match c {
+                '0' => care |= 1,
+                '1' => {
+                    care |= 1;
+                    value |= 1;
+                }
+                '*' => {}
+                other => return Err(ParseTernaryError::BadChar(other)),
+            }
+        }
+        Ok(Ternary::new(n as u32, care, value))
+    }
+
+    fn width_mask(width: u32) -> u128 {
+        if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// The field width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The care mask: bit `i` set means position `i` must match exactly.
+    pub fn care(&self) -> u128 {
+        self.care
+    }
+
+    /// The value mask restricted to cared positions.
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+
+    /// Number of wildcard (`*`) positions.
+    pub fn wildcard_count(&self) -> u32 {
+        self.width - self.care.count_ones()
+    }
+
+    /// Number of distinct packets matched (2^wildcards), saturating at
+    /// `u128::MAX` for the 128-bit all-wildcard field.
+    pub fn cardinality(&self) -> u128 {
+        let w = self.wildcard_count();
+        if w >= 128 {
+            u128::MAX
+        } else {
+            1u128 << w
+        }
+    }
+
+    /// Tests whether the packet header matches this field.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the packet width differs from the field
+    /// width.
+    pub fn matches(&self, packet: &Packet) -> bool {
+        debug_assert_eq!(
+            self.width,
+            packet.width(),
+            "packet width must equal match-field width"
+        );
+        (packet.bits() ^ self.value) & self.care == 0
+    }
+
+    /// Tests whether the two fields share at least one packet.
+    ///
+    /// Two ternary fields intersect iff they agree on every position both
+    /// care about.
+    pub fn intersects(&self, other: &Ternary) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        (self.value ^ other.value) & self.care & other.care == 0
+    }
+
+    /// The intersection of the two fields, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &Ternary) -> Option<Ternary> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Ternary {
+            width: self.width,
+            care: self.care | other.care,
+            value: self.value | other.value,
+        })
+    }
+
+    /// Tests whether `self` matches every packet `other` matches
+    /// (`other ⊆ self`).
+    pub fn subsumes(&self, other: &Ternary) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        // Every position self cares about must also be cared about by other
+        // with the same value.
+        self.care & !other.care == 0 && (self.value ^ other.value) & self.care == 0
+    }
+
+    /// An arbitrary packet matched by this field (wildcards set to zero).
+    pub fn sample_packet(&self) -> Packet {
+        Packet::from_bits(self.value, self.width)
+    }
+
+    /// The packet matched by this field with all wildcards set to one.
+    pub fn max_packet(&self) -> Packet {
+        let wmask = Self::width_mask(self.width);
+        Packet::from_bits(self.value | (!self.care & wmask), self.width)
+    }
+
+    /// Iterates over all packets matched by this field.
+    ///
+    /// Intended for tests; the iterator yields `2^wildcards` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field has more than 20 wildcard bits.
+    pub fn iter_packets(&self) -> impl Iterator<Item = Packet> + '_ {
+        let wc = self.wildcard_count();
+        assert!(wc <= 20, "too many wildcards to enumerate ({wc})");
+        let wmask = Self::width_mask(self.width);
+        let free_positions: Vec<u32> =
+            (0..self.width).filter(|i| self.care & (1u128 << i) == 0).collect();
+        let count: u64 = 1u64 << wc;
+        let base = self.value & wmask;
+        (0..count).map(move |combo| {
+            let mut bits = base;
+            for (j, &pos) in free_positions.iter().enumerate() {
+                if combo & (1u64 << j) != 0 {
+                    bits |= 1u128 << pos;
+                }
+            }
+            Packet::from_bits(bits, self.width)
+        })
+    }
+}
+
+impl fmt::Display for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            let bit = 1u128 << i;
+            let c = if self.care & bit == 0 {
+                '*'
+            } else if self.value & bit != 0 {
+                '1'
+            } else {
+                '0'
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ternary({self})")
+    }
+}
+
+impl FromStr for Ternary {
+    type Err = ParseTernaryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ternary::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0", "1", "*", "10**1", "****", "1111", "0*0*0"] {
+            let t = Ternary::parse(s).unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!(Ternary::parse(""), Err(ParseTernaryError::BadWidth(0)));
+        assert_eq!(Ternary::parse("10x"), Err(ParseTernaryError::BadChar('x')));
+        let long = "1".repeat(129);
+        assert_eq!(Ternary::parse(&long), Err(ParseTernaryError::BadWidth(129)));
+    }
+
+    #[test]
+    fn parse_128_bit_ok() {
+        let s = "*".repeat(128);
+        let t = Ternary::parse(&s).unwrap();
+        assert_eq!(t.width(), 128);
+        assert_eq!(t.cardinality(), u128::MAX);
+    }
+
+    #[test]
+    fn canonical_form_clears_stray_bits() {
+        // Value bits outside care and above width must be dropped.
+        let t = Ternary::new(4, 0b0011, 0b1111);
+        assert_eq!(t.value(), 0b0011);
+        let u = Ternary::new(4, 0xFF, 0);
+        assert_eq!(u.care(), 0b1111);
+        assert_eq!(t, Ternary::new(4, 0b0011, 0b0011));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = Ternary::any(0);
+    }
+
+    #[test]
+    fn matches_basics() {
+        let t = Ternary::parse("1*0").unwrap();
+        assert!(t.matches(&Packet::from_bits(0b100, 3)));
+        assert!(t.matches(&Packet::from_bits(0b110, 3)));
+        assert!(!t.matches(&Packet::from_bits(0b000, 3)));
+        assert!(!t.matches(&Packet::from_bits(0b101, 3)));
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let t = Ternary::any(5);
+        for bits in 0..32u128 {
+            assert!(t.matches(&Packet::from_bits(bits, 5)));
+        }
+        assert_eq!(t.cardinality(), 32);
+    }
+
+    #[test]
+    fn exact_matches_one() {
+        let t = Ternary::exact(5, 0b10110);
+        assert_eq!(t.cardinality(), 1);
+        assert!(t.matches(&Packet::from_bits(0b10110, 5)));
+        assert!(!t.matches(&Packet::from_bits(0b10111, 5)));
+    }
+
+    #[test]
+    fn intersection_agrees_with_matches() {
+        let a = Ternary::parse("1**0").unwrap();
+        let b = Ternary::parse("10*1").unwrap();
+        assert!(!a.intersects(&b)); // disagree on bit 0
+        let c = Ternary::parse("10**").unwrap();
+        let i = a.intersection(&c).unwrap();
+        assert_eq!(i.to_string(), "10*0");
+    }
+
+    #[test]
+    fn subsumes_reflexive_and_ordering() {
+        let wide = Ternary::parse("1***").unwrap();
+        let narrow = Ternary::parse("10*1").unwrap();
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(wide.subsumes(&wide));
+    }
+
+    #[test]
+    fn disjoint_not_subsumed() {
+        let a = Ternary::parse("0*").unwrap();
+        let b = Ternary::parse("1*").unwrap();
+        assert!(!a.subsumes(&b));
+        assert!(!b.subsumes(&a));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_packets_enumerates_exactly_matching() {
+        let t = Ternary::parse("1**0").unwrap();
+        let packets: Vec<_> = t.iter_packets().collect();
+        assert_eq!(packets.len(), 4);
+        for p in &packets {
+            assert!(t.matches(p));
+        }
+        // All distinct.
+        let mut bits: Vec<u128> = packets.iter().map(|p| p.bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 4);
+    }
+
+    #[test]
+    fn sample_and_max_packets_match() {
+        let t = Ternary::parse("1*0*").unwrap();
+        assert!(t.matches(&t.sample_packet()));
+        assert!(t.matches(&t.max_packet()));
+        assert_eq!(t.sample_packet().bits(), 0b1000);
+        assert_eq!(t.max_packet().bits(), 0b1101);
+    }
+
+    #[test]
+    fn display_debug_nonempty() {
+        let t = Ternary::parse("1*").unwrap();
+        assert_eq!(format!("{t:?}"), "Ternary(1*)");
+    }
+}

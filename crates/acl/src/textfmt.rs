@@ -1,0 +1,243 @@
+//! A plain-text policy format for files and CLIs.
+//!
+//! One rule per line, first-match order (the first line has the highest
+//! priority), mirroring how firewall configurations are usually written:
+//!
+//! ```text
+//! # tenant 7 ingress policy
+//! permit 1100****
+//! drop   11******
+//! drop   0*******   @ 40     # explicit priority (optional)
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored; an optional `@ N`
+//! suffix pins an explicit priority (lines without one are numbered
+//! downward from the top, leaving room below the highest explicit
+//! priority).
+
+use std::fmt;
+
+use crate::{Action, ParseTernaryError, Policy, PolicyError, Rule, Ternary};
+
+/// Error from [`parse_policy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePolicyError {
+    /// A line did not match `<action> <ternary> [@ priority]`.
+    BadLine {
+        /// 1-indexed line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The assembled rules do not form a valid policy.
+    Policy(PolicyError),
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePolicyError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParsePolicyError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl From<PolicyError> for ParsePolicyError {
+    fn from(e: PolicyError) -> Self {
+        ParsePolicyError::Policy(e)
+    }
+}
+
+/// Parses the text format described in the module docs.
+///
+/// # Errors
+///
+/// [`ParsePolicyError::BadLine`] for malformed lines;
+/// [`ParsePolicyError::Policy`] if priorities collide or widths differ.
+pub fn parse_policy(text: &str) -> Result<Policy, ParsePolicyError> {
+    struct Parsed {
+        line: usize,
+        match_field: Ternary,
+        action: Action,
+        explicit: Option<u32>,
+    }
+    let mut parsed: Vec<Parsed> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let action = match parts.next() {
+            Some(a) if a.eq_ignore_ascii_case("permit") => Action::Permit,
+            Some(a) if a.eq_ignore_ascii_case("drop") => Action::Drop,
+            Some(other) => {
+                return Err(ParsePolicyError::BadLine {
+                    line: line_no,
+                    reason: format!("unknown action {other:?} (expected permit/drop)"),
+                })
+            }
+            None => unreachable!("nonempty line has a first token"),
+        };
+        let Some(pattern) = parts.next() else {
+            return Err(ParsePolicyError::BadLine {
+                line: line_no,
+                reason: "missing match pattern".into(),
+            });
+        };
+        let match_field = Ternary::parse(pattern).map_err(|e: ParseTernaryError| {
+            ParsePolicyError::BadLine {
+                line: line_no,
+                reason: e.to_string(),
+            }
+        })?;
+        let explicit = match (parts.next(), parts.next()) {
+            (None, _) => None,
+            (Some("@"), Some(p)) => Some(p.parse::<u32>().map_err(|_| {
+                ParsePolicyError::BadLine {
+                    line: line_no,
+                    reason: format!("bad priority {p:?}"),
+                }
+            })?),
+            (Some(tok), _) if tok.starts_with('@') => {
+                Some(tok[1..].parse::<u32>().map_err(|_| {
+                    ParsePolicyError::BadLine {
+                        line: line_no,
+                        reason: format!("bad priority {tok:?}"),
+                    }
+                })?)
+            }
+            (Some(extra), _) => {
+                return Err(ParsePolicyError::BadLine {
+                    line: line_no,
+                    reason: format!("unexpected trailing token {extra:?}"),
+                })
+            }
+        };
+        parsed.push(Parsed {
+            line: line_no,
+            match_field,
+            action,
+            explicit,
+        });
+    }
+
+    // Implicit priorities: descending from max(explicit, count) + count,
+    // so top lines outrank lower lines and never collide with explicit
+    // values below them... simplest deterministic scheme: implicit lines
+    // get (n - index) + max_explicit, explicit lines keep theirs.
+    let n = parsed.len() as u32;
+    let max_explicit = parsed.iter().filter_map(|p| p.explicit).max().unwrap_or(0);
+    let rules: Vec<Rule> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let priority = p
+                .explicit
+                .unwrap_or(max_explicit + n - i as u32);
+            Rule::new(p.match_field, p.action, priority)
+        })
+        .collect();
+    Policy::from_rules(rules).map_err(|e| {
+        // Attribute duplicate-priority errors to a line when possible.
+        if let PolicyError::DuplicatePriority(prio) = e {
+            if let Some(p) = parsed.iter().find(|p| p.explicit == Some(prio)) {
+                return ParsePolicyError::BadLine {
+                    line: p.line,
+                    reason: format!("priority {prio} collides with another rule"),
+                };
+            }
+        }
+        ParsePolicyError::Policy(e)
+    })
+}
+
+/// Renders a policy in the text format (highest priority first, explicit
+/// `@ priority` on every line so the round trip is exact).
+pub fn format_policy(policy: &Policy) -> String {
+    let mut out = String::new();
+    for r in policy.rules() {
+        let action = match r.action() {
+            Action::Permit => "permit",
+            Action::Drop => "drop  ",
+        };
+        out.push_str(&format!(
+            "{action} {} @ {}\n",
+            r.match_field(),
+            r.priority()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_policy() {
+        let p = parse_policy(
+            "# header comment\n\
+             permit 1100\n\
+             drop   11**   # inline comment\n\
+             \n\
+             DROP   0***\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.rules()[0].match_field(), &Ternary::parse("1100").unwrap());
+        assert_eq!(p.rules()[0].action(), Action::Permit);
+        assert_eq!(p.rules()[2].action(), Action::Drop);
+        // Order preserved: first line outranks the rest.
+        assert!(p.rules()[0].priority() > p.rules()[1].priority());
+    }
+
+    #[test]
+    fn explicit_priorities_honored() {
+        let p = parse_policy("drop 1* @ 5\npermit 11 @9\n").unwrap();
+        // permit @9 outranks drop @5 despite line order.
+        assert_eq!(p.rules()[0].action(), Action::Permit);
+        assert_eq!(p.rules()[0].priority(), 9);
+        assert_eq!(p.rules()[1].priority(), 5);
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let e = parse_policy("permit 11\nreject 00\n").unwrap_err();
+        assert!(matches!(e, ParsePolicyError::BadLine { line: 2, .. }), "{e}");
+        let e = parse_policy("permit\n").unwrap_err();
+        assert!(e.to_string().contains("missing match pattern"));
+        let e = parse_policy("permit 1x\n").unwrap_err();
+        assert!(e.to_string().contains("invalid ternary"));
+        let e = parse_policy("permit 11 @ huge\n").unwrap_err();
+        assert!(e.to_string().contains("bad priority"));
+        let e = parse_policy("permit 11 stray\n").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn duplicate_explicit_priority_reported_with_line() {
+        let e = parse_policy("drop 1* @ 5\ndrop 0* @ 5\n").unwrap_err();
+        assert!(e.to_string().contains("collides"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let original = parse_policy("permit 1100 @ 7\ndrop 11** @ 3\ndrop 0*** @ 1\n").unwrap();
+        let text = format_policy(&original);
+        let reparsed = parse_policy(&text).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn empty_input_is_empty_policy() {
+        let p = parse_policy("\n# nothing\n").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(format_policy(&p), "");
+    }
+}

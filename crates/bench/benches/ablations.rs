@@ -1,0 +1,110 @@
+//! Ablation benches: dependency-row encodings (A1), ILP vs PB-SAT for
+//! feasibility (A2), merge-linking forms, and greedy warm start on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
+use flowplace_bench::{build_instance, ScenarioConfig};
+use flowplace_core::encode_sat::SatEncoding;
+use flowplace_core::{DependencyEncoding, MergeLinking, Objective, RulePlacer};
+
+fn cfg(n: usize, shared: usize, capacity: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        k: 4,
+        ingresses: 8,
+        paths_per_ingress: 2,
+        rules_per_policy: n,
+        shared_rules: shared,
+        capacity,
+        seed: 23,
+    }
+}
+
+fn dependency_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_dep_encoding");
+    group.sample_size(10);
+    let instance = build_instance(&cfg(30, 0, 60));
+    for (name, dep) in [
+        ("pairwise", DependencyEncoding::Pairwise),
+        ("aggregated", DependencyEncoding::Aggregated),
+        ("lazy", DependencyEncoding::Lazy),
+    ] {
+        let mut options = default_options(QUICK_TIME_LIMIT);
+        options.dependency = dep;
+        let placer = RulePlacer::new(options);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, inst| {
+            b.iter(|| {
+                placer
+                    .place(inst, Objective::TotalRules)
+                    .expect("placement is infallible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sat_vs_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_sat_vs_ilp");
+    group.sample_size(10);
+    let instance = build_instance(&cfg(40, 0, 60));
+    let placer = RulePlacer::new(default_options(QUICK_TIME_LIMIT));
+    group.bench_function("ilp_optimize", |b| {
+        b.iter(|| {
+            placer
+                .place(&instance, Objective::TotalRules)
+                .expect("placement is infallible")
+        })
+    });
+    group.bench_function("pbsat_feasible", |b| {
+        b.iter(|| {
+            let mut enc = SatEncoding::build(&instance, false);
+            enc.solve()
+        })
+    });
+    group.finish();
+}
+
+fn merge_linking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_merge_linking");
+    group.sample_size(10);
+    let instance = build_instance(&cfg(10, 4, 34));
+    for (name, linking) in [
+        ("per_member", MergeLinking::PerMember),
+        ("aggregated_eq5", MergeLinking::Aggregated),
+    ] {
+        let mut options = default_options(QUICK_TIME_LIMIT);
+        options.merging = true;
+        options.merge_linking = linking;
+        let placer = RulePlacer::new(options);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, inst| {
+            b.iter(|| {
+                placer
+                    .place(inst, Objective::TotalRules)
+                    .expect("placement is infallible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_warm_start");
+    group.sample_size(10);
+    let instance = build_instance(&cfg(40, 0, 60));
+    for (name, warm) in [("greedy_warm", true), ("cold", false)] {
+        let mut options = default_options(QUICK_TIME_LIMIT);
+        options.greedy_warm_start = warm;
+        let placer = RulePlacer::new(options);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, inst| {
+            b.iter(|| {
+                placer
+                    .place(inst, Objective::TotalRules)
+                    .expect("placement is infallible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dependency_encodings, sat_vs_ilp, merge_linking, warm_start);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figures 7/8/9: solve time vs rules per policy (representative points).
+//!
+//! The full sweep (all three network sizes, n = 20..110, three seeds)
+//! lives in the `repro` binary; Criterion measures a few representative
+//! points per network size so `cargo bench` stays minutes, not hours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowplace_bench::experiments::{default_options, EXP1_NETWORKS, QUICK_TIME_LIMIT};
+use flowplace_bench::{build_instance, ScenarioConfig};
+use flowplace_core::{Objective, RulePlacer};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_rules");
+    group.sample_size(10);
+    for &(k, ingresses, ppi, c_small, c_large) in &EXP1_NETWORKS {
+        for (cap_name, capacity) in [("Csmall", c_small), ("Clarge", c_large)] {
+            for n in [20usize, 40] {
+                let cfg = ScenarioConfig {
+                    k,
+                    ingresses,
+                    paths_per_ingress: ppi,
+                    rules_per_policy: n,
+                    shared_rules: 0,
+                    capacity,
+                    seed: 7,
+                };
+                let instance = build_instance(&cfg);
+                let placer = RulePlacer::new(default_options(QUICK_TIME_LIMIT));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("k{k}_{cap_name}"), n),
+                    &instance,
+                    |b, inst| {
+                        b.iter(|| {
+                            placer
+                                .place(inst, Objective::TotalRules)
+                                .expect("placement is infallible")
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

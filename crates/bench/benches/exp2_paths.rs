@@ -1,0 +1,42 @@
+//! Figure 10: solve time vs number of paths (representative points).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
+use flowplace_bench::{build_instance, ScenarioConfig};
+use flowplace_core::{Objective, RulePlacer};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_paths");
+    group.sample_size(10);
+    for capacity in [60usize, 150] {
+        for ppi in [1usize, 2, 4] {
+            let cfg = ScenarioConfig {
+                k: 4,
+                ingresses: 8,
+                paths_per_ingress: ppi,
+                rules_per_policy: 40,
+                shared_rules: 0,
+                capacity,
+                seed: 3,
+            };
+            let instance = build_instance(&cfg);
+            let placer = RulePlacer::new(default_options(QUICK_TIME_LIMIT));
+            group.bench_with_input(
+                BenchmarkId::new(format!("C{capacity}"), cfg.total_paths()),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        placer
+                            .place(inst, Objective::TotalRules)
+                            .expect("placement is infallible")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table II: merging on/off at a representative capacity and shared-rule
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowplace_bench::experiments::{default_options, EXP3_CAPACITIES, QUICK_TIME_LIMIT};
+use flowplace_bench::{build_instance, ScenarioConfig};
+use flowplace_core::{Objective, RulePlacer};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3_merging");
+    group.sample_size(10);
+    for merging in [false, true] {
+        for shared in [2usize, 6] {
+            let cfg = ScenarioConfig {
+                k: 4,
+                ingresses: 8,
+                paths_per_ingress: 2,
+                rules_per_policy: 10,
+                shared_rules: shared,
+                capacity: EXP3_CAPACITIES[1],
+                seed: 11,
+            };
+            let instance = build_instance(&cfg);
+            let mut options = default_options(QUICK_TIME_LIMIT);
+            options.merging = merging;
+            let placer = RulePlacer::new(options);
+            let name = if merging { "merge" } else { "plain" };
+            group.bench_with_input(
+                BenchmarkId::new(name, shared),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        placer
+                            .place(inst, Objective::TotalRules)
+                            .expect("placement is infallible")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

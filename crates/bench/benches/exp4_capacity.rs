@@ -1,0 +1,41 @@
+//! Figure 11: solve time across the capacity phase transition
+//! (over-constrained / hard band / under-constrained).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
+use flowplace_bench::{build_instance, ScenarioConfig};
+use flowplace_core::{Objective, RulePlacer};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_capacity");
+    group.sample_size(10);
+    for capacity in [20usize, 60, 200] {
+        let cfg = ScenarioConfig {
+            k: 4,
+            ingresses: 8,
+            paths_per_ingress: 2,
+            rules_per_policy: 40,
+            shared_rules: 0,
+            capacity,
+            seed: 5,
+        };
+        let instance = build_instance(&cfg);
+        let placer = RulePlacer::new(default_options(QUICK_TIME_LIMIT));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    placer
+                        .place(inst, Objective::TotalRules)
+                        .expect("placement is infallible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Microbenches of the substrate crates: ternary algebra, cube-list
+//! difference, redundancy removal, LP simplex, branch & bound, and CDCL
+//! search. These track the building blocks the placement solves stand on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flowplace_acl::{redundancy, CubeList, Ternary};
+use flowplace_classbench::{Generator, Profile};
+use flowplace_milp::{solve_lp, solve_mip, Cmp, MipOptions, Model, Sense};
+use flowplace_pbsat::{Lit, Solver};
+
+fn ternary_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_ternary");
+    let gen = Generator::new(Profile::Firewall, 32).with_seed(1);
+    let policy = gen.policy(200, 0);
+    let rules: Vec<Ternary> = policy.rules().iter().map(|r| *r.match_field()).collect();
+    group.bench_function("pairwise_intersects_200", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for (i, a) in rules.iter().enumerate() {
+                for b in &rules[i + 1..] {
+                    if a.intersects(b) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+    group.bench_function("cubelist_subtract_chain", |b| {
+        b.iter(|| {
+            let mut space = CubeList::from_cube(Ternary::any(32));
+            for r in rules.iter().take(40) {
+                space.subtract(r);
+            }
+            space.cubes().len()
+        })
+    });
+    group.bench_function("redundancy_removal_80", |b| {
+        let p = gen.policy(80, 1);
+        b.iter(|| redundancy::remove_redundant(&p).policy.len())
+    });
+    group.finish();
+}
+
+fn lp_and_mip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_milp");
+    group.sample_size(10);
+    // A random covering LP/MIP of placement-like shape.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..300).map(|i| model.add_binary(format!("x{i}"))).collect();
+    for v in &vars {
+        model.set_objective(*v, 1.0 + rng.gen::<f64>().round());
+    }
+    for r in 0..150 {
+        let terms: Vec<_> = (0..6)
+            .map(|_| (vars[rng.gen_range(0..vars.len())], 1.0))
+            .collect();
+        model.add_constraint(format!("c{r}"), terms, Cmp::Ge, 1.0);
+    }
+    model.add_constraint(
+        "cap",
+        vars.iter().map(|&v| (v, 1.0)).collect(),
+        Cmp::Le,
+        200.0,
+    );
+    group.bench_function("lp_relaxation_300x151", |b| b.iter(|| solve_lp(&model)));
+    group.bench_function("bnb_300x151", |b| {
+        b.iter(|| solve_mip(&model, &MipOptions::default()))
+    });
+    group.finish();
+}
+
+fn cdcl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_pbsat");
+    group.sample_size(10);
+    group.bench_function("pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let p: Vec<Vec<Lit>> = (0..7)
+                .map(|_| (0..6).map(|_| Lit::positive(s.new_var())).collect())
+                .collect();
+            for row in &p {
+                s.add_clause(row);
+            }
+            for h in 0..6 {
+                let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+                s.add_at_most_k(&col, 1);
+            }
+            s.solve()
+        })
+    });
+    group.bench_function("random_3sat_120v_480c", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut s = Solver::new();
+            let vars: Vec<_> = (0..120).map(|_| s.new_var()).collect();
+            for _ in 0..480 {
+                let lits: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = vars[rng.gen_range(0..vars.len())];
+                        if rng.gen() {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        }
+                    })
+                    .collect();
+                s.add_clause(&lits);
+            }
+            s.solve()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ternary_ops, lp_and_mip, cdcl);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Benchmark instance construction, mirroring the paper's setup:
+//! fat-tree topology, randomized shortest-path routing, ClassBench-style
+//! per-ingress policies, optional shared blacklist rules.
+
+use flowplace_acl::Policy;
+use flowplace_classbench::{Generator, Profile};
+use flowplace_core::Instance;
+use flowplace_routing::{shortest, RouteSet};
+use flowplace_topo::{EntryPortId, Topology};
+
+/// Parameters of one benchmark instance.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Fat-tree arity `k` (paper: 8/16/32; scaled here to 4/6/8).
+    pub k: usize,
+    /// Number of ingress policies (tenants); the first `ingresses` host
+    /// ports carry policies.
+    pub ingresses: usize,
+    /// Shortest paths per ingress (total paths = `ingresses ×
+    /// paths_per_ingress`).
+    pub paths_per_ingress: usize,
+    /// Own (non-shared) rules per policy — the paper's `n`.
+    pub rules_per_policy: usize,
+    /// Shared blacklist DROP rules prepended to every policy (the
+    /// mergeable rules of Experiment 3).
+    pub shared_rules: usize,
+    /// Uniform switch capacity `C`.
+    pub capacity: usize,
+    /// RNG seed (policies and routing derive from it).
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            k: 4,
+            ingresses: 8,
+            paths_per_ingress: 2,
+            rules_per_policy: 20,
+            shared_rules: 0,
+            capacity: 100,
+            seed: 1,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Total paths in the instance.
+    pub fn total_paths(&self) -> usize {
+        self.ingresses * self.paths_per_ingress
+    }
+}
+
+/// Builds the instance for a configuration.
+///
+/// Routing: every tenant ingress routes to `paths_per_ingress` distinct
+/// random destinations via randomized shortest paths (no flow
+/// descriptors, matching the paper's experiments which do not slice).
+///
+/// # Panics
+///
+/// Panics if `ingresses` exceeds the number of host ports of the
+/// fat-tree.
+pub fn build_instance(cfg: &ScenarioConfig) -> Instance {
+    let mut topo = Topology::fat_tree(cfg.k);
+    topo.set_uniform_capacity(cfg.capacity);
+    let hosts = topo.entry_port_count();
+    assert!(
+        cfg.ingresses <= hosts,
+        "{} ingresses exceed {} hosts of fat-tree k={}",
+        cfg.ingresses,
+        hosts,
+        cfg.k
+    );
+
+    // Routes: restrict the per-ingress generator to the tenant prefix.
+    let all = shortest::routes_per_ingress(&topo, cfg.paths_per_ingress, cfg.seed);
+    let routes: RouteSet = all
+        .iter()
+        .filter(|r| r.ingress.0 < cfg.ingresses)
+        .cloned()
+        .collect();
+
+    // Policies: ClassBench firewall profile, one per tenant, plus shared
+    // blacklist.
+    let generator = Generator::new(Profile::Firewall, 16).with_seed(cfg.seed ^ 0xACE1);
+    let shared = generator.blacklist(cfg.shared_rules);
+    let policies: Vec<(EntryPortId, Policy)> = (0..cfg.ingresses)
+        .map(|i| {
+            let own = generator.policy(cfg.rules_per_policy, i as u64);
+            let with_shared = prepend_shared(&own, &shared);
+            (EntryPortId(i), with_shared)
+        })
+        .collect();
+    Instance::new(topo, routes, policies).expect("generated scenario is valid")
+}
+
+fn prepend_shared(policy: &Policy, shared: &[flowplace_acl::Ternary]) -> Policy {
+    if shared.is_empty() {
+        return policy.clone();
+    }
+    let max_priority = policy.rules().first().map(|r| r.priority()).unwrap_or(0);
+    let mut rules = policy.rules().to_vec();
+    let n = shared.len() as u32;
+    for (i, m) in shared.iter().enumerate() {
+        rules.push(flowplace_acl::Rule::new(
+            *m,
+            flowplace_acl::Action::Drop,
+            max_priority + n - i as u32,
+        ));
+    }
+    Policy::from_rules(rules).expect("shifted priorities remain strict")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_shape() {
+        let cfg = ScenarioConfig {
+            k: 4,
+            ingresses: 6,
+            paths_per_ingress: 3,
+            rules_per_policy: 10,
+            shared_rules: 2,
+            capacity: 50,
+            seed: 9,
+        };
+        let inst = build_instance(&cfg);
+        assert_eq!(inst.policy_count(), 6);
+        assert_eq!(inst.routes().len(), 18);
+        assert_eq!(inst.total_policy_rules(), 6 * 12);
+        for (_, q) in inst.policies() {
+            assert_eq!(q.len(), 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ScenarioConfig::default();
+        let a = build_instance(&cfg);
+        let b = build_instance(&cfg);
+        assert_eq!(a.routes(), b.routes());
+        assert_eq!(a.total_policy_rules(), b.total_policy_rules());
+    }
+}

@@ -1,0 +1,347 @@
+//! The seeded policy generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flowplace_acl::{Action, Policy, Rule, Ternary};
+
+use crate::profiles::{Profile, ProfileParams};
+
+/// Seeded ClassBench-style policy generator.
+///
+/// The header of `width` bits is split into a source field (high half) and
+/// a destination field (low half). Each rule matches a source prefix and a
+/// destination prefix, drawn from small pools of "popular" prefixes so
+/// rules overlap (the property that produces permit/drop dependencies).
+///
+/// All output is deterministic in the configured seed plus the per-call
+/// index, so experiment sweeps are reproducible rule-for-rule.
+#[derive(Clone, Debug)]
+pub struct Generator {
+    profile: Profile,
+    width: u32,
+    seed: u64,
+}
+
+impl Generator {
+    /// Creates a generator for headers of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2` or `width > 128`.
+    pub fn new(profile: Profile, width: u32) -> Self {
+        assert!((2..=128).contains(&width), "width {width} not in 2..=128");
+        Generator {
+            profile,
+            width,
+            seed: 0,
+        }
+    }
+
+    /// Sets the base seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The header width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Generates one policy of `rule_count` rules. `index` distinguishes
+    /// policies generated from the same base seed (use the ingress number).
+    pub fn policy(&self, rule_count: usize, index: u64) -> Policy {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let params = self.profile.params();
+        let pools = Pools::draw(&params, self.width, &mut rng);
+        // Real filter sets do not repeat a match field verbatim; retry a
+        // bounded number of times per rule, then accept a duplicate
+        // rather than loop forever on tiny match spaces.
+        let mut seen: Vec<flowplace_acl::Ternary> = Vec::with_capacity(rule_count);
+        let rules: Vec<Rule> = (0..rule_count)
+            .map(|i| {
+                let mut m = pools.draw_match(self.width, &mut rng);
+                for _ in 0..32 {
+                    if !seen.contains(&m) {
+                        break;
+                    }
+                    m = pools.draw_match(self.width, &mut rng);
+                }
+                seen.push(m);
+                let action = if rng.gen_bool(params.drop_fraction) {
+                    Action::Drop
+                } else {
+                    Action::Permit
+                };
+                Rule::new(m, action, (rule_count - i) as u32)
+            })
+            .collect();
+        Policy::from_rules(rules).expect("generated priorities are strictly decreasing")
+    }
+
+    /// Generates `count` policies of `rule_count` rules each (one per
+    /// ingress, indexed `0..count`).
+    pub fn policies(&self, rule_count: usize, count: usize) -> Vec<Policy> {
+        (0..count)
+            .map(|i| self.policy(rule_count, i as u64))
+            .collect()
+    }
+
+    /// Generates `count` network-wide blacklist DROP rules (identical match
+    /// fields shared across policies — the paper's mergeable rules).
+    ///
+    /// The rules are pairwise distinct and returned without priorities
+    /// (assign them when inserting into a policy via [`PolicySuite`]).
+    pub fn blacklist(&self, count: usize) -> Vec<Ternary> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xB1AC_415D);
+        let params = self.profile.params();
+        let pools = Pools::draw(&params, self.width, &mut rng);
+        let mut out: Vec<Ternary> = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while out.len() < count {
+            attempts += 1;
+            assert!(attempts < 1000 + count * 100, "blacklist generation stalled");
+            let m = pools.draw_match(self.width, &mut rng);
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+}
+
+/// A set of per-ingress policies plus shared (mergeable) blacklist rules —
+/// the complete `{Q_i}` input of an experiment instance.
+///
+/// Shared rules are prepended to every policy at the highest priorities in
+/// a common order, which both models a network-wide blacklist and keeps
+/// merge dependencies acyclic by construction (see §IV-B of the paper for
+/// how cycles are broken when orders differ).
+#[derive(Clone, Debug)]
+pub struct PolicySuite {
+    /// One policy per ingress, in ingress order.
+    pub policies: Vec<Policy>,
+    /// Match fields of the shared blacklist rules present in every policy.
+    pub shared: Vec<Ternary>,
+}
+
+impl PolicySuite {
+    /// Builds a suite: `count` per-ingress policies of `rule_count` rules,
+    /// plus `shared_count` identical blacklist DROP rules prepended to each
+    /// policy above its own rules.
+    pub fn generate(
+        gen: &Generator,
+        rule_count: usize,
+        count: usize,
+        shared_count: usize,
+    ) -> PolicySuite {
+        let shared = gen.blacklist(shared_count);
+        let policies = gen
+            .policies(rule_count, count)
+            .into_iter()
+            .map(|p| prepend_shared(&p, &shared))
+            .collect();
+        PolicySuite { policies, shared }
+    }
+
+    /// Total number of rules across all policies.
+    pub fn total_rules(&self) -> usize {
+        self.policies.iter().map(Policy::len).sum()
+    }
+}
+
+/// Returns `policy` with `shared` DROP rules prepended at priorities above
+/// every existing rule, in the order given.
+fn prepend_shared(policy: &Policy, shared: &[Ternary]) -> Policy {
+    let max_priority = policy
+        .rules()
+        .first()
+        .map(|r| r.priority())
+        .unwrap_or(0);
+    let mut rules: Vec<Rule> = policy.rules().to_vec();
+    let n = shared.len() as u32;
+    for (i, m) in shared.iter().enumerate() {
+        rules.push(Rule::new(
+            *m,
+            Action::Drop,
+            max_priority + n - i as u32,
+        ));
+    }
+    Policy::from_rules(rules).expect("shifted priorities remain strict")
+}
+
+/// Pools of popular prefixes for one policy family.
+struct Pools {
+    src: Vec<(u32, u128)>, // (prefix length, value bits)
+    dst: Vec<(u32, u128)>,
+    src_bits: u32,
+    dst_bits: u32,
+}
+
+impl Pools {
+    fn draw(params: &ProfileParams, width: u32, rng: &mut StdRng) -> Pools {
+        let src_bits = width / 2;
+        let dst_bits = width - src_bits;
+        let draw_pool = |n: usize, bits: u32, range: (f64, f64), rng: &mut StdRng| {
+            (0..n)
+                .map(|_| {
+                    let lo = (range.0 * bits as f64).round() as u32;
+                    let hi = (range.1 * bits as f64).round() as u32;
+                    let len = rng.gen_range(lo..=hi.max(lo)).min(bits);
+                    let value = if len == 0 {
+                        0
+                    } else {
+                        rng.gen::<u128>() & prefix_care(bits, len)
+                    };
+                    (len, value)
+                })
+                .collect::<Vec<_>>()
+        };
+        Pools {
+            src: draw_pool(params.src_pool, src_bits, params.src_len, rng),
+            dst: draw_pool(params.dst_pool, dst_bits, params.dst_len, rng),
+            src_bits,
+            dst_bits,
+        }
+    }
+
+    /// Combines one popular source prefix and one popular destination
+    /// prefix into a full ternary match. Occasionally (1 in 8) lengthens a
+    /// prefix to create narrower rules nested inside popular ones.
+    fn draw_match(&self, width: u32, rng: &mut StdRng) -> Ternary {
+        let (mut sl, mut sv) = self.src[rng.gen_range(0..self.src.len())];
+        let (mut dl, mut dv) = self.dst[rng.gen_range(0..self.dst.len())];
+        if rng.gen_ratio(1, 8) && sl < self.src_bits {
+            sl += rng.gen_range(1..=(self.src_bits - sl));
+            sv |= rng.gen::<u128>() & prefix_care(self.src_bits, sl);
+            sv &= prefix_care(self.src_bits, sl);
+        }
+        if rng.gen_ratio(1, 8) && dl < self.dst_bits {
+            dl += rng.gen_range(1..=(self.dst_bits - dl));
+            dv |= rng.gen::<u128>() & prefix_care(self.dst_bits, dl);
+            dv &= prefix_care(self.dst_bits, dl);
+        }
+        // Source occupies the high bits, destination the low bits.
+        let src_care = prefix_care(self.src_bits, sl) << self.dst_bits;
+        let dst_care = prefix_care(self.dst_bits, dl);
+        let value = (sv << self.dst_bits) | dv;
+        Ternary::new(width, src_care | dst_care, value)
+    }
+}
+
+/// The care mask of a length-`len` prefix in a `bits`-wide field
+/// (the top `len` bits of the field).
+fn prefix_care(bits: u32, len: u32) -> u128 {
+    debug_assert!(len <= bits);
+    if len == 0 {
+        return 0;
+    }
+    let field = if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    };
+    field & !(field >> len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_care_masks() {
+        assert_eq!(prefix_care(8, 0), 0);
+        assert_eq!(prefix_care(8, 3), 0b1110_0000);
+        assert_eq!(prefix_care(8, 8), 0xFF);
+        assert_eq!(prefix_care(4, 2), 0b1100);
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_index() {
+        let g = Generator::new(Profile::Firewall, 16).with_seed(5);
+        assert_eq!(g.policy(20, 0), g.policy(20, 0));
+        assert_ne!(g.policy(20, 0), g.policy(20, 1));
+        let g2 = Generator::new(Profile::Firewall, 16).with_seed(6);
+        assert_ne!(g.policy(20, 0), g2.policy(20, 0));
+    }
+
+    #[test]
+    fn policies_have_requested_size_and_mixed_actions() {
+        let g = Generator::new(Profile::Firewall, 16).with_seed(1);
+        let p = g.policy(50, 0);
+        assert_eq!(p.len(), 50);
+        assert!(p.drop_rules().count() > 0, "some drops");
+        assert!(p.permit_rules().count() > 0, "some permits");
+    }
+
+    #[test]
+    fn rules_overlap_enough_to_create_dependencies() {
+        // The popular-pool structure must make at least one higher-priority
+        // PERMIT overlap a lower-priority DROP in a decently sized policy.
+        let g = Generator::new(Profile::Firewall, 16).with_seed(3);
+        let p = g.policy(40, 0);
+        let mut deps = 0;
+        for (i, hi) in p.iter() {
+            for (j, lo) in p.iter() {
+                if j.0 > i.0 && hi.action().is_permit() && lo.action().is_drop()
+                    && hi.overlaps(lo)
+                {
+                    deps += 1;
+                }
+            }
+        }
+        assert!(deps > 0, "expected permit-over-drop dependencies");
+    }
+
+    #[test]
+    fn blacklist_rules_distinct() {
+        let g = Generator::new(Profile::Acl, 16).with_seed(2);
+        let b = g.blacklist(8);
+        assert_eq!(b.len(), 8);
+        for (i, x) in b.iter().enumerate() {
+            for y in &b[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_prepends_shared_at_top() {
+        let g = Generator::new(Profile::Firewall, 16).with_seed(4);
+        let suite = PolicySuite::generate(&g, 10, 3, 2);
+        assert_eq!(suite.policies.len(), 3);
+        assert_eq!(suite.shared.len(), 2);
+        for p in &suite.policies {
+            assert_eq!(p.len(), 12);
+            // Highest two priorities are the shared DROP rules, same order.
+            assert_eq!(p.rules()[0].match_field(), &suite.shared[0]);
+            assert_eq!(p.rules()[1].match_field(), &suite.shared[1]);
+            assert!(p.rules()[0].action().is_drop());
+            assert!(p.rules()[1].action().is_drop());
+        }
+    }
+
+    #[test]
+    fn suite_total_rules() {
+        let g = Generator::new(Profile::IpChain, 16).with_seed(9);
+        let suite = PolicySuite::generate(&g, 5, 4, 1);
+        assert_eq!(suite.total_rules(), 4 * 6);
+    }
+
+    #[test]
+    fn all_profiles_generate() {
+        for prof in [Profile::Firewall, Profile::Acl, Profile::IpChain] {
+            let g = Generator::new(prof, 32).with_seed(11);
+            let p = g.policy(25, 0);
+            assert_eq!(p.len(), 25);
+        }
+    }
+
+    #[test]
+    fn width_two_edge_case() {
+        let g = Generator::new(Profile::Firewall, 2).with_seed(1);
+        let p = g.policy(5, 0);
+        assert_eq!(p.len(), 5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Generation profiles mirroring ClassBench's seed-file families.
+
+/// A generation profile, named after ClassBench's three filter-set
+/// families. Profiles differ in prefix-length skew, popular-pool size, and
+/// DROP fraction, which together control how much rules overlap (and hence
+/// how dense the placement dependency graph is).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Profile {
+    /// Firewall-like: short, broad prefixes, many overlaps, drop-heavy.
+    Firewall,
+    /// Access-control-list-like: longer prefixes, moderate overlap.
+    Acl,
+    /// IP-chain-like: mixed lengths, permit-heavy.
+    IpChain,
+}
+
+/// Numeric knobs derived from a [`Profile`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProfileParams {
+    /// Number of popular source prefixes in the pool.
+    pub src_pool: usize,
+    /// Number of popular destination prefixes in the pool.
+    pub dst_pool: usize,
+    /// Inclusive range of source prefix lengths, as a fraction of the
+    /// source field width (0.0 = all wildcard, 1.0 = exact).
+    pub src_len: (f64, f64),
+    /// Inclusive range of destination prefix lengths, as a fraction.
+    pub dst_len: (f64, f64),
+    /// Probability that a rule is a DROP.
+    pub drop_fraction: f64,
+}
+
+impl Profile {
+    pub(crate) fn params(self) -> ProfileParams {
+        match self {
+            Profile::Firewall => ProfileParams {
+                src_pool: 6,
+                dst_pool: 6,
+                src_len: (0.1, 0.6),
+                dst_len: (0.1, 0.6),
+                drop_fraction: 0.55,
+            },
+            Profile::Acl => ProfileParams {
+                src_pool: 10,
+                dst_pool: 10,
+                src_len: (0.3, 0.9),
+                dst_len: (0.3, 0.9),
+                drop_fraction: 0.4,
+            },
+            Profile::IpChain => ProfileParams {
+                src_pool: 8,
+                dst_pool: 8,
+                src_len: (0.2, 1.0),
+                dst_len: (0.2, 1.0),
+                drop_fraction: 0.25,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_sane() {
+        for p in [Profile::Firewall, Profile::Acl, Profile::IpChain] {
+            let q = p.params();
+            assert!(q.src_pool > 0 && q.dst_pool > 0);
+            assert!(q.src_len.0 <= q.src_len.1 && q.src_len.1 <= 1.0);
+            assert!(q.dst_len.0 <= q.dst_len.1 && q.dst_len.1 <= 1.0);
+            assert!((0.0..=1.0).contains(&q.drop_fraction));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Candidate placement locations for every rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use flowplace_acl::RuleId;
+use flowplace_topo::{EntryPortId, SwitchId};
+
+use crate::depgraph::DependencyGraph;
+use crate::slicing;
+use crate::Instance;
+
+/// For each `(ingress, rule)`, the switches it may be placed on.
+///
+/// DROP rules are candidates on every switch of every route they are
+/// sliced into; PERMIT rules on every switch where some dependent DROP is
+/// a candidate (Equation 1 only ever forces a PERMIT where its DROP
+/// lands). PERMIT rules with no dependent DROP never need placement — the
+/// default switch action is already PERMIT.
+pub type CandidateMap = BTreeMap<(EntryPortId, RuleId), BTreeSet<SwitchId>>;
+
+/// Builds the candidate map for an instance, honoring path slicing.
+pub fn build_candidates(instance: &Instance) -> CandidateMap {
+    let mut map: CandidateMap = BTreeMap::new();
+    for (ingress, policy) in instance.policies() {
+        let graph = DependencyGraph::build(policy);
+        // DROP rules: switches of every route the rule is sliced into.
+        for rid in instance.routes().paths_from(ingress) {
+            let route = instance.routes().route(rid);
+            for w in slicing::sliced_drop_rules(policy, route) {
+                map.entry((ingress, w))
+                    .or_default()
+                    .extend(route.switches.iter().copied());
+            }
+        }
+        // PERMIT rules: union of their dependents' candidate switches.
+        let drops: Vec<RuleId> = policy.drop_rules().collect();
+        for w in drops {
+            let Some(w_switches) = map.get(&(ingress, w)).cloned() else {
+                continue; // drop rule sliced out of every route
+            };
+            for &u in graph.permits_required_by(w) {
+                map.entry((ingress, u)).or_default().extend(&w_switches);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Policy, Ternary};
+    use flowplace_routing::{Route, RouteSet};
+    use flowplace_topo::Topology;
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    #[test]
+    fn drops_on_route_switches_permits_follow() {
+        let topo = Topology::linear(3);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0), SwitchId(1), SwitchId(2)],
+        ));
+        let policy = Policy::from_ordered(vec![
+            (t("11**"), Action::Permit),
+            (t("1***"), Action::Drop),
+            (t("00**"), Action::Permit), // no dependent drop: no candidates
+        ])
+        .unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
+        let cand = build_candidates(&inst);
+        let all: BTreeSet<SwitchId> = [SwitchId(0), SwitchId(1), SwitchId(2)].into();
+        assert_eq!(cand[&(EntryPortId(0), RuleId(1))], all);
+        assert_eq!(cand[&(EntryPortId(0), RuleId(0))], all);
+        assert!(!cand.contains_key(&(EntryPortId(0), RuleId(2))));
+    }
+
+    #[test]
+    fn slicing_restricts_candidates() {
+        let topo = Topology::linear(3);
+        let mut routes = RouteSet::new();
+        routes.push(
+            Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0), SwitchId(1)])
+                .with_flow(t("**01")),
+        );
+        let policy = Policy::from_ordered(vec![
+            (t("1*01"), Action::Drop), // overlaps flow
+            (t("1*10"), Action::Drop), // sliced out
+        ])
+        .unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
+        let cand = build_candidates(&inst);
+        assert!(cand.contains_key(&(EntryPortId(0), RuleId(0))));
+        assert!(!cand.contains_key(&(EntryPortId(0), RuleId(1))));
+    }
+
+    #[test]
+    fn permit_union_over_multiple_paths() {
+        // Drop covered on two disjoint paths: its permit must be a
+        // candidate on both.
+        let topo = Topology::star(3);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(1), SwitchId(0), SwitchId(2)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(2),
+            vec![SwitchId(1), SwitchId(0), SwitchId(3)],
+        ));
+        let policy = Policy::from_ordered(vec![
+            (t("11**"), Action::Permit),
+            (t("1***"), Action::Drop),
+        ])
+        .unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
+        let cand = build_candidates(&inst);
+        let permits = &cand[&(EntryPortId(0), RuleId(0))];
+        assert!(permits.contains(&SwitchId(2)));
+        assert!(permits.contains(&SwitchId(3)));
+    }
+}

@@ -1,0 +1,208 @@
+//! The rule dependency graph (§IV-A1 of the paper).
+//!
+//! For one ingress policy, a directed edge `u → w` means: PERMIT rule `u`
+//! has higher priority than DROP rule `w` and their match fields overlap,
+//! so wherever `w` is placed, `u` must be placed too (otherwise packets
+//! that the policy permits via `u` would be dropped by `w` on that
+//! switch). These edges become the Equation 1 constraints
+//! `v_{i,u,k} ≥ v_{i,w,k}`.
+//!
+//! Rules with disjoint match fields, and DROP/DROP pairs, impose no
+//! constraints (it does not matter *where* a packet is dropped, only
+//! *that* it is dropped — the per-path coverage constraint handles that).
+
+use std::fmt;
+
+use flowplace_acl::{Policy, RuleId};
+
+/// The dependency graph of a single policy.
+///
+/// # Example
+///
+/// ```
+/// use flowplace_acl::{Action, Policy, Ternary};
+/// use flowplace_core::DependencyGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let policy = Policy::from_ordered(vec![
+///     (Ternary::parse("11**")?, Action::Permit), // r0, shields part of r1
+///     (Ternary::parse("1***")?, Action::Drop),   // r1
+/// ])?;
+/// let g = DependencyGraph::build(&policy);
+/// assert_eq!(
+///     g.permits_required_by(flowplace_acl::RuleId(1)),
+///     &[flowplace_acl::RuleId(0)]
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DependencyGraph {
+    /// `deps[w.0]` = the PERMIT rules that must accompany DROP rule `w`
+    /// (empty for PERMIT rules). Sorted ascending.
+    deps: Vec<Vec<RuleId>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for `policy` in `O(n²)` overlap checks.
+    pub fn build(policy: &Policy) -> DependencyGraph {
+        let rules = policy.rules();
+        let mut deps = vec![Vec::new(); rules.len()];
+        for (w, drop_rule) in rules.iter().enumerate() {
+            if !drop_rule.action().is_drop() {
+                continue;
+            }
+            // Rules are stored in descending priority order, so every rule
+            // with a smaller index has higher priority.
+            for (u, permit_rule) in rules.iter().enumerate().take(w) {
+                if permit_rule.action().is_permit() && permit_rule.overlaps(drop_rule) {
+                    deps[w].push(RuleId(u));
+                }
+            }
+        }
+        DependencyGraph { deps }
+    }
+
+    /// The PERMIT rules that must be co-located with DROP rule `w`
+    /// (sorted ascending by rule id; empty for PERMIT rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn permits_required_by(&self, w: RuleId) -> &[RuleId] {
+        &self.deps[w.0]
+    }
+
+    /// All `(permit, drop)` dependency edges.
+    pub fn edges(&self) -> impl Iterator<Item = (RuleId, RuleId)> + '_ {
+        self.deps
+            .iter()
+            .enumerate()
+            .flat_map(|(w, us)| us.iter().map(move |&u| (u, RuleId(w))))
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Number of rules in the underlying policy.
+    pub fn rule_count(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Renders the graph in Graphviz DOT syntax (PERMIT boxes, DROP
+    /// ellipses), for audit tooling.
+    pub fn to_dot(&self, policy: &Policy) -> String {
+        let mut out = String::from("digraph deps {\n");
+        for (id, r) in policy.iter() {
+            let shape = if r.action().is_drop() { "ellipse" } else { "box" };
+            out.push_str(&format!(
+                "  r{} [shape={shape}, label=\"{} {} {}\"];\n",
+                id.0,
+                id,
+                r.match_field(),
+                r.action()
+            ));
+        }
+        for (u, w) in self.edges() {
+            out.push_str(&format!("  r{} -> r{};\n", u.0, w.0));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for DependencyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency graph: {} rules, {} edges",
+            self.rule_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Ternary};
+
+    fn pol(specs: Vec<(&str, Action)>) -> Policy {
+        Policy::from_ordered(
+            specs
+                .into_iter()
+                .map(|(m, a)| (Ternary::parse(m).unwrap(), a))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn permit_over_drop_creates_edge() {
+        let p = pol(vec![("11**", Action::Permit), ("1***", Action::Drop)]);
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.permits_required_by(RuleId(1)), &[RuleId(0)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn disjoint_rules_no_edge() {
+        let p = pol(vec![("0***", Action::Permit), ("1***", Action::Drop)]);
+        let g = DependencyGraph::build(&p);
+        assert!(g.permits_required_by(RuleId(1)).is_empty());
+    }
+
+    #[test]
+    fn drop_over_drop_no_edge() {
+        let p = pol(vec![("11**", Action::Drop), ("1***", Action::Drop)]);
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn permit_below_drop_no_edge() {
+        // The PERMIT has *lower* priority: it never shields the DROP.
+        let p = pol(vec![("1***", Action::Drop), ("11**", Action::Permit)]);
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn multiple_permits_collected_in_order() {
+        let p = pol(vec![
+            ("11**", Action::Permit),
+            ("1*1*", Action::Permit),
+            ("00**", Action::Permit), // disjoint
+            ("1***", Action::Drop),
+        ]);
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.permits_required_by(RuleId(3)), &[RuleId(0), RuleId(1)]);
+    }
+
+    #[test]
+    fn edges_iterate_all() {
+        let p = pol(vec![
+            ("11**", Action::Permit),
+            ("11**", Action::Drop),
+            ("1***", Action::Drop),
+        ]);
+        let g = DependencyGraph::build(&p);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![(RuleId(0), RuleId(1)), (RuleId(0), RuleId(2))]
+        );
+    }
+
+    #[test]
+    fn dot_output_mentions_rules() {
+        let p = pol(vec![("11**", Action::Permit), ("1***", Action::Drop)]);
+        let g = DependencyGraph::build(&p);
+        let dot = g.to_dot(&p);
+        assert!(dot.contains("r0 -> r1"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Incremental deployment (§IV-E of the paper).
+//!
+//! Solving the full ILP takes seconds to minutes — fine for the initial
+//! configuration, too slow for routine updates. The paper's strategy,
+//! implemented here:
+//!
+//! * **Small scale** (a rule added to one policy): the ingress-first
+//!   greedy heuristic against spare capacity — [`add_rule_greedy`].
+//! * **Medium scale** (tenant policies added, routes changed): construct
+//!   a *restricted sub-problem* over only the affected policies, with
+//!   every other placement frozen and switch capacities reduced to their
+//!   spare — [`install_policies`] and [`reroute_policy`]. The sub-problem
+//!   is solved by the ILP or (faster, feasibility-only) PB-SAT engine.
+//!   Restriction is conservative: the sub-problem can be infeasible even
+//!   when a from-scratch solve is not; the caller can always fall back.
+//! * **Large scale**: re-run [`RulePlacer::place`] from scratch.
+
+use std::time::{Duration, Instant};
+
+use flowplace_acl::{Policy, Rule, RuleId};
+use flowplace_routing::{Route, RouteSet};
+use flowplace_topo::EntryPortId;
+
+use crate::greedy;
+use crate::placement::{Placement, PlacementOptions, RulePlacer, SolveStatus};
+use crate::{Instance, InstanceError, Objective};
+
+/// Result of an incremental operation.
+#[derive(Clone, Debug)]
+pub struct IncrementalOutcome {
+    /// The updated instance (topology unchanged; routes/policies updated).
+    pub instance: Instance,
+    /// The updated placement, when the operation succeeded.
+    pub placement: Option<Placement>,
+    /// Status of the restricted sub-solve.
+    pub status: SolveStatus,
+    /// Wall-clock time of the incremental operation.
+    pub elapsed: Duration,
+}
+
+/// Error from incremental operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// The updated inputs do not form a valid instance.
+    Instance(InstanceError),
+    /// The ingress already has / does not have a policy, as required.
+    BadIngress(EntryPortId),
+}
+
+impl std::fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrementalError::Instance(e) => write!(f, "{e}"),
+            IncrementalError::BadIngress(l) => write!(f, "ingress {l} not usable here"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+impl From<InstanceError> for IncrementalError {
+    fn from(e: InstanceError) -> Self {
+        IncrementalError::Instance(e)
+    }
+}
+
+/// Per-switch capacity left over by `placement` (the paper's Experiment 5
+/// setup: the spare capacity becomes the capacity of the sub-problem).
+pub fn spare_capacities(instance: &Instance, placement: &Placement) -> Vec<usize> {
+    let load = placement.per_switch_load(instance);
+    instance
+        .topology()
+        .capacities()
+        .into_iter()
+        .zip(load)
+        .map(|(c, l)| c.saturating_sub(l))
+        .collect()
+}
+
+/// Builds the restricted sub-instance: same topology with capacities set
+/// to the spare left by `placement`, carrying only `policies` and
+/// `routes`.
+fn sub_instance(
+    instance: &Instance,
+    placement: &Placement,
+    policies: Vec<(EntryPortId, Policy)>,
+    routes: RouteSet,
+) -> Result<Instance, InstanceError> {
+    let spare = spare_capacities(instance, placement);
+    let mut topo = instance.topology().clone();
+    for (i, c) in spare.into_iter().enumerate() {
+        topo.set_capacity(flowplace_topo::SwitchId(i), c);
+    }
+    Instance::new(topo, routes, policies)
+}
+
+/// Installs new ingress policies (with their routes) against the spare
+/// capacity, leaving every existing placement untouched (§IV-E "Ingress
+/// Policy Installation" / Experiment 5 part 1).
+///
+/// # Errors
+///
+/// [`IncrementalError::BadIngress`] if an addition targets an ingress
+/// that already has a policy; instance-validation failures otherwise.
+/// A `SolveStatus::Infeasible` outcome is *not* an error — it reports
+/// that the restricted problem has no solution (a from-scratch solve
+/// might).
+pub fn install_policies(
+    instance: &Instance,
+    placement: &Placement,
+    additions: Vec<(EntryPortId, Policy, Vec<Route>)>,
+    options: &PlacementOptions,
+    objective: Objective,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    for (l, _, _) in &additions {
+        if instance.policy(*l).is_some() {
+            return Err(IncrementalError::BadIngress(*l));
+        }
+    }
+    let mut new_routes = RouteSet::new();
+    let mut new_policies = Vec::new();
+    for (l, q, rs) in additions {
+        new_policies.push((l, q));
+        new_routes.extend(rs);
+    }
+    let sub = sub_instance(instance, placement, new_policies.clone(), new_routes.clone())?;
+    let outcome = RulePlacer::new(options.clone())
+        .place(&sub, objective)
+        .expect("placement is infallible");
+
+    // Merge updated inputs into a full instance.
+    let mut all_routes = instance.routes().clone();
+    all_routes.extend(new_routes.iter().cloned());
+    let mut all_policies: Vec<(EntryPortId, Policy)> = instance
+        .policies()
+        .map(|(l, q)| (l, q.clone()))
+        .collect();
+    all_policies.extend(new_policies);
+    let merged_instance = Instance::new(
+        instance.topology().clone(),
+        all_routes,
+        all_policies,
+    )?;
+
+    let placement = outcome.placement.map(|sub_placement| {
+        let mut full = placement.clone();
+        full.absorb(sub_placement);
+        full
+    });
+    Ok(IncrementalOutcome {
+        instance: merged_instance,
+        placement,
+        status: outcome.status,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Re-places a single policy after its routes changed (§IV-E "Routing
+/// Policy Change" / Experiment 5 part 2): the old placement of `ingress`
+/// is discarded, all other placements stay frozen, and the policy is
+/// re-solved against the spare capacity on its new routes.
+///
+/// # Errors
+///
+/// [`IncrementalError::BadIngress`] if `ingress` has no policy;
+/// instance-validation failures otherwise.
+pub fn reroute_policy(
+    instance: &Instance,
+    placement: &Placement,
+    ingress: EntryPortId,
+    new_routes: Vec<Route>,
+    options: &PlacementOptions,
+    objective: Objective,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    let Some(policy) = instance.policy(ingress).cloned() else {
+        return Err(IncrementalError::BadIngress(ingress));
+    };
+    // Freeze everything except this ingress.
+    let mut frozen = placement.clone();
+    frozen.remove_ingress(ingress);
+
+    let sub_routes: RouteSet = new_routes.iter().cloned().collect();
+    let sub = sub_instance(
+        instance,
+        &frozen,
+        vec![(ingress, policy)],
+        sub_routes,
+    )?;
+    let outcome = RulePlacer::new(options.clone())
+        .place(&sub, objective)
+        .expect("placement is infallible");
+
+    // Updated full route set: drop this ingress's old routes, add new.
+    let mut all_routes = RouteSet::new();
+    for r in instance.routes().iter() {
+        if r.ingress != ingress {
+            all_routes.push(r.clone());
+        }
+    }
+    all_routes.extend(new_routes);
+    let merged_instance = instance.with_routes(all_routes)?;
+
+    let placement = outcome.placement.map(|sub_placement| {
+        let mut full = frozen;
+        full.absorb(sub_placement);
+        full
+    });
+    Ok(IncrementalOutcome {
+        instance: merged_instance,
+        placement,
+        status: outcome.status,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Adds one rule to an existing policy and places it with the ingress-
+/// first greedy heuristic against spare capacity (§IV-E small-scale
+/// update). Existing placements are untouched; the new rule's PERMIT
+/// shields are co-placed where needed.
+///
+/// Returns `SolveStatus::Infeasible` (with `placement: None`) when the
+/// greedy heuristic cannot fit the rule — the caller should escalate to
+/// [`reroute_policy`]-style sub-solving or a full re-solve.
+///
+/// # Errors
+///
+/// [`IncrementalError::BadIngress`] if `ingress` has no policy;
+/// policy/instance validation failures otherwise.
+pub fn add_rule_greedy(
+    instance: &Instance,
+    placement: &Placement,
+    ingress: EntryPortId,
+    rule: Rule,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    let Some(policy) = instance.policy(ingress) else {
+        return Err(IncrementalError::BadIngress(ingress));
+    };
+    let new_policy = policy
+        .with_rule(rule)
+        .map_err(|_| IncrementalError::BadIngress(ingress))?;
+    // Index of the new rule in the updated priority order.
+    let new_id = new_policy
+        .iter()
+        .find(|(_, r)| **r == rule)
+        .map(|(id, _)| id)
+        .expect("rule was just inserted");
+
+    let mut policies: Vec<(EntryPortId, Policy)> = instance
+        .policies()
+        .map(|(l, q)| (l, q.clone()))
+        .collect();
+    for (l, q) in &mut policies {
+        if *l == ingress {
+            *q = new_policy.clone();
+        }
+    }
+    let updated = Instance::new(
+        instance.topology().clone(),
+        instance.routes().clone(),
+        policies,
+    )?;
+
+    // Re-index this ingress's placement entries: rule ids at or above the
+    // insertion point shift by one.
+    let mut shifted = Placement::new();
+    for (&(l, r), switches) in placement.iter() {
+        let nr = if l == ingress && r.0 >= new_id.0 {
+            RuleId(r.0 + 1)
+        } else {
+            r
+        };
+        for &s in switches {
+            shifted.place(l, nr, s);
+        }
+    }
+    for g in placement.merge_groups() {
+        let mut g = g.clone();
+        for (l, r) in &mut g.members {
+            if *l == ingress && r.0 >= new_id.0 {
+                *r = RuleId(r.0 + 1);
+            }
+        }
+        shifted.record_merge(g);
+    }
+
+    let mut remaining = spare_capacities(&updated, &shifted);
+    let mut result = shifted.clone();
+    let status = if rule.action().is_drop() {
+        match greedy::place_policy(&updated, ingress, &mut remaining, &mut result, Some(new_id))
+        {
+            Some(()) => SolveStatus::Feasible,
+            None => SolveStatus::Infeasible,
+        }
+    } else {
+        // A new PERMIT rule must shield every already-placed overlapping
+        // lower-priority DROP; co-place it on those switches.
+        let graph = crate::depgraph::DependencyGraph::build(&new_policy);
+        let mut needed: Vec<flowplace_topo::SwitchId> = Vec::new();
+        for (w, r) in new_policy.iter() {
+            if r.action().is_drop() && graph.permits_required_by(w).contains(&new_id) {
+                needed.extend(result.switches_of(ingress, w).iter().copied());
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let mut ok = true;
+        for s in needed {
+            if result.is_placed(ingress, new_id, s) {
+                continue;
+            }
+            if remaining[s.0] == 0 {
+                ok = false;
+                break;
+            }
+            remaining[s.0] -= 1;
+            result.place(ingress, new_id, s);
+        }
+        if ok {
+            SolveStatus::Feasible
+        } else {
+            SolveStatus::Infeasible
+        }
+    };
+
+    let placement = if status == SolveStatus::Feasible {
+        Some(result)
+    } else {
+        None
+    };
+    Ok(IncrementalOutcome {
+        instance: updated,
+        placement,
+        status,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Removes one rule from a policy and from the deployed placement
+/// (§IV-E: "rule deletion is relatively easy"). Existing placements of
+/// other rules are untouched; freed capacity becomes spare. Merge groups
+/// containing the rule are dissolved (remaining members keep their own
+/// entries, which never exceeds capacity since the shared entry already
+/// accounted one slot and members were placed individually in the
+/// placement map).
+///
+/// # Errors
+///
+/// [`IncrementalError::BadIngress`] if `ingress` has no policy or `rule`
+/// is out of range.
+pub fn remove_rule(
+    instance: &Instance,
+    placement: &Placement,
+    ingress: EntryPortId,
+    rule: RuleId,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    let Some(policy) = instance.policy(ingress) else {
+        return Err(IncrementalError::BadIngress(ingress));
+    };
+    if rule.0 >= policy.len() {
+        return Err(IncrementalError::BadIngress(ingress));
+    }
+    let new_policy = policy.without_rule(rule);
+    let mut policies: Vec<(EntryPortId, Policy)> = instance
+        .policies()
+        .map(|(l, q)| (l, q.clone()))
+        .collect();
+    for (l, q) in &mut policies {
+        if *l == ingress {
+            *q = new_policy.clone();
+        }
+    }
+    let updated = Instance::new(
+        instance.topology().clone(),
+        instance.routes().clone(),
+        policies,
+    )?;
+
+    // Shift this ingress's rule ids above the removal point down by one
+    // and drop the removed rule's entries.
+    let mut shifted = Placement::new();
+    for (&(l, r), switches) in placement.iter() {
+        if l == ingress && r == rule {
+            continue;
+        }
+        let nr = if l == ingress && r.0 > rule.0 {
+            RuleId(r.0 - 1)
+        } else {
+            r
+        };
+        for &s in switches {
+            shifted.place(l, nr, s);
+        }
+    }
+    for g in placement.merge_groups() {
+        if g.members.iter().any(|&(l, r)| l == ingress && r == rule) {
+            continue; // dissolve groups containing the removed rule
+        }
+        let mut g = g.clone();
+        for (l, r) in &mut g.members {
+            if *l == ingress && r.0 > rule.0 {
+                *r = RuleId(r.0 - 1);
+            }
+        }
+        shifted.record_merge(g);
+    }
+    Ok(IncrementalOutcome {
+        instance: updated,
+        placement: Some(shifted),
+        status: SolveStatus::Feasible,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Replaces one rule of a policy — modeled, as the paper suggests, as a
+/// deletion followed by an insertion placed by the greedy heuristic.
+///
+/// # Errors
+///
+/// Same as [`remove_rule`] / [`add_rule_greedy`].
+pub fn modify_rule(
+    instance: &Instance,
+    placement: &Placement,
+    ingress: EntryPortId,
+    rule: RuleId,
+    replacement: Rule,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    let removed = remove_rule(instance, placement, ingress, rule)?;
+    let mid_placement = removed.placement.expect("removal always succeeds");
+    let mut added = add_rule_greedy(&removed.instance, &mid_placement, ingress, replacement)?;
+    added.elapsed = start.elapsed();
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_placement;
+    use flowplace_acl::{Action, Ternary};
+    use flowplace_topo::{SwitchId, Topology};
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    /// Star topology: two leaf ingresses, hub, one egress leaf.
+    fn base() -> (Instance, Placement) {
+        let mut topo = Topology::star(3);
+        topo.set_uniform_capacity(6);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(2),
+            vec![SwitchId(1), SwitchId(0), SwitchId(3)],
+        ));
+        let q0 = Policy::from_ordered(vec![
+            (t("11**"), Action::Permit),
+            (t("1***"), Action::Drop),
+        ])
+        .unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), q0)]).unwrap();
+        let placement = RulePlacer::new(PlacementOptions::default())
+            .place(&inst, Objective::TotalRules)
+            .unwrap()
+            .placement
+            .unwrap();
+        (inst, placement)
+    }
+
+    #[test]
+    fn spare_capacity_accounts_for_load() {
+        let (inst, p) = base();
+        let spare = spare_capacities(&inst, &p);
+        let total_spare: usize = spare.iter().sum();
+        assert_eq!(total_spare, 4 * 6 - p.total_rules());
+    }
+
+    #[test]
+    fn install_policy_on_new_ingress() {
+        let (inst, p) = base();
+        let q1 = Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
+        let route = Route::new(
+            EntryPortId(1),
+            EntryPortId(2),
+            vec![SwitchId(2), SwitchId(0), SwitchId(3)],
+        );
+        let out = install_policies(
+            &inst,
+            &p,
+            vec![(EntryPortId(1), q1, vec![route])],
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let full = out.placement.unwrap();
+        verify_placement(&out.instance, &full, 64, 1).expect("combined placement correct");
+        assert!(full.total_rules() > p.total_rules());
+    }
+
+    #[test]
+    fn install_rejects_existing_ingress() {
+        let (inst, p) = base();
+        let q = Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
+        let e = install_policies(
+            &inst,
+            &p,
+            vec![(EntryPortId(0), q, vec![])],
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap_err();
+        assert_eq!(e, IncrementalError::BadIngress(EntryPortId(0)));
+    }
+
+    #[test]
+    fn install_infeasible_when_no_spare() {
+        let (mut inst, _) = base();
+        // Shrink capacities to zero spare.
+        let mut topo = inst.topology().clone();
+        topo.set_uniform_capacity(0);
+        inst = Instance::new(
+            topo,
+            inst.routes().clone(),
+            inst.policies().map(|(l, q)| (l, q.clone())).collect(),
+        )
+        .unwrap();
+        let q1 = Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
+        let route = Route::new(
+            EntryPortId(1),
+            EntryPortId(2),
+            vec![SwitchId(2), SwitchId(0), SwitchId(3)],
+        );
+        let out = install_policies(
+            &inst,
+            &Placement::new(),
+            vec![(EntryPortId(1), q1, vec![route])],
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+        assert!(out.placement.is_none());
+    }
+
+    #[test]
+    fn reroute_policy_moves_rules() {
+        let (inst, p) = base();
+        // New route through the other leaf (switch 2).
+        let new_route = Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(1), SwitchId(0), SwitchId(2)],
+        );
+        let out = reroute_policy(
+            &inst,
+            &p,
+            EntryPortId(0),
+            vec![new_route],
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let full = out.placement.unwrap();
+        verify_placement(&out.instance, &full, 64, 2).expect("rerouted placement correct");
+    }
+
+    #[test]
+    fn add_drop_rule_greedily() {
+        let (inst, p) = base();
+        let out = add_rule_greedy(
+            &inst,
+            &p,
+            EntryPortId(0),
+            Rule::new(t("00**"), Action::Drop, 0),
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Feasible);
+        let full = out.placement.unwrap();
+        verify_placement(&out.instance, &full, 64, 3).expect("rule added correctly");
+    }
+
+    #[test]
+    fn add_permit_rule_shields_existing_drops() {
+        let (inst, p) = base();
+        // New top-priority PERMIT overlapping the existing DROP 1***.
+        let top = inst.policy(EntryPortId(0)).unwrap().rules()[0].priority() + 1;
+        let out = add_rule_greedy(
+            &inst,
+            &p,
+            EntryPortId(0),
+            Rule::new(t("10**"), Action::Permit, top),
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Feasible);
+        let full = out.placement.unwrap();
+        verify_placement(&out.instance, &full, 64, 4).expect("permit shields correctly");
+    }
+
+    #[test]
+    fn remove_rule_frees_capacity_and_stays_correct() {
+        let (inst, p) = base();
+        let before = p.total_rules();
+        // Remove the DROP (rule 1): its PERMIT shield (rule 0) becomes
+        // removable by a later redundancy pass, but placement-wise only
+        // the drop's entries disappear now.
+        let out = remove_rule(&inst, &p, EntryPortId(0), RuleId(1)).unwrap();
+        let q = out.placement.unwrap();
+        assert!(q.total_rules() < before);
+        verify_placement(&out.instance, &q, 64, 7).expect("still correct");
+        assert_eq!(out.instance.policy(EntryPortId(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_rule_bad_ids_rejected() {
+        let (inst, p) = base();
+        assert!(remove_rule(&inst, &p, EntryPortId(3), RuleId(0)).is_err());
+        assert!(remove_rule(&inst, &p, EntryPortId(0), RuleId(9)).is_err());
+    }
+
+    #[test]
+    fn modify_rule_swaps_semantics() {
+        let (inst, p) = base();
+        // Narrow the DROP from 1*** to 10**.
+        let prio = inst.policy(EntryPortId(0)).unwrap().rule(RuleId(1)).priority();
+        let out = modify_rule(
+            &inst,
+            &p,
+            EntryPortId(0),
+            RuleId(1),
+            Rule::new(t("10**"), Action::Drop, prio),
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Feasible);
+        let q = out.placement.unwrap();
+        verify_placement(&out.instance, &q, 64, 8).expect("modified policy deployed");
+        // 11** packets are now permitted end to end.
+        let tables = crate::tables::emit_tables(&out.instance, &q).unwrap();
+        let route = out.instance.routes().route(flowplace_routing::RouteId(0));
+        let pkt = flowplace_acl::Packet::from_bits(0b1100, 4);
+        assert_eq!(
+            crate::verify::evaluate_route(&tables, route, &pkt),
+            Action::Permit
+        );
+    }
+
+    #[test]
+    fn add_rule_infeasible_with_no_capacity() {
+        let (inst, p) = base();
+        // Exhaust capacity.
+        let mut topo = inst.topology().clone();
+        let load = p.per_switch_load(&inst);
+        for (i, l) in load.iter().enumerate() {
+            topo.set_capacity(SwitchId(i), *l);
+        }
+        let inst = Instance::new(
+            topo,
+            inst.routes().clone(),
+            inst.policies().map(|(l, q)| (l, q.clone())).collect(),
+        )
+        .unwrap();
+        let out = add_rule_greedy(
+            &inst,
+            &p,
+            EntryPortId(0),
+            Rule::new(t("00**"), Action::Drop, 0),
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+    }
+}

@@ -1,0 +1,255 @@
+//! The rule-placement problem instance: `(N, P, Q)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flowplace_acl::Policy;
+use flowplace_routing::RouteSet;
+use flowplace_topo::{EntryPortId, SwitchId, Topology};
+
+/// Error constructing an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A policy references an entry port the topology does not have.
+    UnknownIngress(EntryPortId),
+    /// A route's ingress has no policy attached.
+    RouteWithoutPolicy(EntryPortId),
+    /// A route visits a switch the topology does not have.
+    UnknownSwitch(SwitchId),
+    /// Two policies use different match-field widths.
+    MixedWidths {
+        /// Width of the first nonempty policy seen.
+        expected: u32,
+        /// The conflicting width.
+        found: u32,
+    },
+    /// The same ingress was given two policies.
+    DuplicatePolicy(EntryPortId),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::UnknownIngress(l) => write!(f, "unknown ingress {l}"),
+            InstanceError::RouteWithoutPolicy(l) => {
+                write!(f, "route from {l} has no policy attached")
+            }
+            InstanceError::UnknownSwitch(s) => write!(f, "route visits unknown switch {s}"),
+            InstanceError::MixedWidths { expected, found } => {
+                write!(f, "policies use mixed widths: {expected} vs {found}")
+            }
+            InstanceError::DuplicatePolicy(l) => write!(f, "two policies for ingress {l}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A complete rule-placement problem: the network `N` (switches with
+/// capacities), the routing `P` (paths per ingress), and the distributed
+/// firewall `{Q_i}` (one prioritized policy per ingress).
+///
+/// Construct with [`Instance::new`], which validates cross-references.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    topology: Topology,
+    routes: RouteSet,
+    policies: BTreeMap<EntryPortId, Policy>,
+}
+
+impl Instance {
+    /// Builds and validates an instance.
+    ///
+    /// Every route's ingress must carry a policy; ingresses and switches
+    /// must exist; all nonempty policies must share one match width.
+    /// Policies for ingresses without routes are allowed (they simply
+    /// place no rules).
+    ///
+    /// # Errors
+    ///
+    /// See [`InstanceError`].
+    pub fn new(
+        topology: Topology,
+        routes: RouteSet,
+        policies: Vec<(EntryPortId, Policy)>,
+    ) -> Result<Self, InstanceError> {
+        let mut map = BTreeMap::new();
+        let mut width: Option<u32> = None;
+        for (l, q) in policies {
+            if l.0 >= topology.entry_port_count() {
+                return Err(InstanceError::UnknownIngress(l));
+            }
+            if !q.is_empty() {
+                match width {
+                    None => width = Some(q.width()),
+                    Some(w) if w != q.width() => {
+                        return Err(InstanceError::MixedWidths {
+                            expected: w,
+                            found: q.width(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            if map.insert(l, q).is_some() {
+                return Err(InstanceError::DuplicatePolicy(l));
+            }
+        }
+        for route in routes.iter() {
+            if !map.contains_key(&route.ingress) {
+                return Err(InstanceError::RouteWithoutPolicy(route.ingress));
+            }
+            for &s in &route.switches {
+                if s.0 >= topology.switch_count() {
+                    return Err(InstanceError::UnknownSwitch(s));
+                }
+            }
+        }
+        Ok(Instance {
+            topology,
+            routes,
+            policies: map,
+        })
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The routing input.
+    pub fn routes(&self) -> &RouteSet {
+        &self.routes
+    }
+
+    /// The policy attached to an ingress, if any.
+    pub fn policy(&self, ingress: EntryPortId) -> Option<&Policy> {
+        self.policies.get(&ingress)
+    }
+
+    /// Iterates over `(ingress, policy)` pairs in ingress order.
+    pub fn policies(&self) -> impl Iterator<Item = (EntryPortId, &Policy)> {
+        self.policies.iter().map(|(l, q)| (*l, q))
+    }
+
+    /// Number of attached policies.
+    pub fn policy_count(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Total rules across all policies (the paper's quantity `A`, against
+    /// which duplication overhead is measured).
+    pub fn total_policy_rules(&self) -> usize {
+        self.policies.values().map(Policy::len).sum()
+    }
+
+    /// Replaces the route set (used by incremental deployment when routes
+    /// change). The new routes are validated against existing policies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Instance::new`].
+    pub fn with_routes(&self, routes: RouteSet) -> Result<Instance, InstanceError> {
+        Instance::new(
+            self.topology.clone(),
+            routes,
+            self.policies
+                .iter()
+                .map(|(l, q)| (*l, q.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instance: {} switches, {} routes, {} policies, {} rules",
+            self.topology.switch_count(),
+            self.routes.len(),
+            self.policies.len(),
+            self.total_policy_rules()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Ternary};
+    use flowplace_routing::Route;
+
+    fn policy() -> Policy {
+        Policy::from_ordered(vec![(Ternary::parse("1*").unwrap(), Action::Drop)]).unwrap()
+    }
+
+    #[test]
+    fn valid_instance() {
+        let topo = Topology::linear(3);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0), SwitchId(1), SwitchId(2)],
+        ));
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy())]).unwrap();
+        assert_eq!(inst.policy_count(), 1);
+        assert_eq!(inst.total_policy_rules(), 1);
+        assert!(inst.policy(EntryPortId(0)).is_some());
+        assert!(inst.policy(EntryPortId(1)).is_none());
+    }
+
+    #[test]
+    fn route_without_policy_rejected() {
+        let topo = Topology::linear(3);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(2)]));
+        let e = Instance::new(topo, routes, vec![(EntryPortId(0), policy())]).unwrap_err();
+        assert_eq!(e, InstanceError::RouteWithoutPolicy(EntryPortId(1)));
+    }
+
+    #[test]
+    fn unknown_ingress_rejected() {
+        let topo = Topology::linear(2);
+        let e = Instance::new(topo, RouteSet::new(), vec![(EntryPortId(9), policy())])
+            .unwrap_err();
+        assert_eq!(e, InstanceError::UnknownIngress(EntryPortId(9)));
+    }
+
+    #[test]
+    fn unknown_switch_rejected() {
+        let topo = Topology::linear(2);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(9)]));
+        let e = Instance::new(topo, routes, vec![(EntryPortId(0), policy())]).unwrap_err();
+        assert_eq!(e, InstanceError::UnknownSwitch(SwitchId(9)));
+    }
+
+    #[test]
+    fn duplicate_policy_rejected() {
+        let topo = Topology::linear(2);
+        let e = Instance::new(
+            topo,
+            RouteSet::new(),
+            vec![(EntryPortId(0), policy()), (EntryPortId(0), policy())],
+        )
+        .unwrap_err();
+        assert_eq!(e, InstanceError::DuplicatePolicy(EntryPortId(0)));
+    }
+
+    #[test]
+    fn mixed_width_rejected() {
+        let topo = Topology::linear(2);
+        let wide =
+            Policy::from_ordered(vec![(Ternary::parse("1***").unwrap(), Action::Drop)])
+                .unwrap();
+        let e = Instance::new(
+            topo,
+            RouteSet::new(),
+            vec![(EntryPortId(0), policy()), (EntryPortId(1), wide)],
+        )
+        .unwrap_err();
+        assert!(matches!(e, InstanceError::MixedWidths { .. }));
+    }
+}

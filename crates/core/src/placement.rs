@@ -1,0 +1,414 @@
+//! Placements and the high-level placement facade.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use flowplace_acl::RuleId;
+use flowplace_milp::{solve_mip_lazy, MipOptions, MipStatus};
+use flowplace_topo::{EntryPortId, SwitchId};
+
+use crate::candidates::build_candidates;
+use crate::encode_ilp::{EncodeOptions, IlpEncoding, MergeLinking};
+use crate::encode_sat::SatEncoding;
+use crate::monitor::{restrict_candidates, MonitorRequirement};
+use crate::greedy;
+use crate::merge::MergeGroup;
+use crate::{Instance, Objective};
+
+pub use crate::encode_ilp::DependencyEncoding;
+
+
+/// A solved mapping from rules to switches.
+///
+/// `(ingress, rule) → {switches}`, plus the merge groups realized (each
+/// merged group occupies a single shared TCAM entry on its switch).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Placement {
+    placed: BTreeMap<(EntryPortId, RuleId), BTreeSet<SwitchId>>,
+    merged: Vec<MergeGroup>,
+}
+
+impl Placement {
+    /// An empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Records rule `rule` of `ingress` on switch `s`.
+    pub fn place(&mut self, ingress: EntryPortId, rule: RuleId, s: SwitchId) {
+        self.placed.entry((ingress, rule)).or_default().insert(s);
+    }
+
+    /// Records that a merge group is realized (all members placed on its
+    /// switch and sharing one entry).
+    pub fn record_merge(&mut self, group: MergeGroup) {
+        self.merged.push(group);
+    }
+
+    /// The switches a rule is placed on (empty if unplaced).
+    pub fn switches_of(&self, ingress: EntryPortId, rule: RuleId) -> &BTreeSet<SwitchId> {
+        static EMPTY: BTreeSet<SwitchId> = BTreeSet::new();
+        self.placed.get(&(ingress, rule)).unwrap_or(&EMPTY)
+    }
+
+    /// True if the rule is placed on the switch.
+    pub fn is_placed(&self, ingress: EntryPortId, rule: RuleId, s: SwitchId) -> bool {
+        self.switches_of(ingress, rule).contains(&s)
+    }
+
+    /// Iterates over `((ingress, rule), switches)` entries.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (&(EntryPortId, RuleId), &BTreeSet<SwitchId>)> {
+        self.placed.iter()
+    }
+
+    /// The realized merge groups.
+    pub fn merge_groups(&self) -> &[MergeGroup] {
+        &self.merged
+    }
+
+    /// Total TCAM entries consumed network-wide: every `(rule, switch)`
+    /// pair counts one, except merged groups which share a single entry
+    /// (the paper's quantity `B`).
+    pub fn total_rules(&self) -> usize {
+        let raw: usize = self.placed.values().map(BTreeSet::len).sum();
+        let saved: usize = self.merged.iter().map(|g| g.members.len() - 1).sum();
+        raw - saved
+    }
+
+    /// TCAM entries consumed on each switch of `instance`'s topology.
+    pub fn per_switch_load(&self, instance: &Instance) -> Vec<usize> {
+        let mut load = vec![0usize; instance.topology().switch_count()];
+        for ((_, _), switches) in &self.placed {
+            for s in switches {
+                load[s.0] += 1;
+            }
+        }
+        for g in &self.merged {
+            load[g.switch.0] -= g.members.len() - 1;
+        }
+        load
+    }
+
+    /// Duplication overhead `(B − A)/A` (§V Experiment 3): how many more
+    /// entries the network holds compared to the sum of policy sizes `A`.
+    /// Negative values mean merging saved more than duplication cost.
+    pub fn duplication_overhead(&self, instance: &Instance) -> f64 {
+        let a = instance.total_policy_rules() as f64;
+        if a == 0.0 {
+            return 0.0;
+        }
+        (self.total_rules() as f64 - a) / a
+    }
+
+    /// Removes every entry of one ingress policy (used when its routes
+    /// change). Merge groups containing the ingress are dissolved (their
+    /// remaining members keep individual entries).
+    pub fn remove_ingress(&mut self, ingress: EntryPortId) {
+        self.placed.retain(|(l, _), _| *l != ingress);
+        self.merged.retain(|g| {
+            g.members.iter().all(|(l, _)| *l != ingress)
+        });
+    }
+
+    /// Merges another placement into this one (used by incremental
+    /// deployment to graft a sub-solution).
+    pub fn absorb(&mut self, other: Placement) {
+        for ((l, r), switches) in other.placed {
+            self.placed.entry((l, r)).or_default().extend(switches);
+        }
+        self.merged.extend(other.merged);
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "placement: {} entries ({} merge groups)",
+            self.total_rules(),
+            self.merged.len()
+        )
+    }
+}
+
+/// Which engine solves the encoded problem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlacerEngine {
+    /// ILP via branch & bound — optimizes the objective (§IV-A).
+    #[default]
+    Ilp,
+    /// Pseudo-Boolean satisfiability — any feasible placement, no
+    /// objective (§IV-D).
+    Sat,
+}
+
+/// Outcome status of a placement solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveStatus {
+    /// Proven optimal (ILP) — or satisfying, for the SAT engine.
+    Optimal,
+    /// Feasible but optimality not proven (limits hit).
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// Limits hit before any conclusion.
+    Unknown,
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStatus::Optimal => write!(f, "optimal"),
+            SolveStatus::Feasible => write!(f, "feasible"),
+            SolveStatus::Infeasible => write!(f, "infeasible"),
+            SolveStatus::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Model/search statistics of a placement solve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlacementStats {
+    /// Binary placement variables in the model.
+    pub variables: usize,
+    /// Constraint rows (ILP) or clauses+PB constraints (SAT).
+    pub constraints: usize,
+    /// Branch-and-bound nodes (ILP) or conflicts (SAT).
+    pub nodes: usize,
+    /// LP simplex iterations (ILP only).
+    pub lp_iterations: usize,
+    /// Lazy dependency rows generated (ILP lazy mode only).
+    pub lazy_rows: usize,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+}
+
+/// The result of [`RulePlacer::place`].
+#[derive(Clone, Debug)]
+pub struct PlacementOutcome {
+    /// The placement, when one was found.
+    pub placement: Option<Placement>,
+    /// Solve status.
+    pub status: SolveStatus,
+    /// Objective value of the returned placement (ILP engine).
+    pub objective: Option<f64>,
+    /// Model and search statistics.
+    pub stats: PlacementStats,
+}
+
+/// Options for [`RulePlacer`].
+#[derive(Clone, Debug, Default)]
+pub struct PlacementOptions {
+    /// Engine selection (ILP optimizing, or SAT feasibility-only).
+    pub engine: PlacerEngine,
+    /// Dependency-row strategy for the ILP engine.
+    pub dependency: DependencyEncoding,
+    /// Enable cross-policy rule merging (Eq. 4–5).
+    pub merging: bool,
+    /// Merge-variable linking strategy (ILP engine).
+    pub merge_linking: MergeLinking,
+    /// Seed the ILP incumbent with the ingress-first greedy heuristic.
+    pub greedy_warm_start: bool,
+    /// Monitoring requirements: DROP rules overlapping a monitored flow
+    /// may not be placed upstream of the monitor (§VII future work,
+    /// implemented in [`crate::monitor`]).
+    pub monitors: Vec<MonitorRequirement>,
+    /// Branch-and-bound options (time/node limits, tolerances).
+    pub mip: MipOptions,
+}
+
+/// High-level facade: encode, solve, decode.
+///
+/// See the crate-level example.
+#[derive(Clone, Debug, Default)]
+pub struct RulePlacer {
+    options: PlacementOptions,
+}
+
+/// Error from [`RulePlacer::place`]. Currently placement never fails with
+/// an error (infeasibility is a status), but the signature leaves room
+/// for instance-validation failures in future extensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        unreachable!("PlaceError has no variants")
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl RulePlacer {
+    /// Creates a placer with the given options.
+    pub fn new(options: PlacementOptions) -> Self {
+        RulePlacer { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &PlacementOptions {
+        &self.options
+    }
+
+    /// Solves the placement problem for `instance` minimizing `objective`
+    /// (the SAT engine ignores the objective and returns any feasible
+    /// placement).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (see [`PlaceError`]); infeasibility is reported
+    /// via [`PlacementOutcome::status`].
+    pub fn place(
+        &self,
+        instance: &Instance,
+        objective: Objective,
+    ) -> Result<PlacementOutcome, PlaceError> {
+        match self.options.engine {
+            PlacerEngine::Ilp => Ok(self.place_ilp(instance, &objective)),
+            PlacerEngine::Sat => Ok(self.place_sat(instance)),
+        }
+    }
+
+    fn place_ilp(&self, instance: &Instance, objective: &Objective) -> PlacementOutcome {
+        let start = Instant::now();
+        let mut candidates = build_candidates(instance);
+        restrict_candidates(instance, &mut candidates, &self.options.monitors);
+        let enc = IlpEncoding::build_with_candidates(
+            instance,
+            objective,
+            &EncodeOptions {
+                dependency: self.options.dependency,
+                merging: self.options.merging,
+                merge_linking: self.options.merge_linking,
+            },
+            &candidates,
+        );
+        let mut mip = self.options.mip.clone();
+        if self.options.greedy_warm_start && self.options.monitors.is_empty() {
+            // The greedy heuristic is monitor-oblivious; only use it as a
+            // warm start when no monitors constrain placement.
+            if let Some(p) = greedy::greedy_place(instance) {
+                mip.initial_solution = enc.warm_start(&p);
+            }
+        }
+        let lazy = self.options.dependency == DependencyEncoding::Lazy;
+        let out = solve_mip_lazy(&enc.model, &mip, &mut |vals| {
+            if lazy {
+                enc.violated_dependencies(vals)
+            } else {
+                Vec::new()
+            }
+        });
+        let status = match out.status {
+            MipStatus::Optimal => SolveStatus::Optimal,
+            MipStatus::Feasible => SolveStatus::Feasible,
+            MipStatus::Infeasible => SolveStatus::Infeasible,
+            MipStatus::Unknown => SolveStatus::Unknown,
+        };
+        let placement = out.best.as_ref().map(|b| enc.decode(&b.values));
+        PlacementOutcome {
+            placement,
+            status,
+            objective: out.best.as_ref().map(|b| b.objective),
+            stats: PlacementStats {
+                variables: enc.num_placement_vars,
+                constraints: enc.model.num_constraints(),
+                nodes: out.nodes,
+                lp_iterations: out.lp_iterations,
+                lazy_rows: out.lazy_rows_added,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+
+    fn place_sat(&self, instance: &Instance) -> PlacementOutcome {
+        let start = Instant::now();
+        let mut candidates = build_candidates(instance);
+        restrict_candidates(instance, &mut candidates, &self.options.monitors);
+        let mut enc =
+            SatEncoding::build_with_candidates(instance, self.options.merging, &candidates);
+        let (placement, status) = match enc.solve() {
+            Some(p) => (Some(p), SolveStatus::Optimal),
+            None => (None, SolveStatus::Infeasible),
+        };
+        PlacementOutcome {
+            placement,
+            status,
+            objective: None,
+            stats: PlacementStats {
+                variables: enc.num_placement_vars(),
+                constraints: enc.constraint_count(),
+                nodes: enc.conflicts() as usize,
+                lp_iterations: 0,
+                lazy_rows: 0,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Ternary};
+
+    fn group(switch: usize, n: usize) -> MergeGroup {
+        MergeGroup {
+            switch: SwitchId(switch),
+            match_field: Ternary::parse("1*").unwrap(),
+            action: Action::Drop,
+            members: (0..n).map(|i| (EntryPortId(i), RuleId(0))).collect(),
+        }
+    }
+
+    #[test]
+    fn total_rules_counts_merges_once() {
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        p.place(EntryPortId(1), RuleId(0), SwitchId(1));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(2));
+        assert_eq!(p.total_rules(), 3);
+        p.record_merge(group(1, 2));
+        assert_eq!(p.total_rules(), 2);
+    }
+
+    #[test]
+    fn switches_of_unplaced_is_empty() {
+        let p = Placement::new();
+        assert!(p.switches_of(EntryPortId(0), RuleId(0)).is_empty());
+        assert!(!p.is_placed(EntryPortId(0), RuleId(0), SwitchId(0)));
+    }
+
+    #[test]
+    fn remove_ingress_dissolves_merges() {
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        p.place(EntryPortId(1), RuleId(0), SwitchId(1));
+        p.record_merge(group(1, 2));
+        p.remove_ingress(EntryPortId(0));
+        assert_eq!(p.total_rules(), 1);
+        assert!(p.merge_groups().is_empty());
+    }
+
+    #[test]
+    fn absorb_unions() {
+        let mut a = Placement::new();
+        a.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        let mut b = Placement::new();
+        b.place(EntryPortId(0), RuleId(0), SwitchId(2));
+        b.place(EntryPortId(1), RuleId(0), SwitchId(1));
+        a.absorb(b);
+        assert_eq!(a.total_rules(), 3);
+        assert!(a.is_placed(EntryPortId(0), RuleId(0), SwitchId(2)));
+    }
+
+    #[test]
+    fn display_mentions_entries() {
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        assert!(p.to_string().contains("1 entries"));
+    }
+}

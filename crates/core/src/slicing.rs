@@ -1,0 +1,85 @@
+//! Path-sliced policy rules (§IV-C of the paper).
+//!
+//! When a route carries a flow descriptor (the set of packets the routing
+//! module actually sends along it), only the policy rules whose match
+//! fields overlap that flow need to be placed on the route — the paper's
+//! Figure 6 optimization. Routes without a descriptor conservatively keep
+//! the whole policy.
+
+use flowplace_acl::{Policy, RuleId};
+use flowplace_routing::Route;
+
+/// The rules of `policy` that must be considered for `route`: all rules if
+/// the route has no flow descriptor, otherwise exactly those whose match
+/// field intersects the flow.
+///
+/// Returned ascending by rule id (i.e. descending priority).
+pub fn sliced_rules(policy: &Policy, route: &Route) -> Vec<RuleId> {
+    match &route.flow {
+        None => policy.iter().map(|(id, _)| id).collect(),
+        Some(flow) => policy
+            .iter()
+            .filter(|(_, r)| r.match_field().intersects(flow))
+            .map(|(id, _)| id)
+            .collect(),
+    }
+}
+
+/// The DROP rules of `policy` that must be covered on `route`
+/// (the sliced subset of [`Policy::drop_rules`]).
+pub fn sliced_drop_rules(policy: &Policy, route: &Route) -> Vec<RuleId> {
+    sliced_rules(policy, route)
+        .into_iter()
+        .filter(|id| policy.rule(*id).action().is_drop())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Ternary};
+    use flowplace_routing::Route;
+    use flowplace_topo::{EntryPortId, SwitchId};
+
+    fn pol() -> Policy {
+        // Mirrors Figure 6: dst in the low two bits.
+        Policy::from_ordered(vec![
+            (Ternary::parse("1*01").unwrap(), Action::Drop),   // dst 01 only
+            (Ternary::parse("1*10").unwrap(), Action::Drop),   // dst 10 only
+            (Ternary::parse("0***").unwrap(), Action::Permit), // both
+        ])
+        .unwrap()
+    }
+
+    fn route(flow: Option<&str>) -> Route {
+        let mut r = Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]);
+        if let Some(f) = flow {
+            r = r.with_flow(Ternary::parse(f).unwrap());
+        }
+        r
+    }
+
+    #[test]
+    fn no_flow_keeps_everything() {
+        let p = pol();
+        let ids = sliced_rules(&p, &route(None));
+        assert_eq!(ids, vec![RuleId(0), RuleId(1), RuleId(2)]);
+    }
+
+    #[test]
+    fn flow_filters_disjoint_rules() {
+        let p = pol();
+        // Route carries only dst=01 packets.
+        let ids = sliced_rules(&p, &route(Some("**01")));
+        assert_eq!(ids, vec![RuleId(0), RuleId(2)]);
+        let other = sliced_rules(&p, &route(Some("**10")));
+        assert_eq!(other, vec![RuleId(1), RuleId(2)]);
+    }
+
+    #[test]
+    fn sliced_drops_only() {
+        let p = pol();
+        let ids = sliced_drop_rules(&p, &route(Some("**01")));
+        assert_eq!(ids, vec![RuleId(0)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Ingress-policy identification via VLAN-style tags (§IV-A5).
+//!
+//! Switches hold rules from many ingress policies; a packet must match
+//! only the rules of the policy attached to the ingress where it entered
+//! the network. The paper's mechanism: the ingress tags each packet (e.g.
+//! in the VLAN field) and the tag participates in every rule's match, so
+//! the per-policy rule spaces are disjoint inside a shared switch. Merged
+//! rules match the *set* of their member tags.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flowplace_topo::EntryPortId;
+
+use crate::Instance;
+
+/// A VLAN tag value (12-bit; 0 and 4095 are reserved by 802.1Q).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VlanTag(pub u16);
+
+/// Highest usable VLAN id.
+pub const MAX_VLAN: u16 = 4094;
+
+impl fmt::Display for VlanTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vlan:{}", self.0)
+    }
+}
+
+/// Error from [`allocate_tags`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagError {
+    /// More policies than usable VLAN values.
+    OutOfTags {
+        /// Policies needing tags.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagError::OutOfTags { needed } => {
+                write!(f, "{needed} policies exceed the {MAX_VLAN} usable VLAN tags")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// Assigns one VLAN tag per ingress policy (1, 2, 3, … in ingress order).
+///
+/// # Errors
+///
+/// Returns [`TagError::OutOfTags`] when the instance has more than
+/// [`MAX_VLAN`] policies.
+pub fn allocate_tags(instance: &Instance) -> Result<BTreeMap<EntryPortId, VlanTag>, TagError> {
+    let needed = instance.policy_count();
+    if needed > MAX_VLAN as usize {
+        return Err(TagError::OutOfTags { needed });
+    }
+    Ok(instance
+        .policies()
+        .enumerate()
+        .map(|(i, (l, _))| (l, VlanTag(i as u16 + 1)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Policy, Ternary};
+    use flowplace_routing::RouteSet;
+    use flowplace_topo::Topology;
+
+    #[test]
+    fn sequential_tags() {
+        let topo = Topology::star(3);
+        let pol = || {
+            Policy::from_ordered(vec![(
+                Ternary::parse("1*").unwrap(),
+                Action::Drop,
+            )])
+            .unwrap()
+        };
+        let inst = Instance::new(
+            topo,
+            RouteSet::new(),
+            vec![(EntryPortId(0), pol()), (EntryPortId(2), pol())],
+        )
+        .unwrap();
+        let tags = allocate_tags(&inst).unwrap();
+        assert_eq!(tags[&EntryPortId(0)], VlanTag(1));
+        assert_eq!(tags[&EntryPortId(2)], VlanTag(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VlanTag(7).to_string(), "vlan:7");
+        let e = TagError::OutOfTags { needed: 9000 };
+        assert!(e.to_string().contains("9000"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Golden-model verification of deployed placements.
+//!
+//! A placement is correct iff for every route and every packet the route
+//! can carry, the deployed switch tables drop the packet exactly when the
+//! ingress policy's first-match decision is DROP. This module replays
+//! packets through the emitted tables along each route and compares with
+//! [`Policy::evaluate`](flowplace_acl::Policy::evaluate) — the executable
+//! form of the paper's semantic-preservation requirement, used throughout
+//! the test suite and available to library users as a deployment check.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flowplace_acl::{Action, Packet, Ternary};
+use flowplace_routing::Route;
+use flowplace_topo::EntryPortId;
+
+use crate::placement::Placement;
+use crate::tables::{emit_tables, SwitchTable, TableError};
+use crate::Instance;
+
+/// A semantic violation found by [`verify_placement`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The ingress whose policy was violated.
+    pub ingress: EntryPortId,
+    /// The offending packet.
+    pub packet: Packet,
+    /// What the policy says should happen.
+    pub expected: Action,
+    /// What the deployed tables actually do.
+    pub actual: Action,
+    /// Human-readable description of the route involved.
+    pub route: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packet {} on {} ({}): policy says {}, deployment does {}",
+            self.packet, self.route, self.ingress, self.expected, self.actual
+        )
+    }
+}
+
+/// Error from [`verify_placement`]: either emission failed or a semantic
+/// violation was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Switch-table emission failed.
+    Table(TableError),
+    /// The deployment disagrees with a policy on some packet.
+    Violation(Violation),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Table(e) => write!(f, "{e}"),
+            VerifyError::Violation(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<TableError> for VerifyError {
+    fn from(e: TableError) -> Self {
+        VerifyError::Table(e)
+    }
+}
+
+/// Walks `packet` along `route` through the deployed `tables`: dropped at
+/// the first switch whose table's first match (for this route's ingress
+/// tag) is a DROP; permitted entries forward to the next hop; matching
+/// nothing forwards too (the ACL default is PERMIT — forwarding is the
+/// routing module's job).
+pub fn evaluate_route(tables: &[SwitchTable], route: &Route, packet: &Packet) -> Action {
+    for &s in &route.switches {
+        match tables[s.0].lookup(route.ingress, packet) {
+            Some(Action::Drop) => return Action::Drop,
+            Some(Action::Permit) | None => {}
+        }
+    }
+    Action::Permit
+}
+
+/// Emits switch tables for `placement` and checks semantic equivalence
+/// with every ingress policy on every route, over a packet set combining
+/// per-rule corners, pairwise rule intersections, and `random_per_route`
+/// seeded random packets (all restricted to the route's flow when path
+/// slicing is in use).
+///
+/// # Errors
+///
+/// The first violation found, or a table-emission failure.
+pub fn verify_placement(
+    instance: &Instance,
+    placement: &Placement,
+    random_per_route: usize,
+    seed: u64,
+) -> Result<(), VerifyError> {
+    let tables = emit_tables(instance, placement)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for route in instance.routes().iter() {
+        let policy = instance
+            .policy(route.ingress)
+            .expect("validated instance has a policy per route");
+        let mut packets: Vec<Packet> = Vec::new();
+        let rules = policy.rules();
+        // Rule corners (restricted to the route's flow).
+        let restrict = |m: &Ternary| -> Option<Ternary> {
+            match &route.flow {
+                None => Some(*m),
+                Some(f) => m.intersection(f),
+            }
+        };
+        for r in rules {
+            if let Some(m) = restrict(r.match_field()) {
+                packets.push(m.sample_packet());
+                packets.push(m.max_packet());
+            }
+        }
+        // Pairwise intersections (the regions where priority matters).
+        for (i, a) in rules.iter().enumerate() {
+            for b in &rules[i + 1..] {
+                if let Some(m) = a.match_field().intersection(b.match_field()) {
+                    if let Some(m) = restrict(&m) {
+                        packets.push(m.sample_packet());
+                        packets.push(m.max_packet());
+                    }
+                }
+            }
+        }
+        // Random packets within the flow.
+        let width = if policy.is_empty() {
+            route.flow.map(|f| f.width()).unwrap_or(4)
+        } else {
+            policy.width()
+        };
+        let wmask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        for _ in 0..random_per_route {
+            let bits: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+            let bits = match &route.flow {
+                None => bits & wmask,
+                Some(f) => (bits & wmask & !f.care()) | f.value(),
+            };
+            packets.push(Packet::from_bits(bits, width));
+        }
+
+        for packet in packets {
+            let expected = policy.evaluate(&packet);
+            let actual = evaluate_route(&tables, route, &packet);
+            if expected != actual {
+                return Err(VerifyError::Violation(Violation {
+                    ingress: route.ingress,
+                    packet,
+                    expected,
+                    actual,
+                    route: route.to_string(),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustive variant of [`verify_placement`]: checks *every* packet of
+/// the policies' match width on every route (restricted to the route's
+/// flow when present). Complete — a passing result is a proof of
+/// semantic preservation — but exponential in width; intended for tests
+/// and small headers.
+///
+/// # Errors
+///
+/// The first violation found, or a table-emission failure.
+///
+/// # Panics
+///
+/// Panics if the match width exceeds 20 bits.
+pub fn verify_placement_exhaustive(
+    instance: &Instance,
+    placement: &Placement,
+) -> Result<(), VerifyError> {
+    let tables = emit_tables(instance, placement)?;
+    for route in instance.routes().iter() {
+        let policy = instance
+            .policy(route.ingress)
+            .expect("validated instance has a policy per route");
+        let width = if policy.is_empty() {
+            route.flow.map(|f| f.width()).unwrap_or(1)
+        } else {
+            policy.width()
+        };
+        assert!(width <= 20, "width {width} too large for exhaustive check");
+        for bits in 0..(1u128 << width) {
+            let packet = Packet::from_bits(bits, width);
+            if let Some(f) = &route.flow {
+                if !f.matches(&packet) {
+                    continue;
+                }
+            }
+            let expected = policy.evaluate(&packet);
+            let actual = evaluate_route(&tables, route, &packet);
+            if expected != actual {
+                return Err(VerifyError::Violation(Violation {
+                    ingress: route.ingress,
+                    packet,
+                    expected,
+                    actual,
+                    route: route.to_string(),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Policy, RuleId};
+    use flowplace_routing::RouteSet;
+    use flowplace_topo::{SwitchId, Topology};
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    fn chain_instance() -> Instance {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0), SwitchId(1), SwitchId(2)],
+        ));
+        let policy = Policy::from_ordered(vec![
+            (t("11**"), Action::Permit),
+            (t("1***"), Action::Drop),
+        ])
+        .unwrap();
+        Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap()
+    }
+
+    #[test]
+    fn correct_placement_verifies() {
+        let inst = chain_instance();
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(1));
+        verify_placement(&inst, &p, 64, 7).expect("placement is correct");
+    }
+
+    #[test]
+    fn missing_drop_detected() {
+        let inst = chain_instance();
+        // Nothing placed: packets matching the DROP are permitted.
+        let e = verify_placement(&inst, &Placement::new(), 0, 7).unwrap_err();
+        match e {
+            VerifyError::Violation(v) => {
+                assert_eq!(v.expected, Action::Drop);
+                assert_eq!(v.actual, Action::Permit);
+            }
+            other => panic!("expected violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_permit_shield_detected() {
+        let inst = chain_instance();
+        // DROP placed without its higher-priority PERMIT: 11** packets
+        // get wrongly dropped.
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(1), SwitchId(1));
+        let e = verify_placement(&inst, &p, 0, 7).unwrap_err();
+        match e {
+            VerifyError::Violation(v) => {
+                assert_eq!(v.expected, Action::Permit);
+                assert_eq!(v.actual, Action::Drop);
+            }
+            other => panic!("expected violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn shield_on_wrong_switch_detected() {
+        let inst = chain_instance();
+        // PERMIT upstream, DROP downstream: the permit does NOT shield
+        // (permits just forward), so behavior is still correct! The
+        // shield must be on the same switch — verify that splitting them
+        // the other way (drop upstream) is the failing case.
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(1), SwitchId(0)); // drop first
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1)); // permit later
+        let e = verify_placement(&inst, &p, 0, 7).unwrap_err();
+        assert!(matches!(e, VerifyError::Violation(_)));
+    }
+
+    #[test]
+    fn permit_then_drop_downstream_is_fine() {
+        // Permit upstream alone does not shield downstream drops — the
+        // packet reaches the drop switch and must still be shielded
+        // there. But placing BOTH on the downstream switch is correct
+        // even with a stray permit upstream.
+        let inst = chain_instance();
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(0)); // stray permit
+        p.place(EntryPortId(0), RuleId(0), SwitchId(2));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(2));
+        verify_placement(&inst, &p, 64, 3).expect("correct");
+    }
+
+    #[test]
+    fn exhaustive_passes_and_fails_correctly() {
+        let inst = chain_instance();
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(1));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(1));
+        verify_placement_exhaustive(&inst, &p).expect("complete placement proves out");
+        // Dropping the shield is caught by the exhaustive sweep too.
+        let mut bad = Placement::new();
+        bad.place(EntryPortId(0), RuleId(1), SwitchId(1));
+        assert!(verify_placement_exhaustive(&inst, &bad).is_err());
+    }
+
+    #[test]
+    fn evaluate_route_walks_switches() {
+        let inst = chain_instance();
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(2));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(2));
+        let tables = emit_tables(&inst, &p).unwrap();
+        let route = inst.routes().route(flowplace_routing::RouteId(0));
+        assert_eq!(
+            evaluate_route(&tables, route, &Packet::from_bits(0b1000, 4)),
+            Action::Drop
+        );
+        assert_eq!(
+            evaluate_route(&tables, route, &Packet::from_bits(0b1100, 4)),
+            Action::Permit
+        );
+    }
+
+    #[test]
+    fn sliced_flow_restricts_verification() {
+        // The drop rule is sliced out of the route (flow disjoint), so
+        // not placing it is still correct *for that route*.
+        let mut topo = Topology::linear(2);
+        topo.set_uniform_capacity(10);
+        let mut routes = RouteSet::new();
+        routes.push(
+            Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0), SwitchId(1)])
+                .with_flow(t("**00")),
+        );
+        let policy =
+            Policy::from_ordered(vec![(t("1*11"), Action::Drop)]).unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
+        verify_placement(&inst, &Placement::new(), 64, 5)
+            .expect("rule is irrelevant to this route's flow");
+    }
+}

@@ -1,0 +1,100 @@
+//! OPB export — the pseudo-Boolean competition input format.
+//!
+//! Writes a solver's constraint database in the OPB format consumed by
+//! Sat4j, RoundingSat, NaPS, and the other PB-competition solvers, so any
+//! formula built here (in particular the paper's Eq. 6–8 placement
+//! encoding) can be cross-checked against an external PB solver — the
+//! evaluation the paper lists as future work.
+//!
+//! OPB conventions: variables are `x1, x2, …` (1-indexed); a negated
+//! literal is `~xN`; every constraint is `Σ wᵢ lᵢ >= d ;`. Our internal
+//! `≤` constraints are exported via negation of the weights' complement:
+//! `Σ w·l ≤ k  ⇔  Σ w·~l ≥ Σw − k`.
+
+use std::fmt::Write as _;
+
+use crate::{Lit, PbConstraint};
+
+/// A snapshot of a formula for export: clauses plus PB constraints over
+/// `num_vars` variables.
+#[derive(Clone, Debug, Default)]
+pub struct Formula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Disjunctive clauses.
+    pub clauses: Vec<Vec<Lit>>,
+    /// `Σ w·l ≤ bound` constraints.
+    pub pb_le: Vec<PbConstraint>,
+}
+
+impl Formula {
+    /// Renders the formula in OPB format.
+    pub fn to_opb(&self) -> String {
+        let mut out = String::new();
+        let n_constraints = self.clauses.len() + self.pb_le.len();
+        let _ = writeln!(
+            out,
+            "* #variable= {} #constraint= {}",
+            self.num_vars, n_constraints
+        );
+        let _ = writeln!(out, "* exported by flowplace-pbsat");
+        for clause in &self.clauses {
+            // A clause is Σ l ≥ 1.
+            let mut line = String::new();
+            for &l in clause {
+                let _ = write!(line, "+1 {} ", opb_lit(l));
+            }
+            let _ = writeln!(out, "{line}>= 1 ;");
+        }
+        for pb in &self.pb_le {
+            // Σ w·l ≤ k  ⇔  Σ w·~l ≥ Σw − k.
+            let total: u64 = pb.total_weight();
+            let mut line = String::new();
+            for &(w, l) in &pb.terms {
+                let _ = write!(line, "+{w} {} ", opb_lit(!l));
+            }
+            let _ = writeln!(out, "{line}>= {} ;", total.saturating_sub(pb.bound));
+        }
+        out
+    }
+}
+
+fn opb_lit(l: Lit) -> String {
+    if l.is_positive() {
+        format!("x{}", l.var().0 + 1)
+    } else {
+        format!("~x{}", l.var().0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn clause_and_pb_lines() {
+        let a = Lit::positive(Var(0));
+        let b = Lit::negative(Var(1));
+        let f = Formula {
+            num_vars: 2,
+            clauses: vec![vec![a, b]],
+            pb_le: vec![PbConstraint::new(vec![(2, a), (3, !b)], 3)],
+        };
+        let opb = f.to_opb();
+        assert!(opb.contains("* #variable= 2 #constraint= 2"));
+        assert!(opb.contains("+1 x1 +1 ~x2 >= 1 ;"));
+        // 2a + 3(b) <= 3  →  2~a + 3~b >= 2.
+        assert!(opb.contains("+2 ~x1 +3 ~x2 >= 2 ;"), "{opb}");
+    }
+
+    #[test]
+    fn empty_formula_headers() {
+        let f = Formula {
+            num_vars: 0,
+            ..Formula::default()
+        };
+        let opb = f.to_opb();
+        assert!(opb.contains("#variable= 0 #constraint= 0"));
+    }
+}

@@ -1,0 +1,1040 @@
+//! The CDCL search engine.
+
+use std::fmt;
+
+use crate::pb::PbConstraint;
+use crate::{Lit, Var};
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by the solving [`Solver`].
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.0 as usize]
+    }
+
+    /// The value of a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is out of range.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_positive()
+    }
+
+    /// All variable values indexed by variable number.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Result of a solve call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Search statistics of the last [`Solver::solve`] call (cumulative across
+/// calls).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Debug)]
+enum Reason {
+    None,
+    Clause(usize),
+    /// Materialized reason clause with the implied literal first
+    /// (produced by PB propagation).
+    Explicit(Vec<Lit>),
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Debug)]
+struct PbState {
+    c: PbConstraint,
+    /// Sum of weights of currently-true literals.
+    sum_true: u64,
+}
+
+/// A CDCL pseudo-Boolean solver. See the crate docs for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    nvars: usize,
+    clauses: Vec<Clause>,
+    /// `watches[l.index()]` = clauses currently watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    pbs: Vec<PbState>,
+    /// `pb_occ[l.index()]` = PB constraints containing literal `l`.
+    pb_occ: Vec<Vec<usize>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// False once the clause database is proven contradictory at level 0.
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Solver::default()
+        }
+    }
+
+    /// Adds a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.nvars as u32);
+        self.nvars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(Reason::None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Cumulative search statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Snapshots the constraint database for [`crate::opb`] export.
+    ///
+    /// Clauses learnt by a previous [`Solver::solve`] call are included —
+    /// they are implied by the original formula, so the export stays
+    /// equisatisfiable; export before solving for a verbatim formula.
+    pub fn export_formula(&self) -> crate::opb::Formula {
+        crate::opb::Formula {
+            num_vars: self.nvars,
+            clauses: self.clauses.iter().map(|c| c.lits.clone()).collect(),
+            pb_le: self.pbs.iter().map(|p| p.c.clone()).collect(),
+        }
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assign[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause (a disjunction of literals). Returns `false` if the
+    /// database became trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (internal use keeps the solver at
+    /// decision level 0 between solves) or with an out-of-range literal.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_clause only at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Simplify: dedupe, drop false literals, detect tautology/satisfied.
+        let mut ls: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!((l.var().0 as usize) < self.nvars, "unknown variable {l}");
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => continue,
+                LBool::Undef => {}
+            }
+            if ls.contains(&!l) {
+                return true; // tautology
+            }
+            if !ls.contains(&l) {
+                ls.push(l);
+            }
+        }
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.uncheck_enqueue(ls[0], Reason::None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(ls);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> usize {
+        let ci = self.clauses.len();
+        self.watches[lits[0].index()].push(ci);
+        self.watches[lits[1].index()].push(ci);
+        self.clauses.push(Clause { lits });
+        ci
+    }
+
+    /// Adds `Σ wᵢ·litᵢ ≤ bound`. Duplicate literals are merged; a literal
+    /// and its negation contribute a constant (folded into the bound).
+    /// Returns `false` if the database became trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search or with an out-of-range literal.
+    pub fn add_pb_le(&mut self, terms: &[(u64, Lit)], bound: u64) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_pb_le only at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Merge duplicate variables: w1·l + w2·l = (w1+w2)·l;
+        // w1·l + w2·!l = min + |w1-w2|·(winner), with min folded as a
+        // constant into the bound.
+        let mut acc: std::collections::BTreeMap<u32, (u64, u64)> = Default::default();
+        for &(w, l) in terms {
+            assert!((l.var().0 as usize) < self.nvars, "unknown variable {l}");
+            let e = acc.entry(l.var().0).or_insert((0, 0));
+            if l.is_positive() {
+                e.0 += w;
+            } else {
+                e.1 += w;
+            }
+        }
+        let mut constant = 0u64;
+        let mut ls: Vec<(u64, Lit)> = Vec::new();
+        for (v, (wp, wn)) in acc {
+            let var = Var(v);
+            constant += wp.min(wn);
+            if wp > wn {
+                ls.push((wp - wn, Lit::positive(var)));
+            } else if wn > wp {
+                ls.push((wn - wp, Lit::negative(var)));
+            }
+        }
+        if constant > bound {
+            self.ok = false;
+            return false;
+        }
+        let bound = bound - constant;
+        // Fold in level-0 assignments.
+        let mut fixed = 0u64;
+        let mut live: Vec<(u64, Lit)> = Vec::new();
+        for (w, l) in ls {
+            match self.value_lit(l) {
+                LBool::True => fixed += w,
+                LBool::False => {}
+                LBool::Undef => live.push((w, l)),
+            }
+        }
+        if fixed > bound {
+            self.ok = false;
+            return false;
+        }
+        let bound = bound - fixed;
+        let pb = PbConstraint::new(live, bound);
+        if pb.is_trivial() {
+            return true;
+        }
+        // Immediate implications: weights exceeding the bound force lits
+        // false.
+        for &(w, l) in &pb.terms {
+            if w > pb.bound && self.value_lit(l) == LBool::Undef {
+                self.uncheck_enqueue(!l, Reason::None);
+            }
+        }
+        let idx = self.pbs.len();
+        for &(_, l) in &pb.terms {
+            self.pb_occ[l.index()].push(idx);
+        }
+        self.pbs.push(PbState { c: pb, sum_true: 0 });
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+        self.ok
+    }
+
+    /// Adds "at most `k` of these literals are true".
+    ///
+    /// Returns `false` if the database became trivially unsatisfiable.
+    pub fn add_at_most_k(&mut self, lits: &[Lit], k: u64) -> bool {
+        self.add_pb_le(&lits.iter().map(|&l| (1, l)).collect::<Vec<_>>(), k)
+    }
+
+    /// Adds "at least `k` of these literals are true"
+    /// (as `Σ ¬lit ≤ n − k`).
+    ///
+    /// Returns `false` if the database became trivially unsatisfiable
+    /// (including `k > lits.len()`).
+    pub fn add_at_least_k(&mut self, lits: &[Lit], k: u64) -> bool {
+        let n = lits.len() as u64;
+        if k > n {
+            self.ok = false;
+            return false;
+        }
+        if k == 1 {
+            return self.add_clause(lits);
+        }
+        self.add_pb_le(&lits.iter().map(|&l| (1, !l)).collect::<Vec<_>>(), n - k)
+    }
+
+    /// Adds `a → b`.
+    ///
+    /// Returns `false` if the database became trivially unsatisfiable.
+    pub fn add_implication(&mut self, a: Lit, b: Lit) -> bool {
+        self.add_clause(&[!a, b])
+    }
+
+    /// Adds `target ↔ (l₁ ∧ l₂ ∧ … ∧ lₙ)` (the merge-rule linking
+    /// constraint, Equation 8 of the paper).
+    ///
+    /// Returns `false` if the database became trivially unsatisfiable.
+    pub fn add_and_equiv(&mut self, target: Lit, of: &[Lit]) -> bool {
+        // target → each lᵢ
+        for &l in of {
+            if !self.add_clause(&[!target, l]) {
+                return false;
+            }
+        }
+        // (∧ lᵢ) → target
+        let mut clause: Vec<Lit> = of.iter().map(|&l| !l).collect();
+        clause.push(target);
+        self.add_clause(&clause)
+    }
+
+    fn uncheck_enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assign[v] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+        // PB bookkeeping: l just became true.
+        for k in 0..self.pb_occ[l.index()].len() {
+            let pi = self.pb_occ[l.index()][k];
+            let w = self.pbs[pi]
+                .c
+                .terms
+                .iter()
+                .find(|(_, t)| *t == l)
+                .map(|(w, _)| *w)
+                .expect("occurrence list is consistent");
+            self.pbs[pi].sum_true += w;
+        }
+    }
+
+    /// Unit propagation over clauses and PB constraints. Returns a
+    /// conflict clause (all literals false) or `None`.
+    fn propagate(&mut self) -> Option<Vec<Lit>> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+
+            // Clause propagation: clauses watching ¬p lost a support.
+            let false_lit = !p;
+            let mut i = 0;
+            'clauses: while i < self.watches[false_lit.index()].len() {
+                let ci = self.watches[false_lit.index()][i];
+                // Make lits[1] the false watch.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.value_lit(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let l = self.clauses[ci].lits[k];
+                    if self.value_lit(l) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[false_lit.index()].swap_remove(i);
+                        self.watches[l.index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: unit or conflict.
+                if self.value_lit(first) == LBool::False {
+                    return Some(self.clauses[ci].lits.clone());
+                }
+                self.uncheck_enqueue(first, Reason::Clause(ci));
+                i += 1;
+            }
+
+            // PB propagation: p true raised sums in its constraints.
+            for k in 0..self.pb_occ[p.index()].len() {
+                let pi = self.pb_occ[p.index()][k];
+                let (sum, bound) = (self.pbs[pi].sum_true, self.pbs[pi].c.bound);
+                if sum > bound {
+                    return Some(self.pb_conflict_clause(pi));
+                }
+                // Force each unassigned literal that no longer fits.
+                let mut forced: Vec<Lit> = Vec::new();
+                for &(w, l) in &self.pbs[pi].c.terms {
+                    if self.value_lit(l) == LBool::Undef && sum + w > bound {
+                        forced.push(l);
+                    }
+                }
+                for l in forced {
+                    if self.value_lit(l) != LBool::Undef {
+                        continue; // an earlier forcing in this loop set it
+                    }
+                    let mut reason = vec![!l];
+                    reason.extend(self.pb_true_negations(pi));
+                    self.uncheck_enqueue(!l, Reason::Explicit(reason));
+                }
+            }
+        }
+        None
+    }
+
+    /// Negations of the currently-true literals of PB `pi` (a valid
+    /// all-false-but-derivable clause core).
+    fn pb_true_negations(&self, pi: usize) -> Vec<Lit> {
+        self.pbs[pi]
+            .c
+            .terms
+            .iter()
+            .filter(|(_, l)| self.value_lit(*l) == LBool::True)
+            .map(|(_, l)| !*l)
+            .collect()
+    }
+
+    fn pb_conflict_clause(&self, pi: usize) -> Vec<Lit> {
+        // The true literals of an over-full PB cannot all hold.
+        self.pb_true_negations(pi)
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        while self.trail.len() > lim {
+            let l = self.trail.pop().expect("trail nonempty above limit");
+            let v = l.var().0 as usize;
+            self.phase[v] = self.assign[v] == LBool::True;
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = Reason::None;
+            for k in 0..self.pb_occ[l.index()].len() {
+                let pi = self.pb_occ[l.index()][k];
+                let w = self.pbs[pi]
+                    .c
+                    .terms
+                    .iter()
+                    .find(|(_, t)| *t == l)
+                    .map(|(w, _)| *w)
+                    .expect("occurrence list is consistent");
+                self.pbs[pi].sum_true -= w;
+            }
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn reason_lits(&mut self, l: Lit) -> Vec<Lit> {
+        match &self.reason[l.var().0 as usize] {
+            Reason::Clause(ci) => {
+                let mut lits = self.clauses[*ci].lits.clone();
+                if lits[0] != l {
+                    let pos = lits.iter().position(|&x| x == l).expect("lit in reason");
+                    lits.swap(0, pos);
+                }
+                lits
+            }
+            Reason::Explicit(v) => v.clone(),
+            Reason::None => unreachable!("decision literal has no reason"),
+        }
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.var_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// 1UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut to_clear: Vec<Var> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cls = conflict;
+
+        loop {
+            let start = usize::from(p.is_some());
+            for &q in &cls[start..] {
+                let v = q.var();
+                let vi = v.0 as usize;
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    to_clear.push(v);
+                    self.bump(v);
+                    if self.level[vi] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back to the next marked trail literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            p = Some(pl);
+            cls = self.reason_lits(pl);
+        }
+        let asserting = !p.expect("1UIP exists");
+        learnt.insert(0, asserting);
+        for v in to_clear {
+            self.seen[v.0 as usize] = false;
+        }
+        // Backtrack to the second-highest level in the clause.
+        let mut blevel = 0;
+        let mut max_i = 1;
+        for (i, l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().0 as usize];
+            if lv > blevel {
+                blevel = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i);
+        }
+        (learnt, blevel)
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.nvars {
+            if self.assign[v] == LBool::Undef {
+                let a = self.activity[v];
+                if best.map(|(_, ba)| a > ba).unwrap_or(true) {
+                    best = Some((v, a));
+                }
+            }
+        }
+        best.map(|(v, _)| Var(v as u32))
+    }
+
+    /// Decides satisfiability of the current database.
+    ///
+    /// The solver is reusable: more clauses/constraints may be added after
+    /// a solve, and `solve` called again.
+    pub fn solve(&mut self) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = 100 * luby(restart_idx);
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, blevel) = self.analyze(conflict);
+                    self.cancel_until(blevel);
+                    let asserting = learnt[0];
+                    if learnt.len() == 1 {
+                        self.uncheck_enqueue(asserting, Reason::None);
+                    } else {
+                        let ci = self.attach_clause(learnt);
+                        self.stats.learnt_clauses += 1;
+                        self.uncheck_enqueue(asserting, Reason::Clause(ci));
+                    }
+                    self.var_inc /= 0.95;
+                    if conflicts_until_restart == 0 {
+                        self.stats.restarts += 1;
+                        restart_idx += 1;
+                        conflicts_until_restart = 100 * luby(restart_idx);
+                        self.cancel_until(0);
+                    } else {
+                        conflicts_until_restart -= 1;
+                    }
+                }
+                None => {
+                    match self.pick_branch_var() {
+                        None => {
+                            // Full assignment: SAT.
+                            let values: Vec<bool> = self
+                                .assign
+                                .iter()
+                                .map(|a| *a == LBool::True)
+                                .collect();
+                            let model = Model { values };
+                            debug_assert!(self.model_consistent(&model));
+                            self.cancel_until(0);
+                            return SatResult::Sat(model);
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let l = if self.phase[v.0 as usize] {
+                                Lit::positive(v)
+                            } else {
+                                Lit::negative(v)
+                            };
+                            self.uncheck_enqueue(l, Reason::None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides satisfiability under extra unit assumptions, without
+    /// permanently constraining the solver (implemented by solving a
+    /// clone extended with the assumptions as unit clauses).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        let mut clone = self.clone();
+        for &a in assumptions {
+            if !clone.add_clause(&[a]) {
+                return SatResult::Unsat;
+            }
+        }
+        let result = clone.solve();
+        self.stats = clone.stats;
+        result
+    }
+
+    /// Debug check: the model satisfies every clause and PB constraint.
+    fn model_consistent(&self, model: &Model) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.lits.iter().any(|&l| model.lit_value(l)))
+            && self.pbs.iter().all(|p| p.c.is_satisfied(model.values()))
+    }
+}
+
+impl fmt::Display for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solver: {} vars, {} clauses, {} PB constraints",
+            self.nvars,
+            self.clauses.len(),
+            self.pbs.len()
+        )
+    }
+}
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,… (0-indexed).
+fn luby(mut x: u64) -> u64 {
+    // Find the finite subsequence containing index x and its size.
+    let (mut size, mut seq) = (1u64, 0u64);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(s.new_var())).collect()
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::positive(v)]));
+        assert!(s.solve().is_sat());
+        assert!(!s.add_clause(&[Lit::negative(v)]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        s.add_clause(&[v[0]]);
+        for i in 0..4 {
+            s.add_clause(&[!v[i], v[i + 1]]); // vᵢ → vᵢ₊₁
+        }
+        let m = s.solve();
+        let m = m.model().unwrap();
+        for l in &v {
+            assert!(m.lit_value(*l));
+        }
+    }
+
+    #[test]
+    fn simple_conflict_learning() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ c) ∧ (¬a ∨ ¬c) is UNSAT.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        s.add_clause(&[a, b]);
+        s.add_clause(&[a, !b]);
+        s.add_clause(&[!a, c]);
+        s.add_clause(&[!a, !c]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p_{i,h}; each pigeon somewhere; holes hold
+        // at most one pigeon (via PB).
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..2 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn at_most_k_sat_boundary() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_at_most_k(&v, 2);
+        s.add_at_least_k(&v, 2);
+        let r = s.solve();
+        let m = r.model().unwrap();
+        let count = v.iter().filter(|&&l| m.lit_value(l)).count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn at_least_more_than_n_is_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        assert!(!s.add_at_least_k(&v, 4));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn weighted_pb_propagation() {
+        // 3a + 2b + c <= 3 with a forced true → b false; c free.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        s.add_pb_le(&[(3, a), (2, b), (1, c)], 3);
+        s.add_clause(&[a]);
+        let r = s.solve();
+        let m = r.model().unwrap();
+        assert!(m.lit_value(a));
+        assert!(!m.lit_value(b));
+        assert!(!m.lit_value(c));
+    }
+
+    #[test]
+    fn pb_with_negative_literals() {
+        // 2·¬a + 2·¬b <= 2 means at least one of a, b is true.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_pb_le(&[(2, !v[0]), (2, !v[1])], 2);
+        s.add_clause(&[!v[0]]); // a false → b must be true
+        let r = s.solve();
+        let m = r.model().unwrap();
+        assert!(m.lit_value(v[1]));
+    }
+
+    #[test]
+    fn pb_duplicate_merging() {
+        // a + a + ¬a <= 1 → constant 1 folded: a <= 0 → a false.
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        assert!(s.add_pb_le(&[(1, a), (1, a), (1, !a)], 1));
+        let r = s.solve();
+        assert!(!r.model().unwrap().lit_value(a));
+    }
+
+    #[test]
+    fn pb_infeasible_constant() {
+        // a + ¬a <= 0 is a contradiction (constant 1 > 0).
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        assert!(!s.add_pb_le(&[(1, a), (1, !a)], 0));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn and_equiv_links() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let t = Lit::positive(s.new_var());
+        s.add_and_equiv(t, &v);
+        // Force all inputs true → t true.
+        for &l in &v {
+            s.add_clause(&[l]);
+        }
+        let r = s.solve();
+        assert!(r.model().unwrap().lit_value(t));
+    }
+
+    #[test]
+    fn and_equiv_blocks_partial() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        let t = Lit::positive(s.new_var());
+        s.add_and_equiv(t, &v);
+        s.add_clause(&[t]);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert!(!s.solve_with_assumptions(&[!v[0], !v[1]]).is_sat());
+        // Without assumptions it is still satisfiable.
+        assert!(s.solve().is_sat());
+        // And a different assumption set works.
+        assert!(s.solve_with_assumptions(&[!v[0]]).is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_6_into_5_unsat_with_learning() {
+        // Large enough to force clause learning and restarts.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| (0..5).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..5 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0, "learning exercised");
+    }
+
+    #[test]
+    fn solver_reusable_after_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        assert!(s.solve().is_sat());
+        // Add more constraints and solve again.
+        s.add_clause(&[!v[0]]);
+        s.add_clause(&[!v[1], v[2]]);
+        let m = s.solve();
+        let m = m.model().unwrap();
+        assert!(!m.lit_value(v[0]));
+        assert!(m.lit_value(v[1]));
+        assert!(m.lit_value(v[2]));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_small_random() {
+        // Compare against brute force on all assignments for a bundle of
+        // deterministic pseudo-random 6-var instances.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..40 {
+            let nv = 6usize;
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            let nc = 3 + (next() % 8) as usize;
+            for _ in 0..nc {
+                let len = 1 + (next() % 3) as usize;
+                let mut cl = Vec::new();
+                for _ in 0..len {
+                    let v = vars[(next() % nv as u64) as usize];
+                    let l = if next() % 2 == 0 {
+                        Lit::positive(v)
+                    } else {
+                        Lit::negative(v)
+                    };
+                    cl.push(l);
+                }
+                clauses.push(cl);
+            }
+            // One random at-most-k.
+            let k = next() % 3;
+            let sub: Vec<Lit> = vars.iter().take(4).map(|&v| Lit::positive(v)).collect();
+
+            let mut ok = true;
+            for cl in &clauses {
+                ok &= s.add_clause(cl);
+            }
+            ok &= s.add_at_most_k(&sub, k);
+
+            // Brute force.
+            let mut any = false;
+            for mask in 0u32..(1 << nv) {
+                let val = |l: Lit| {
+                    let b = mask & (1 << l.var().0) != 0;
+                    b == l.is_positive()
+                };
+                let cls_ok = clauses.iter().all(|c| c.iter().any(|&l| val(l)));
+                let pb_ok = sub.iter().filter(|&&l| val(l)).count() as u64 <= k;
+                if cls_ok && pb_ok {
+                    any = true;
+                    break;
+                }
+            }
+            let got = if ok { s.solve().is_sat() } else { false };
+            assert_eq!(got, any, "case with {nc} clauses k={k}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 8);
+        for i in 0..7 {
+            s.add_clause(&[v[i], v[i + 1]]);
+        }
+        s.add_at_most_k(&v, 4);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        assert!(s.to_string().contains("2 vars"));
+    }
+}

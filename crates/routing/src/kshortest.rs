@@ -1,0 +1,157 @@
+//! Multipath route generation: all equal-cost shortest paths.
+//!
+//! Datacenter routing (ECMP) spreads a flow over *every* shortest path
+//! between two points, not one. When an ingress policy must hold on all
+//! of them, the placement problem sees the full path set — this module
+//! enumerates it (up to a cap, since fat-trees have combinatorially many
+//! equal-cost paths).
+
+use flowplace_topo::{EntryPortId, SwitchId, Topology};
+
+use crate::{Route, RouteSet};
+
+/// Enumerates up to `limit` equal-cost shortest paths from `ingress` to
+/// `egress`, in deterministic (lexicographic by switch id) order. Returns
+/// an empty vector if the egress is unreachable.
+pub fn all_shortest_paths(
+    topo: &Topology,
+    ingress: EntryPortId,
+    egress: EntryPortId,
+    limit: usize,
+) -> Vec<Route> {
+    let src = topo.entry_port(ingress).switch;
+    let dst = topo.entry_port(egress).switch;
+    let dist = topo.distances_from(dst);
+    if dist[src.0] == usize::MAX || limit == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Route> = Vec::new();
+    let mut stack: Vec<SwitchId> = vec![src];
+    dfs(topo, &dist, dst, &mut stack, &mut out, ingress, egress, limit);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    topo: &Topology,
+    dist: &[usize],
+    dst: SwitchId,
+    stack: &mut Vec<SwitchId>,
+    out: &mut Vec<Route>,
+    ingress: EntryPortId,
+    egress: EntryPortId,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    let cur = *stack.last().expect("stack nonempty");
+    if cur == dst {
+        out.push(Route::new(ingress, egress, stack.clone()));
+        return;
+    }
+    // Neighbors are sorted, so enumeration order is deterministic.
+    let next_dist = dist[cur.0] - 1;
+    for &n in topo.neighbors(cur) {
+        if dist[n.0] == next_dist {
+            stack.push(n);
+            dfs(topo, dist, dst, stack, out, ingress, egress, limit);
+            stack.pop();
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+}
+
+/// Builds the full ECMP route set for a list of `(ingress, egress)` pairs,
+/// capping each pair at `per_pair` paths.
+pub fn ecmp_routes(
+    topo: &Topology,
+    pairs: &[(EntryPortId, EntryPortId)],
+    per_pair: usize,
+) -> RouteSet {
+    let mut set = RouteSet::new();
+    for &(a, b) in pairs {
+        set.extend(all_shortest_paths(topo, a, b, per_pair));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_topo::Topology;
+
+    #[test]
+    fn single_path_on_a_chain() {
+        let topo = Topology::linear(4);
+        let paths = all_shortest_paths(&topo, EntryPortId(0), EntryPortId(1), 10);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].switches.len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_has_k2_over_4_paths() {
+        // Between hosts in different pods of a k-ary fat-tree there are
+        // (k/2)² equal-cost shortest paths (one per core switch).
+        let topo = Topology::fat_tree(4);
+        let paths = all_shortest_paths(&topo, EntryPortId(0), EntryPortId(15), 100);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.switches.len(), 5, "edge-agg-core-agg-edge");
+            assert_eq!(p.ingress, EntryPortId(0));
+            assert_eq!(p.egress, EntryPortId(15));
+            // Consecutive switches adjacent.
+            for w in p.switches.windows(2) {
+                assert!(topo.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+        // All distinct.
+        let mut sigs: Vec<Vec<usize>> = paths
+            .iter()
+            .map(|p| p.switches.iter().map(|s| s.0).collect())
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 4);
+    }
+
+    #[test]
+    fn same_pod_cross_edge_has_k_over_2_paths() {
+        // Hosts under different edges of one pod: one path per agg.
+        let topo = Topology::fat_tree(4);
+        let paths = all_shortest_paths(&topo, EntryPortId(0), EntryPortId(3), 100);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.switches.len(), 3, "edge-agg-edge");
+        }
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let topo = Topology::fat_tree(6);
+        let all = all_shortest_paths(&topo, EntryPortId(0), EntryPortId(53), 100);
+        assert_eq!(all.len(), 9); // (6/2)² cores
+        let capped = all_shortest_paths(&topo, EntryPortId(0), EntryPortId(53), 3);
+        assert_eq!(capped.len(), 3);
+        assert_eq!(&all[..3], &capped[..]);
+    }
+
+    #[test]
+    fn ecmp_routes_aggregate_pairs() {
+        let topo = Topology::fat_tree(4);
+        let set = ecmp_routes(
+            &topo,
+            &[
+                (EntryPortId(0), EntryPortId(15)),
+                (EntryPortId(1), EntryPortId(8)),
+            ],
+            2,
+        );
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.paths_from(EntryPortId(0)).len(), 2);
+        assert_eq!(set.paths_from(EntryPortId(1)).len(), 2);
+    }
+
+}

@@ -1,0 +1,282 @@
+//! Routes and route sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use flowplace_acl::Ternary;
+use flowplace_topo::{EntryPortId, SwitchId};
+
+/// Identifier of a route within a [`RouteSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RouteId(pub usize);
+
+impl fmt::Display for RouteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One routing path `p_{i,j}`: the ordered set of switches packets traverse
+/// from an ingress entry port to an egress entry port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The ingress entry port `l_i` whose policy applies to this path.
+    pub ingress: EntryPortId,
+    /// The egress entry port where packets leave the network.
+    pub egress: EntryPortId,
+    /// Switches in traversal order, starting at the ingress switch.
+    pub switches: Vec<SwitchId>,
+    /// The set of packets the routing module sends along this path, if
+    /// known. `None` means "any packet entering at `ingress` may use this
+    /// path", which disables §IV-C path slicing for it.
+    pub flow: Option<Ternary>,
+}
+
+impl Route {
+    /// Creates a route with no flow descriptor.
+    pub fn new(ingress: EntryPortId, egress: EntryPortId, switches: Vec<SwitchId>) -> Self {
+        Route {
+            ingress,
+            egress,
+            switches,
+            flow: None,
+        }
+    }
+
+    /// Sets the flow descriptor (builder style).
+    pub fn with_flow(mut self, flow: Ternary) -> Self {
+        self.flow = Some(flow);
+        self
+    }
+
+    /// Number of hops between the ingress and the given switch along this
+    /// path (the paper's `loc(s_k, P_i)` ingredient), or `None` if the
+    /// switch is not on the path.
+    pub fn position_of(&self, switch: SwitchId) -> Option<usize> {
+        self.switches.iter().position(|&s| s == switch)
+    }
+
+    /// True if the path visits the switch.
+    pub fn contains(&self, switch: SwitchId) -> bool {
+        self.switches.contains(&switch)
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: ", self.ingress, self.egress)?;
+        for (i, s) in self.switches.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full routing input to rule placement: every path, indexed by the
+/// ingress whose policy governs it.
+///
+/// In the paper's notation, `paths_from(l_i)` is `P_i` and
+/// `reachable_switches(l_i)` is `S_i = ⋃_j p_{i,j}`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteSet {
+    routes: Vec<Route>,
+}
+
+impl RouteSet {
+    /// Creates an empty route set.
+    pub fn new() -> Self {
+        RouteSet::default()
+    }
+
+    /// Creates a route set from a list of routes.
+    pub fn from_routes(routes: Vec<Route>) -> Self {
+        RouteSet { routes }
+    }
+
+    /// Adds a route, returning its id.
+    pub fn push(&mut self, route: Route) -> RouteId {
+        let id = RouteId(self.routes.len());
+        self.routes.push(route);
+        id
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if there are no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn route(&self, id: RouteId) -> &Route {
+        &self.routes[id.0]
+    }
+
+    /// Iterates over all routes.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter()
+    }
+
+    /// Iterates over `(RouteId, &Route)`.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (RouteId, &Route)> {
+        self.routes.iter().enumerate().map(|(i, r)| (RouteId(i), r))
+    }
+
+    /// The ids of all routes originating at `ingress` (`P_i`).
+    pub fn paths_from(&self, ingress: EntryPortId) -> Vec<RouteId> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.ingress == ingress)
+            .map(|(i, _)| RouteId(i))
+            .collect()
+    }
+
+    /// All ingresses that have at least one route, in ascending order.
+    pub fn ingresses(&self) -> Vec<EntryPortId> {
+        let set: BTreeSet<EntryPortId> = self.routes.iter().map(|r| r.ingress).collect();
+        set.into_iter().collect()
+    }
+
+    /// The switches reachable from `ingress` over its paths (`S_i`),
+    /// in ascending order.
+    pub fn reachable_switches(&self, ingress: EntryPortId) -> Vec<SwitchId> {
+        let set: BTreeSet<SwitchId> = self
+            .routes
+            .iter()
+            .filter(|r| r.ingress == ingress)
+            .flat_map(|r| r.switches.iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Minimum hop distance from `ingress` to `switch` over this ingress's
+    /// paths: the paper's `loc(s_k, P_i)` used by the distance-weighted
+    /// objective. Returns `None` if no path from `ingress` visits `switch`.
+    pub fn loc(&self, ingress: EntryPortId, switch: SwitchId) -> Option<usize> {
+        self.routes
+            .iter()
+            .filter(|r| r.ingress == ingress)
+            .filter_map(|r| r.position_of(switch))
+            .min()
+    }
+
+    /// Removes all routes with the given ids, returning the removed routes.
+    /// Remaining routes are re-indexed (ids are not stable across removal).
+    pub fn remove_routes(&mut self, ids: &[RouteId]) -> Vec<Route> {
+        let drop: BTreeSet<usize> = ids.iter().map(|r| r.0).collect();
+        let mut removed = Vec::with_capacity(drop.len());
+        let mut kept = Vec::with_capacity(self.routes.len() - drop.len());
+        for (i, r) in self.routes.drain(..).enumerate() {
+            if drop.contains(&i) {
+                removed.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.routes = kept;
+        removed
+    }
+}
+
+impl FromIterator<Route> for RouteSet {
+    fn from_iter<I: IntoIterator<Item = Route>>(iter: I) -> Self {
+        RouteSet {
+            routes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Route> for RouteSet {
+    fn extend<I: IntoIterator<Item = Route>>(&mut self, iter: I) {
+        self.routes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(i: usize, e: usize, sw: &[usize]) -> Route {
+        Route::new(
+            EntryPortId(i),
+            EntryPortId(e),
+            sw.iter().map(|&s| SwitchId(s)).collect(),
+        )
+    }
+
+    #[test]
+    fn paths_from_filters_by_ingress() {
+        let rs = RouteSet::from_routes(vec![
+            route(0, 1, &[0, 1, 2]),
+            route(0, 2, &[0, 1, 3]),
+            route(1, 0, &[2, 1, 0]),
+        ]);
+        assert_eq!(rs.paths_from(EntryPortId(0)), vec![RouteId(0), RouteId(1)]);
+        assert_eq!(rs.paths_from(EntryPortId(1)), vec![RouteId(2)]);
+        assert_eq!(rs.ingresses(), vec![EntryPortId(0), EntryPortId(1)]);
+    }
+
+    #[test]
+    fn reachable_switches_is_union() {
+        let rs = RouteSet::from_routes(vec![
+            route(0, 1, &[0, 1, 2]),
+            route(0, 2, &[0, 1, 3]),
+        ]);
+        let s: Vec<usize> = rs
+            .reachable_switches(EntryPortId(0))
+            .into_iter()
+            .map(|s| s.0)
+            .collect();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn loc_is_min_over_paths() {
+        let rs = RouteSet::from_routes(vec![
+            route(0, 1, &[0, 1, 2]),
+            route(0, 2, &[2, 3]),
+        ]);
+        assert_eq!(rs.loc(EntryPortId(0), SwitchId(2)), Some(0));
+        assert_eq!(rs.loc(EntryPortId(0), SwitchId(1)), Some(1));
+        assert_eq!(rs.loc(EntryPortId(0), SwitchId(9)), None);
+    }
+
+    #[test]
+    fn remove_routes_reindexes() {
+        let mut rs = RouteSet::from_routes(vec![
+            route(0, 1, &[0]),
+            route(1, 2, &[1]),
+            route(2, 3, &[2]),
+        ]);
+        let removed = rs.remove_routes(&[RouteId(1)]);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].ingress, EntryPortId(1));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.route(RouteId(1)).ingress, EntryPortId(2));
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let r = route(0, 1, &[4, 7, 9]);
+        assert_eq!(r.position_of(SwitchId(7)), Some(1));
+        assert_eq!(r.position_of(SwitchId(5)), None);
+        assert!(r.contains(SwitchId(9)));
+    }
+
+    #[test]
+    fn display_formats_path() {
+        let r = route(0, 1, &[4, 7]);
+        assert_eq!(r.to_string(), "l0 -> l1: s4 -> s7");
+    }
+}

@@ -1,0 +1,198 @@
+//! Seeded randomized shortest-path route generation.
+//!
+//! The paper's experiments use "a randomly generated shortest-path routing".
+//! [`shortest_path`] picks one shortest path between two entry ports,
+//! breaking equal-length ties uniformly at random (deterministically, from
+//! the caller's seed) — the standard ECMP-style path selection in a
+//! fat-tree, where many shortest paths exist between most host pairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flowplace_topo::{EntryPortId, SwitchId, Topology};
+
+use crate::{Route, RouteSet};
+
+/// Picks one shortest path from `ingress` to `egress`, breaking ties with
+/// `rng`. Returns `None` if the egress switch is unreachable.
+///
+/// The returned route's switch list starts at the ingress's switch and ends
+/// at the egress's switch (a single shared switch yields a length-1 path).
+pub fn shortest_path(
+    topo: &Topology,
+    ingress: EntryPortId,
+    egress: EntryPortId,
+    rng: &mut impl Rng,
+) -> Option<Route> {
+    let src = topo.entry_port(ingress).switch;
+    let dst = topo.entry_port(egress).switch;
+    let dist_to_dst = topo.distances_from(dst);
+    if dist_to_dst[src.0] == usize::MAX {
+        return None;
+    }
+    let mut switches = vec![src];
+    let mut cur = src;
+    while cur != dst {
+        let next_dist = dist_to_dst[cur.0] - 1;
+        let candidates: Vec<SwitchId> = topo
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|n| dist_to_dst[n.0] == next_dist)
+            .collect();
+        debug_assert!(!candidates.is_empty(), "BFS distance field is consistent");
+        cur = candidates[rng.gen_range(0..candidates.len())];
+        switches.push(cur);
+    }
+    Some(Route::new(ingress, egress, switches))
+}
+
+/// Generates `count` routes between uniformly random distinct entry-port
+/// pairs, each a randomized shortest path. Deterministic in `seed`.
+///
+/// Pairs whose endpoints share a switch produce valid single-switch routes;
+/// unreachable pairs are skipped and retried, so the result always has
+/// exactly `count` routes on a connected topology.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two entry ports.
+pub fn random_routes(topo: &Topology, count: usize, seed: u64) -> RouteSet {
+    let n = topo.entry_port_count();
+    assert!(n >= 2, "need at least two entry ports to route between");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut routes = RouteSet::new();
+    let mut attempts = 0usize;
+    while routes.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count.saturating_mul(100) + 1000,
+            "could not generate {count} routes; topology too disconnected"
+        );
+        let a = EntryPortId(rng.gen_range(0..n));
+        let b = EntryPortId(rng.gen_range(0..n));
+        if a == b {
+            continue;
+        }
+        if let Some(r) = shortest_path(topo, a, b, &mut rng) {
+            routes.push(r);
+        }
+    }
+    routes
+}
+
+/// Generates routes from every entry port to `fanout` distinct random
+/// destinations (the per-ingress variant used by experiments that fix the
+/// number of policies while varying paths per policy). Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two entry ports.
+pub fn routes_per_ingress(topo: &Topology, fanout: usize, seed: u64) -> RouteSet {
+    let n = topo.entry_port_count();
+    assert!(n >= 2, "need at least two entry ports to route between");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut routes = RouteSet::new();
+    for i in 0..n {
+        let ingress = EntryPortId(i);
+        let mut used = std::collections::BTreeSet::new();
+        let want = fanout.min(n - 1);
+        let mut attempts = 0usize;
+        while used.len() < want {
+            attempts += 1;
+            assert!(attempts < 100 * want + 1000, "routing generation stalled");
+            let j = rng.gen_range(0..n);
+            if j == i || used.contains(&j) {
+                continue;
+            }
+            if let Some(r) = shortest_path(topo, ingress, EntryPortId(j), &mut rng) {
+                used.insert(j);
+                routes.push(r);
+            }
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_on_linear_is_the_chain() {
+        let topo = Topology::linear(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = shortest_path(&topo, EntryPortId(0), EntryPortId(1), &mut rng).unwrap();
+        assert_eq!(
+            r.switches,
+            (0..5).map(SwitchId).collect::<Vec<_>>(),
+            "unique shortest path on a chain"
+        );
+    }
+
+    #[test]
+    fn shortest_paths_have_minimal_length() {
+        let topo = Topology::fat_tree(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for (a, b) in [(0usize, 15usize), (0, 3), (5, 10)] {
+            let r =
+                shortest_path(&topo, EntryPortId(a), EntryPortId(b), &mut rng).unwrap();
+            let src = topo.entry_port(EntryPortId(a)).switch;
+            let dst = topo.entry_port(EntryPortId(b)).switch;
+            let d = topo.distances_from(src);
+            assert_eq!(r.switches.len(), d[dst.0] + 1, "minimal hop count");
+            assert_eq!(*r.switches.first().unwrap(), src);
+            assert_eq!(*r.switches.last().unwrap(), dst);
+            // Consecutive switches are adjacent.
+            for w in r.switches.windows(2) {
+                assert!(topo.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn same_edge_switch_single_hop_path() {
+        let topo = Topology::fat_tree(4);
+        // Hosts 0 and 1 share edge switch in pod 0.
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = shortest_path(&topo, EntryPortId(0), EntryPortId(1), &mut rng).unwrap();
+        assert_eq!(r.switches.len(), 1);
+    }
+
+    #[test]
+    fn random_routes_deterministic_in_seed() {
+        let topo = Topology::fat_tree(4);
+        let a = random_routes(&topo, 20, 42);
+        let b = random_routes(&topo, 20, 42);
+        let c = random_routes(&topo, 20, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn tie_breaking_explores_multiple_paths() {
+        // In a fat-tree there are multiple shortest paths between pods;
+        // different seeds should eventually pick different ones.
+        let topo = Topology::fat_tree(4);
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = shortest_path(&topo, EntryPortId(0), EntryPortId(15), &mut rng)
+                .unwrap();
+            distinct.insert(r.switches.clone());
+        }
+        assert!(distinct.len() > 1, "expected ECMP diversity");
+    }
+
+    #[test]
+    fn routes_per_ingress_counts() {
+        let topo = Topology::fat_tree(4);
+        let rs = routes_per_ingress(&topo, 3, 9);
+        assert_eq!(rs.len(), 16 * 3);
+        for i in 0..16 {
+            assert_eq!(rs.paths_from(EntryPortId(i)).len(), 3);
+        }
+    }
+}

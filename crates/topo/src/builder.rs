@@ -1,0 +1,144 @@
+//! Incremental topology construction.
+
+use crate::graph::{EntryPort, EntryPortId, Switch, SwitchId, Topology, TopologyError};
+
+/// Builder for [`Topology`] values.
+///
+/// # Example
+///
+/// ```
+/// use flowplace_topo::TopologyBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_switch("a", 100);
+/// let c = b.add_switch("c", 100);
+/// b.add_link(a, c)?;
+/// let ingress = b.add_entry_port("l0", a)?;
+/// let topo = b.build();
+/// assert_eq!(topo.entry_port(ingress).switch, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    switches: Vec<Switch>,
+    entries: Vec<EntryPort>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a switch with the given name and ACL rule capacity, returning
+    /// its id.
+    pub fn add_switch(&mut self, name: impl Into<String>, capacity: usize) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        self.switches.push(Switch {
+            name: name.into(),
+            capacity,
+            neighbors: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds an undirected link between two switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSwitch`] for out-of-range ids,
+    /// [`TopologyError::SelfLoop`] if `a == b`, and
+    /// [`TopologyError::DuplicateLink`] if the link already exists.
+    pub fn add_link(&mut self, a: SwitchId, b: SwitchId) -> Result<(), TopologyError> {
+        if a.0 >= self.switches.len() {
+            return Err(TopologyError::UnknownSwitch(a));
+        }
+        if b.0 >= self.switches.len() {
+            return Err(TopologyError::UnknownSwitch(b));
+        }
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        if self.switches[a.0].neighbors.contains(&b) {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        self.switches[a.0].neighbors.push(b);
+        self.switches[b.0].neighbors.push(a);
+        Ok(())
+    }
+
+    /// Attaches a network entry (ingress/egress) port to a switch,
+    /// returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSwitch`] if `switch` is out of range.
+    pub fn add_entry_port(
+        &mut self,
+        name: impl Into<String>,
+        switch: SwitchId,
+    ) -> Result<EntryPortId, TopologyError> {
+        if switch.0 >= self.switches.len() {
+            return Err(TopologyError::UnknownSwitch(switch));
+        }
+        let id = EntryPortId(self.entries.len());
+        self.entries.push(EntryPort {
+            name: name.into(),
+            switch,
+        });
+        Ok(id)
+    }
+
+    /// Finalizes the topology. Neighbor lists are sorted for deterministic
+    /// iteration order.
+    pub fn build(mut self) -> Topology {
+        for s in &mut self.switches {
+            s.neighbors.sort_unstable();
+        }
+        Topology {
+            switches: self.switches,
+            entries: self.entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_switch() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a", 1);
+        let bad = SwitchId(7);
+        assert_eq!(b.add_link(a, bad), Err(TopologyError::UnknownSwitch(bad)));
+        assert_eq!(
+            b.add_entry_port("x", bad),
+            Err(TopologyError::UnknownSwitch(bad))
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicate() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a", 1);
+        let c = b.add_switch("c", 1);
+        assert_eq!(b.add_link(a, a), Err(TopologyError::SelfLoop(a)));
+        b.add_link(a, c).unwrap();
+        assert_eq!(b.add_link(c, a), Err(TopologyError::DuplicateLink(c, a)));
+    }
+
+    #[test]
+    fn neighbors_sorted_after_build() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch("s0", 1);
+        let s1 = b.add_switch("s1", 1);
+        let s2 = b.add_switch("s2", 1);
+        b.add_link(s0, s2).unwrap();
+        b.add_link(s0, s1).unwrap();
+        let t = b.build();
+        assert_eq!(t.neighbors(s0), &[s1, s2]);
+    }
+}

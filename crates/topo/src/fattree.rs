@@ -1,0 +1,138 @@
+//! The k-ary Fat-Tree topology (Al-Fares, Loukissas, Vahdat — SIGCOMM'08).
+//!
+//! A `k`-ary fat-tree has:
+//!
+//! * `k` pods, each with `k/2` edge switches and `k/2` aggregation switches;
+//! * `(k/2)²` core switches;
+//! * `5k²/4` switches total and `k³/4` host positions (each edge switch
+//!   serves `k/2` hosts).
+//!
+//! Every host position becomes a network [`EntryPort`](crate::EntryPort),
+//! which is where the paper attaches the per-ingress firewall policies.
+//!
+//! Switch id layout (deterministic):
+//!
+//! * core switches: ids `0 .. (k/2)²`, named `core-<i>-<j>`;
+//! * per pod `p`: aggregation switches `agg-<p>-<a>` then edge switches
+//!   `edge-<p>-<e>`.
+
+use crate::{SwitchId, Topology, TopologyBuilder};
+
+/// Builds the `k`-ary fat-tree. See the module docs for the layout.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or less than 2.
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity k={k} must be even and >= 2");
+    let half = k / 2;
+    let mut b = TopologyBuilder::new();
+
+    // Core switches, in a half×half grid: core[i][j].
+    let mut core = vec![vec![SwitchId(0); half]; half];
+    for (i, row) in core.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = b.add_switch(format!("core-{i}-{j}"), usize::MAX);
+        }
+    }
+
+    for pod in 0..k {
+        // Aggregation switches of this pod.
+        let aggs: Vec<SwitchId> = (0..half)
+            .map(|a| b.add_switch(format!("agg-{pod}-{a}"), usize::MAX))
+            .collect();
+        // Edge switches of this pod.
+        let edges: Vec<SwitchId> = (0..half)
+            .map(|e| b.add_switch(format!("edge-{pod}-{e}"), usize::MAX))
+            .collect();
+        // Full bipartite connection edge <-> agg inside the pod.
+        for &agg in &aggs {
+            for &edge in &edges {
+                b.add_link(agg, edge).expect("valid pod link");
+            }
+        }
+        // Aggregation switch `a` connects to core row `a` (all columns).
+        for (a, &agg) in aggs.iter().enumerate() {
+            for &c in &core[a] {
+                b.add_link(agg, c).expect("valid core link");
+            }
+        }
+        // Each edge switch hosts k/2 entry ports.
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                b.add_entry_port(format!("host-{pod}-{e}-{h}"), edge)
+                    .expect("valid host port");
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for k in [2usize, 4, 6, 8] {
+            let t = fat_tree(k);
+            assert_eq!(t.switch_count(), 5 * k * k / 4, "switches for k={k}");
+            assert_eq!(t.entry_port_count(), k * k * k / 4, "hosts for k={k}");
+            assert!(t.is_connected(), "connected for k={k}");
+        }
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        // Each pod: (k/2)² edge-agg links; k/2 aggs × k/2 core links each.
+        for k in [4usize, 6] {
+            let t = fat_tree(k);
+            let half = k / 2;
+            let expected = k * (half * half) + k * half * half;
+            assert_eq!(t.link_count(), expected);
+        }
+    }
+
+    #[test]
+    fn degree_structure() {
+        let k = 4;
+        let t = fat_tree(k);
+        // Core switches connect to one agg in every pod: degree k.
+        for (id, s) in t.switches() {
+            if s.name.starts_with("core") {
+                assert_eq!(t.neighbors(id).len(), k, "core degree");
+            } else if s.name.starts_with("agg") {
+                // k/2 edges + k/2 cores.
+                assert_eq!(t.neighbors(id).len(), k, "agg degree");
+            } else {
+                // Edge: k/2 aggs (hosts are entry ports, not switches).
+                assert_eq!(t.neighbors(id).len(), k / 2, "edge degree");
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_attach_to_edge_switches() {
+        let t = fat_tree(4);
+        for (_, p) in t.entry_ports() {
+            assert!(t.switch(p.switch).name.starts_with("edge"));
+        }
+    }
+
+    #[test]
+    fn diameter_is_six_hops_of_switches() {
+        // Max switch-to-switch distance in a fat-tree is 4
+        // (edge → agg → core → agg → edge).
+        let t = fat_tree(4);
+        let d = t.distances_from(SwitchId(4)); // first agg of pod 0
+        let max = d.iter().max().unwrap();
+        assert!(*max <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_panics() {
+        let _ = fat_tree(3);
+    }
+}

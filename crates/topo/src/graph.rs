@@ -1,0 +1,429 @@
+//! Core topology data structures.
+
+use std::fmt;
+
+/// Identifier of a switch `s_i` in the network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SwitchId(pub usize);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a network entry (ingress/egress) port `l_i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EntryPortId(pub usize);
+
+impl fmt::Display for EntryPortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A switch: a name, a TCAM rule capacity `C_i`, and its adjacency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Switch {
+    /// Human-readable name (e.g. `"edge-2-1"` in a fat-tree).
+    pub name: String,
+    /// TCAM slots available for ACL rules on this switch.
+    pub capacity: usize,
+    pub(crate) neighbors: Vec<SwitchId>,
+}
+
+/// A network entry port: where packets enter or leave the network,
+/// attached to exactly one switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryPort {
+    /// Human-readable name (e.g. `"host-0"`).
+    pub name: String,
+    /// The switch this port is attached to.
+    pub switch: SwitchId,
+}
+
+/// Error raised by topology validation or construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A referenced switch id does not exist.
+    UnknownSwitch(SwitchId),
+    /// A link connects a switch to itself.
+    SelfLoop(SwitchId),
+    /// The same link was added twice.
+    DuplicateLink(SwitchId, SwitchId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            TopologyError::SelfLoop(s) => write!(f, "self loop at {s}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link {a}-{b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The data-plane network `N`: switches with capacities, undirected links,
+/// and entry ports.
+///
+/// Construct with [`TopologyBuilder`](crate::TopologyBuilder) or one of the
+/// generators ([`Topology::fat_tree`], [`Topology::linear`],
+/// [`Topology::star`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    pub(crate) switches: Vec<Switch>,
+    pub(crate) entries: Vec<EntryPort>,
+}
+
+impl Topology {
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of entry ports.
+    pub fn entry_port_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The switch with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0]
+    }
+
+    /// The entry port with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn entry_port(&self, id: EntryPortId) -> &EntryPort {
+        &self.entries[id.0]
+    }
+
+    /// Iterates over `(SwitchId, &Switch)`.
+    pub fn switches(&self) -> impl Iterator<Item = (SwitchId, &Switch)> {
+        self.switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SwitchId(i), s))
+    }
+
+    /// Iterates over `(EntryPortId, &EntryPort)`.
+    pub fn entry_ports(&self) -> impl Iterator<Item = (EntryPortId, &EntryPort)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntryPortId(i), e))
+    }
+
+    /// Neighbors of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: SwitchId) -> &[SwitchId] {
+        &self.switches[id.0].neighbors
+    }
+
+    /// The ACL rule capacity `C_i` of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn capacity(&self, id: SwitchId) -> usize {
+        self.switches[id.0].capacity
+    }
+
+    /// Sets the capacity of one switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_capacity(&mut self, id: SwitchId, capacity: usize) {
+        self.switches[id.0].capacity = capacity;
+    }
+
+    /// Sets every switch's capacity to `capacity`.
+    pub fn set_uniform_capacity(&mut self, capacity: usize) {
+        for s in &mut self.switches {
+            s.capacity = capacity;
+        }
+    }
+
+    /// Per-switch capacities indexed by `SwitchId`.
+    pub fn capacities(&self) -> Vec<usize> {
+        self.switches.iter().map(|s| s.capacity).collect()
+    }
+
+    /// Total number of links (each undirected link counted once).
+    pub fn link_count(&self) -> usize {
+        self.switches.iter().map(|s| s.neighbors.len()).sum::<usize>() / 2
+    }
+
+    /// True if every switch is reachable from switch 0 (or the network is
+    /// empty).
+    pub fn is_connected(&self) -> bool {
+        if self.switches.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.switches.len()];
+        let mut stack = vec![SwitchId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(s) = stack.pop() {
+            for &n in &self.switches[s.0].neighbors {
+                if !seen[n.0] {
+                    seen[n.0] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.switches.len()
+    }
+
+    /// Hop distances from `from` to every switch (BFS); `usize::MAX` marks
+    /// unreachable switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn distances_from(&self, from: SwitchId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.switches.len()];
+        dist[from.0] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(s) = queue.pop_front() {
+            for &n in &self.switches[s.0].neighbors {
+                if dist[n.0] == usize::MAX {
+                    dist[n.0] = dist[s.0] + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// A linear chain of `n` switches with an entry port at each end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn linear(n: usize) -> Topology {
+        assert!(n >= 1, "linear topology needs at least one switch");
+        let mut b = crate::TopologyBuilder::new();
+        let ids: Vec<SwitchId> = (0..n)
+            .map(|i| b.add_switch(format!("s{i}"), usize::MAX))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_link(w[0], w[1]).expect("valid chain link");
+        }
+        b.add_entry_port("in", ids[0]).expect("valid ingress");
+        b.add_entry_port("out", ids[n - 1]).expect("valid egress");
+        b.build()
+    }
+
+    /// A star: one hub switch connected to `leaves` leaf switches, with one
+    /// entry port per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves == 0`.
+    pub fn star(leaves: usize) -> Topology {
+        assert!(leaves >= 1, "star topology needs at least one leaf");
+        let mut b = crate::TopologyBuilder::new();
+        let hub = b.add_switch("hub", usize::MAX);
+        for i in 0..leaves {
+            let leaf = b.add_switch(format!("leaf{i}"), usize::MAX);
+            b.add_link(hub, leaf).expect("valid star link");
+            b.add_entry_port(format!("l{i}"), leaf).expect("valid port");
+        }
+        b.build()
+    }
+
+    /// A `k`-ary Fat-Tree (Al-Fares et al.): `5k²/4` switches and `k³/4`
+    /// entry ports (one per host position). See [`crate::fattree`] docs on
+    /// the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2.
+    pub fn fat_tree(k: usize) -> Topology {
+        crate::fattree::fat_tree(k)
+    }
+
+    /// A two-tier leaf–spine Clos: `spines` spine switches each connected
+    /// to all `leaves` leaf switches, with `hosts_per_leaf` entry ports
+    /// per leaf. Switch ids: spines first (`0..spines`), then leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Topology {
+        assert!(
+            spines >= 1 && leaves >= 1 && hosts_per_leaf >= 1,
+            "leaf-spine dimensions must be positive"
+        );
+        let mut b = crate::TopologyBuilder::new();
+        let spine_ids: Vec<SwitchId> = (0..spines)
+            .map(|i| b.add_switch(format!("spine-{i}"), usize::MAX))
+            .collect();
+        for l in 0..leaves {
+            let leaf = b.add_switch(format!("leaf-{l}"), usize::MAX);
+            for &s in &spine_ids {
+                b.add_link(leaf, s).expect("valid clos link");
+            }
+            for h in 0..hosts_per_leaf {
+                b.add_entry_port(format!("host-{l}-{h}"), leaf)
+                    .expect("valid host port");
+            }
+        }
+        b.build()
+    }
+}
+
+impl Topology {
+    /// Renders the topology in Graphviz DOT syntax: switches as boxes
+    /// (labeled with name and capacity), entry ports as ellipses.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph topology {\n");
+        for (id, s) in self.switches() {
+            let cap = if s.capacity == usize::MAX {
+                "∞".to_string()
+            } else {
+                s.capacity.to_string()
+            };
+            out.push_str(&format!(
+                "  s{} [shape=box, label=\"{} (C={})\"];\n",
+                id.0, s.name, cap
+            ));
+        }
+        for (id, p) in self.entry_ports() {
+            out.push_str(&format!(
+                "  l{} [shape=ellipse, label=\"{}\"];\n  l{} -- s{};\n",
+                id.0, p.name, id.0, p.switch.0
+            ));
+        }
+        for (id, s) in self.switches() {
+            for &n in &s.neighbors {
+                if n > id {
+                    out.push_str(&format!("  s{} -- s{};\n", id.0, n.0));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology: {} switches, {} links, {} entry ports",
+            self.switch_count(),
+            self.link_count(),
+            self.entry_port_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_structure() {
+        let t = Topology::linear(4);
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.entry_port_count(), 2);
+        assert!(t.is_connected());
+        assert_eq!(t.neighbors(SwitchId(1)), &[SwitchId(0), SwitchId(2)]);
+        assert_eq!(t.entry_port(EntryPortId(0)).switch, SwitchId(0));
+        assert_eq!(t.entry_port(EntryPortId(1)).switch, SwitchId(3));
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = Topology::star(5);
+        assert_eq!(t.switch_count(), 6);
+        assert_eq!(t.link_count(), 5);
+        assert_eq!(t.entry_port_count(), 5);
+        assert_eq!(t.neighbors(SwitchId(0)).len(), 5);
+    }
+
+    #[test]
+    fn distances_bfs() {
+        let t = Topology::linear(5);
+        let d = t.distances_from(SwitchId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn leaf_spine_structure() {
+        let t = Topology::leaf_spine(4, 6, 8);
+        assert_eq!(t.switch_count(), 10);
+        assert_eq!(t.entry_port_count(), 48);
+        assert_eq!(t.link_count(), 24);
+        assert!(t.is_connected());
+        // Spines connect to every leaf; leaves to every spine.
+        for (id, s) in t.switches() {
+            if s.name.starts_with("spine") {
+                assert_eq!(t.neighbors(id).len(), 6);
+            } else {
+                assert_eq!(t.neighbors(id).len(), 4);
+            }
+        }
+        // Any leaf-to-leaf distance is exactly 2 (via a spine).
+        let d = t.distances_from(SwitchId(4)); // first leaf
+        for (id, s) in t.switches() {
+            if s.name.starts_with("leaf") && id != SwitchId(4) {
+                assert_eq!(d[id.0], 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn leaf_spine_zero_rejected() {
+        let _ = Topology::leaf_spine(0, 3, 1);
+    }
+
+    #[test]
+    fn capacities_roundtrip() {
+        let mut t = Topology::linear(3);
+        t.set_uniform_capacity(10);
+        t.set_capacity(SwitchId(1), 99);
+        assert_eq!(t.capacities(), vec![10, 99, 10]);
+        assert_eq!(t.capacity(SwitchId(1)), 99);
+    }
+
+    #[test]
+    fn dot_export_structure() {
+        let mut t = Topology::linear(2);
+        t.set_uniform_capacity(7);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("s0 [shape=box"));
+        assert!(dot.contains("(C=7)"));
+        assert!(dot.contains("s0 -- s1;"));
+        assert!(dot.contains("l0 -- s0;"));
+        assert!(dot.contains("l1 -- s1;"));
+        // Each undirected link appears exactly once.
+        assert_eq!(dot.matches("s0 -- s1;").count(), 1);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let t = Topology::linear(2);
+        let s = t.to_string();
+        assert!(s.contains("2 switches"));
+        assert!(s.contains("1 links"));
+    }
+}

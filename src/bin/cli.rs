@@ -1,0 +1,334 @@
+//! `flowplace` — command-line front end for the rule-placement optimizer.
+//!
+//! ```text
+//! flowplace gen-policy --rules 20 --seed 7 > tenant.txt
+//! flowplace audit tenant.txt --dot deps.dot
+//! flowplace place --topo fat-tree:4 --capacity 40 --ingresses 8 \
+//!                 --rules 12 --merging --verify --tables
+//! ```
+//!
+//! Run `flowplace help` for the full flag reference.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use flowplace::acl::{redundancy, textfmt, Policy};
+use flowplace::classbench::{Generator, Profile};
+use flowplace::core::{depgraph::DependencyGraph, tables, verify};
+use flowplace::milp::MipOptions;
+use flowplace::prelude::*;
+use flowplace::routing::shortest;
+
+const HELP: &str = "\
+flowplace — ACL rule placement for software-defined networks
+
+USAGE:
+  flowplace place [FLAGS]        solve a placement instance
+  flowplace audit FILE [FLAGS]   analyze a policy file (redundancy, deps)
+  flowplace gen-policy [FLAGS]   generate a synthetic policy to stdout
+  flowplace help                 show this text
+
+place flags:
+  --topo SPEC          fat-tree:K | leaf-spine:S,L,H | linear:N  [fat-tree:4]
+  --capacity N         TCAM slots per switch                     [40]
+  --ingresses N        number of tenant policies                 [4]
+  --paths N            shortest paths per ingress                [2]
+  --rules N            generated rules per policy                [10]
+  --policy-file FILE   use this policy text for every ingress (overrides --rules)
+  --seed N             RNG seed for routing + generation         [7]
+  --merging            enable cross-policy rule merging
+  --engine ilp|sat     optimizing ILP or feasibility-only PB-SAT [ilp]
+  --objective rules|distance   minimize total rules or push drops upstream
+  --time-limit SECS    branch-and-bound budget                   [60]
+  --verify             golden-model check of the deployment
+  --tables             print the emitted per-switch tables
+  --export-lp FILE     also write the ILP in CPLEX LP format
+
+audit flags:
+  --dot FILE           write the dependency graph in Graphviz DOT
+
+gen-policy flags:
+  --rules N            rule count                                [20]
+  --width N            match width in bits                       [16]
+  --seed N             RNG seed                                  [1]
+  --profile firewall|acl|ipchain                                 [firewall]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("place") => place(&args[1..]),
+        Some("audit") => audit(&args[1..]),
+        Some("gen-policy") => gen_policy(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try `flowplace help`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Splits `args` into `--flag value` pairs and bare switches.
+fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
+    const SWITCHES: &[&str] = &["--merging", "--verify", "--tables"];
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if SWITCHES.contains(&a.as_str()) {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag {a} needs a value"))?;
+                flags.insert(name.to_string(), v.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+    }
+}
+
+fn build_topology(spec: &str) -> Result<Topology, String> {
+    let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "fat-tree" => {
+            let k: usize = params.parse().map_err(|_| format!("bad fat-tree arity {params:?}"))?;
+            Ok(Topology::fat_tree(k))
+        }
+        "leaf-spine" => {
+            let ps: Vec<usize> = params
+                .split(',')
+                .map(|p| p.parse().map_err(|_| format!("bad leaf-spine params {params:?}")))
+                .collect::<Result<_, _>>()?;
+            if ps.len() != 3 {
+                return Err("leaf-spine needs S,L,H".into());
+            }
+            Ok(Topology::leaf_spine(ps[0], ps[1], ps[2]))
+        }
+        "linear" => {
+            let n: usize = params.parse().map_err(|_| format!("bad linear length {params:?}"))?;
+            Ok(Topology::linear(n))
+        }
+        other => Err(format!("unknown topology kind {other:?}")),
+    }
+}
+
+fn place(args: &[String]) -> ExitCode {
+    match place_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn place_inner(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected arguments: {positional:?}"));
+    }
+    let mut topo = build_topology(flags.get("topo").map(String::as_str).unwrap_or("fat-tree:4"))?;
+    let capacity = get_usize(&flags, "capacity", 40)?;
+    topo.set_uniform_capacity(capacity);
+    let ingresses = get_usize(&flags, "ingresses", 4)?;
+    if ingresses > topo.entry_port_count() {
+        return Err(format!(
+            "{} ingresses exceed the topology's {} entry ports",
+            ingresses,
+            topo.entry_port_count()
+        ));
+    }
+    let ppi = get_usize(&flags, "paths", 2)?;
+    let seed = get_usize(&flags, "seed", 7)? as u64;
+
+    let routes: RouteSet = shortest::routes_per_ingress(&topo, ppi, seed)
+        .iter()
+        .filter(|r| r.ingress.0 < ingresses)
+        .cloned()
+        .collect();
+
+    let policies: Vec<(EntryPortId, Policy)> = match flags.get("policy-file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let policy = textfmt::parse_policy(&text).map_err(|e| format!("{path}: {e}"))?;
+            (0..ingresses)
+                .map(|i| (EntryPortId(i), policy.clone()))
+                .collect()
+        }
+        None => {
+            let rules = get_usize(&flags, "rules", 10)?;
+            let generator = Generator::new(Profile::Firewall, 16).with_seed(seed);
+            (0..ingresses)
+                .map(|i| (EntryPortId(i), generator.policy(rules, i as u64)))
+                .collect()
+        }
+    };
+
+    let instance =
+        Instance::new(topo, routes, policies).map_err(|e| format!("invalid instance: {e}"))?;
+    println!("{instance}");
+
+    let engine = match flags.get("engine").map(String::as_str) {
+        None | Some("ilp") => PlacerEngine::Ilp,
+        Some("sat") => PlacerEngine::Sat,
+        Some(other) => return Err(format!("unknown engine {other:?}")),
+    };
+    let objective = match flags.get("objective").map(String::as_str) {
+        None | Some("rules") => Objective::TotalRules,
+        Some("distance") => Objective::DistanceWeighted,
+        Some(other) => return Err(format!("unknown objective {other:?}")),
+    };
+    let time_limit = get_usize(&flags, "time-limit", 60)? as u64;
+    let options = PlacementOptions {
+        engine,
+        merging: flags.contains_key("merging"),
+        greedy_warm_start: true,
+        mip: MipOptions {
+            time_limit: Some(std::time::Duration::from_secs(time_limit)),
+            ..MipOptions::default()
+        },
+        ..PlacementOptions::default()
+    };
+
+    if let Some(path) = flags.get("export-lp") {
+        let enc = flowplace::core::encode_ilp::IlpEncoding::build(
+            &instance,
+            &objective,
+            &flowplace::core::encode_ilp::EncodeOptions {
+                merging: options.merging,
+                ..Default::default()
+            },
+        );
+        std::fs::write(path, flowplace::milp::to_lp_format(&enc.model))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote LP model to {path}");
+    }
+
+    let outcome = RulePlacer::new(options)
+        .place(&instance, objective)
+        .expect("placement is infallible");
+    println!(
+        "status: {} in {:?} ({} vars, {} rows, {} nodes)",
+        outcome.status,
+        outcome.stats.elapsed,
+        outcome.stats.variables,
+        outcome.stats.constraints,
+        outcome.stats.nodes
+    );
+    let Some(placement) = outcome.placement else {
+        return Ok(ExitCode::from(1));
+    };
+    println!(
+        "installed {} rules (policies hold {}; duplication overhead {:+.1}%)",
+        placement.total_rules(),
+        instance.total_policy_rules(),
+        placement.duplication_overhead(&instance) * 100.0
+    );
+    if !placement.merge_groups().is_empty() {
+        println!("merge groups realized: {}", placement.merge_groups().len());
+    }
+
+    if flags.contains_key("tables") {
+        let tabs = tables::emit_tables(&instance, &placement).map_err(|e| e.to_string())?;
+        for (i, t) in tabs.iter().enumerate() {
+            if !t.is_empty() {
+                println!(
+                    "-- {} ({} entries)",
+                    instance.topology().switch(SwitchId(i)).name,
+                    t.len()
+                );
+                print!("{t}");
+            }
+        }
+    }
+    if flags.contains_key("verify") {
+        verify::verify_placement(&instance, &placement, 128, seed)
+            .map_err(|e| format!("verification FAILED: {e}"))?;
+        println!("verification passed");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    match audit_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn audit_inner(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("audit needs exactly one policy file".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let policy = textfmt::parse_policy(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: {} rules", policy.len());
+
+    let report = redundancy::remove_redundant(&policy);
+    println!(
+        "redundant rules: {} ({} kept)",
+        report.removed_count(),
+        report.policy.len()
+    );
+    for (id, rule, kind) in &report.removed {
+        println!("  {id} {rule} ({kind:?})");
+    }
+
+    let graph = DependencyGraph::build(&report.policy);
+    println!("{graph}");
+    if let Some(dot_path) = flags.get("dot") {
+        std::fs::write(dot_path, graph.to_dot(&report.policy))
+            .map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+        println!("wrote dependency graph to {dot_path}");
+    }
+    Ok(())
+}
+
+fn gen_policy(args: &[String]) -> ExitCode {
+    match gen_policy_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn gen_policy_inner(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected arguments: {positional:?}"));
+    }
+    let rules = get_usize(&flags, "rules", 20)?;
+    let width = get_usize(&flags, "width", 16)? as u32;
+    let seed = get_usize(&flags, "seed", 1)? as u64;
+    let profile = match flags.get("profile").map(String::as_str) {
+        None | Some("firewall") => Profile::Firewall,
+        Some("acl") => Profile::Acl,
+        Some("ipchain") => Profile::IpChain,
+        Some(other) => return Err(format!("unknown profile {other:?}")),
+    };
+    let policy = Generator::new(profile, width).with_seed(seed).policy(rules, 0);
+    print!("{}", textfmt::format_policy(&policy));
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the `flowplace` command-line binary.
+
+use std::process::Command;
+
+fn flowplace(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_flowplace"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = flowplace(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["place", "audit", "gen-policy"] {
+        assert!(text.contains(cmd), "help mentions {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = flowplace(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_policy_audit_place_pipeline() {
+    let dir = std::env::temp_dir().join(format!("flowplace-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy_path = dir.join("tenant.txt");
+    let dot_path = dir.join("deps.dot");
+
+    // Generate a policy file.
+    let out = flowplace(&["gen-policy", "--rules", "8", "--seed", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(text.lines().count(), 8);
+    assert!(text.lines().all(|l| l.starts_with("permit") || l.starts_with("drop")));
+    std::fs::write(&policy_path, &text).unwrap();
+
+    // Audit it with a DOT export.
+    let out = flowplace(&[
+        "audit",
+        policy_path.to_str().unwrap(),
+        "--dot",
+        dot_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("8 rules"));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+
+    // Place it on a small topology with verification.
+    let out = flowplace(&[
+        "place",
+        "--topo",
+        "linear:3",
+        "--capacity",
+        "10",
+        "--ingresses",
+        "1",
+        "--paths",
+        "1",
+        "--policy-file",
+        policy_path.to_str().unwrap(),
+        "--verify",
+        "--tables",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("status: optimal"));
+    assert!(text.contains("verification passed"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn place_reports_infeasible_with_exit_code() {
+    let out = flowplace(&[
+        "place", "--topo", "linear:2", "--capacity", "0", "--ingresses", "1", "--paths",
+        "1", "--rules", "4",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "infeasible exits 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("infeasible"));
+}
+
+#[test]
+fn place_exports_lp_model() {
+    let dir = std::env::temp_dir().join(format!("flowplace-cli-lp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let lp_path = dir.join("model.lp");
+    let out = flowplace(&[
+        "place",
+        "--topo",
+        "leaf-spine:2,2,2",
+        "--capacity",
+        "20",
+        "--ingresses",
+        "2",
+        "--rules",
+        "5",
+        "--export-lp",
+        lp_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lp = std::fs::read_to_string(&lp_path).unwrap();
+    assert!(lp.contains("Minimize"));
+    assert!(lp.contains("Subject To"));
+    assert!(lp.trim_end().ends_with("End"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sat_engine_flag() {
+    let out = flowplace(&[
+        "place", "--topo", "fat-tree:4", "--capacity", "30", "--ingresses", "2",
+        "--rules", "6", "--engine", "sat", "--verify",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verification passed"));
+}
+
+#[test]
+fn bad_flags_reported() {
+    let out = flowplace(&["place", "--topo", "moebius:9"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+    let out = flowplace(&["place", "--capacity"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+    let out = flowplace(&["audit"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,353 @@
+//! Property-based tests over the whole stack.
+//!
+//! Strategy-generated small instances exercise the invariants the paper's
+//! correctness argument rests on:
+//!
+//! * ternary algebra laws against exhaustive bit-vector enumeration;
+//! * redundancy removal preserves first-match semantics;
+//! * the MILP solver matches brute-force enumeration on tiny 0/1 models;
+//! * the CDCL PB solver matches brute-force truth tables;
+//! * any feasible placement (ILP or SAT engine, merging on or off)
+//!   passes the golden-model verifier.
+
+use proptest::prelude::*;
+
+use flowplace::acl::{redundancy, Action, CubeList, Packet, Policy, Ternary};
+use flowplace::core::verify;
+use flowplace::prelude::*;
+
+const WIDTH: u32 = 6;
+
+fn ternary_strategy() -> impl Strategy<Value = Ternary> {
+    // Generate (care, value) pairs at WIDTH bits.
+    (0u128..(1 << WIDTH), 0u128..(1 << WIDTH))
+        .prop_map(|(care, value)| Ternary::new(WIDTH, care, value))
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![Just(Action::Permit), Just(Action::Drop)]
+}
+
+fn policy_strategy(max_rules: usize) -> impl Strategy<Value = Policy> {
+    prop::collection::vec((ternary_strategy(), action_strategy()), 0..=max_rules)
+        .prop_map(|specs| Policy::from_ordered(specs).expect("ordered priorities are strict"))
+}
+
+fn all_packets() -> impl Iterator<Item = Packet> {
+    (0u128..(1 << WIDTH)).map(|b| Packet::from_bits(b, WIDTH))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ternary_intersection_is_exact(a in ternary_strategy(), b in ternary_strategy()) {
+        for p in all_packets() {
+            let in_both = a.matches(&p) && b.matches(&p);
+            match a.intersection(&b) {
+                None => prop_assert!(!in_both),
+                Some(i) => prop_assert_eq!(i.matches(&p), in_both),
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_subsumption_is_exact(a in ternary_strategy(), b in ternary_strategy()) {
+        let claimed = a.subsumes(&b);
+        let actual = all_packets().all(|p| !b.matches(&p) || a.matches(&p));
+        prop_assert_eq!(claimed, actual);
+    }
+
+    #[test]
+    fn cubelist_subtract_is_exact(
+        base in ternary_strategy(),
+        subs in prop::collection::vec(ternary_strategy(), 0..5),
+    ) {
+        let mut list = CubeList::from_cube(base);
+        for s in &subs {
+            list.subtract(s);
+        }
+        for p in all_packets() {
+            let expected = base.matches(&p) && subs.iter().all(|s| !s.matches(&p));
+            prop_assert_eq!(list.contains_packet(&p), expected, "packet {}", p);
+        }
+        // Cubes remain pairwise disjoint.
+        let cubes = list.cubes();
+        for (i, a) in cubes.iter().enumerate() {
+            for b in &cubes[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_removal_preserves_semantics(policy in policy_strategy(10)) {
+        let report = redundancy::remove_redundant(&policy);
+        prop_assert!(report.policy.len() <= policy.len());
+        for p in all_packets() {
+            prop_assert_eq!(policy.evaluate(&p), report.policy.evaluate(&p), "packet {}", p);
+        }
+    }
+
+    #[test]
+    fn redundancy_removal_is_idempotent(policy in policy_strategy(10)) {
+        let once = redundancy::remove_redundant(&policy).policy;
+        let twice = redundancy::remove_redundant(&once);
+        prop_assert_eq!(twice.removed_count(), 0, "second pass found more redundancy");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn milp_matches_brute_force(
+        costs in prop::collection::vec(1u32..6, 4..=8),
+        covers in prop::collection::vec(
+            prop::collection::vec(0usize..8, 1..4), 1..5),
+        cap in 1u32..8,
+    ) {
+        use flowplace::milp::{solve_mip, Cmp, MipOptions, Model, Sense};
+        let n = costs.len();
+        let mut model = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n).map(|i| model.add_binary(format!("x{i}"))).collect();
+        for (v, c) in vars.iter().zip(&costs) {
+            model.set_objective(*v, *c as f64);
+        }
+        for (r, cover) in covers.iter().enumerate() {
+            let terms: Vec<_> = cover.iter().filter(|&&i| i < n).map(|&i| (vars[i], 1.0)).collect();
+            if !terms.is_empty() {
+                model.add_constraint(format!("c{r}"), terms, Cmp::Ge, 1.0);
+            }
+        }
+        model.add_constraint("cap", vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, cap as f64);
+
+        let out = solve_mip(&model, &MipOptions::default());
+
+        // Brute force.
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let vals: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+            if model.check_feasible(&vals, 1e-9).is_ok() {
+                let obj = model.objective_value(&vals);
+                best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+            }
+        }
+        match best {
+            None => prop_assert!(out.is_infeasible(), "solver found {:?}", out.status),
+            Some(b) => {
+                let sol = out.solution().expect("solver missed a feasible point");
+                prop_assert!((sol.objective - b).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pbsat_matches_brute_force(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0u32..6, prop::bool::ANY), 1..4), 1..8),
+        k in 0u64..4,
+    ) {
+        use flowplace::pbsat::{Lit, Solver, Var};
+        let nv = 6u32;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+        let mut ok = true;
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| {
+                if pos { Lit::positive(vars[v as usize]) } else { Lit::negative(vars[v as usize]) }
+            }).collect();
+            ok &= s.add_clause(&lits);
+        }
+        let card: Vec<Lit> = vars.iter().take(4).map(|&v| Lit::positive(v)).collect();
+        ok &= s.add_at_most_k(&card, k);
+        let got = ok && s.solve().is_sat();
+
+        let mut expected = false;
+        'outer: for mask in 0u32..(1 << nv) {
+            let val = |v: u32, pos: bool| (((mask >> v) & 1) == 1) == pos;
+            for clause in &clauses {
+                if !clause.iter().any(|&(v, pos)| val(v, pos)) {
+                    continue 'outer;
+                }
+            }
+            if (0..4).filter(|&v| val(v, true)).count() as u64 > k {
+                continue;
+            }
+            expected = true;
+            break;
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Builds a random small placement instance on a star topology.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(policy_strategy(6), 2..=3),
+        2usize..=12, // capacity
+    )
+        .prop_map(|(policies, capacity)| {
+            let mut topo = Topology::star(policies.len() + 1);
+            topo.set_uniform_capacity(capacity);
+            let mut routes = RouteSet::new();
+            let egress = EntryPortId(policies.len());
+            let egress_switch = topo.entry_port(egress).switch;
+            for (i, _) in policies.iter().enumerate() {
+                let ingress_switch = topo.entry_port(EntryPortId(i)).switch;
+                routes.push(Route::new(
+                    EntryPortId(i),
+                    egress,
+                    vec![ingress_switch, SwitchId(0), egress_switch],
+                ));
+            }
+            let attached: Vec<(EntryPortId, Policy)> = policies
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (EntryPortId(i), p))
+                .collect();
+            Instance::new(topo, routes, attached).expect("valid instance")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_feasible_ilp_placement_verifies(instance in instance_strategy()) {
+        let placer = RulePlacer::new(PlacementOptions::default());
+        let outcome = placer.place(&instance, Objective::TotalRules).unwrap();
+        if let Some(p) = outcome.placement {
+            // Exhaustive: a pass is a proof over the full packet space.
+            let result = verify::verify_placement_exhaustive(&instance, &p);
+            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+        }
+    }
+
+    #[test]
+    fn any_feasible_sat_placement_verifies(instance in instance_strategy()) {
+        let placer = RulePlacer::new(PlacementOptions {
+            engine: PlacerEngine::Sat,
+            ..PlacementOptions::default()
+        });
+        let outcome = placer.place(&instance, Objective::TotalRules).unwrap();
+        if let Some(p) = outcome.placement {
+            let result = verify::verify_placement(&instance, &p, 64, 98);
+            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+        }
+    }
+
+    #[test]
+    fn merged_placement_verifies_and_never_costs_more(instance in instance_strategy()) {
+        let plain = RulePlacer::new(PlacementOptions::default())
+            .place(&instance, Objective::TotalRules).unwrap();
+        let merged = RulePlacer::new(PlacementOptions {
+            merging: true,
+            ..PlacementOptions::default()
+        }).place(&instance, Objective::TotalRules).unwrap();
+        match (plain.placement, merged.placement) {
+            (Some(p0), Some(p1)) => {
+                prop_assert!(p1.total_rules() <= p0.total_rules());
+                let result = verify::verify_placement(&instance, &p1, 64, 97);
+                prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            }
+            (None, Some(p1)) => {
+                // Merging can rescue infeasible instances, never the
+                // other way around.
+                let result = verify::verify_placement(&instance, &p1, 64, 96);
+                prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            }
+            (Some(_), None) => prop_assert!(false, "merging lost feasibility"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn greedy_placement_verifies_when_it_succeeds(instance in instance_strategy()) {
+        if let Some(p) = flowplace::core::greedy::greedy_place(&instance) {
+            let result = verify::verify_placement(&instance, &p, 64, 95);
+            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            // Greedy success implies the exact engines also find solutions.
+            let ilp = RulePlacer::new(PlacementOptions::default())
+                .place(&instance, Objective::TotalRules).unwrap();
+            prop_assert!(ilp.placement.is_some(), "ILP missed a greedy-feasible instance");
+            if let Some(opt) = ilp.placement {
+                prop_assert!(opt.total_rules() <= p.total_rules(),
+                    "optimal exceeds greedy: {} > {}", opt.total_rules(), p.total_rules());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn port_range_expansion_covers_exactly(lo in 0u16..=u16::MAX, span in 0u16..1000) {
+        use flowplace::acl::fivetuple::{FiveTuple, Ports, Prefix, Protocol};
+        let hi = lo.saturating_add(span);
+        let spec = FiveTuple {
+            src: Prefix::any(),
+            dst: Prefix::any(),
+            src_ports: Ports::Any,
+            dst_ports: Ports::Range(lo, hi),
+            protocol: Protocol::Any,
+        };
+        let cubes = spec.to_ternaries();
+        // Sample the boundary and a few interior/exterior ports.
+        let mut probes = vec![lo, hi, lo.saturating_sub(1), hi.saturating_add(1)];
+        probes.push(lo / 2);
+        probes.push(hi.saturating_add(1000));
+        for port in probes {
+            let bits = FiveTuple::pack_concrete(
+                std::net::Ipv4Addr::new(1, 2, 3, 4),
+                std::net::Ipv4Addr::new(5, 6, 7, 8),
+                9,
+                port,
+                6,
+            );
+            let pkt = Packet::from_bits(bits, 104);
+            let matched = cubes.iter().filter(|c| c.matches(&pkt)).count();
+            let expected = usize::from(port >= lo && port <= hi);
+            prop_assert_eq!(matched, expected, "port {}", port);
+        }
+    }
+
+    #[test]
+    fn policy_text_round_trips(policy in policy_strategy(8)) {
+        use flowplace::acl::textfmt;
+        let text = textfmt::format_policy(&policy);
+        let reparsed = textfmt::parse_policy(&text).unwrap();
+        prop_assert_eq!(&policy, &reparsed);
+    }
+
+    #[test]
+    fn ecmp_paths_are_shortest_and_distinct(
+        src in 0usize..16,
+        dst in 0usize..16,
+    ) {
+        prop_assume!(src != dst);
+        use flowplace::routing::kshortest;
+        let topo = Topology::fat_tree(4);
+        let paths = kshortest::all_shortest_paths(
+            &topo, EntryPortId(src), EntryPortId(dst), 64);
+        prop_assert!(!paths.is_empty());
+        let src_sw = topo.entry_port(EntryPortId(src)).switch;
+        let dst_sw = topo.entry_port(EntryPortId(dst)).switch;
+        let dist = topo.distances_from(src_sw);
+        let mut sigs = Vec::new();
+        for p in &paths {
+            prop_assert_eq!(p.switches.len(), dist[dst_sw.0] + 1, "length minimal");
+            prop_assert_eq!(*p.switches.first().unwrap(), src_sw);
+            prop_assert_eq!(*p.switches.last().unwrap(), dst_sw);
+            for w in p.switches.windows(2) {
+                prop_assert!(topo.neighbors(w[0]).contains(&w[1]));
+            }
+            sigs.push(p.switches.clone());
+        }
+        sigs.sort();
+        sigs.dedup();
+        prop_assert_eq!(sigs.len(), paths.len(), "paths pairwise distinct");
+    }
+}

@@ -1,0 +1,38 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+# The workspace is dependency-free: everything runs with --offline.
+
+CARGO ?= cargo
+
+.PHONY: all ci fmt fmt-check clippy build test test-all replay-demo clean
+
+all: ci
+
+## ci: everything CI runs — format check, clippy, tier-1 build + tests.
+ci: fmt-check clippy test
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --offline --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --offline
+
+## test: the tier-1 gate (root-package tests against the release build).
+test: build
+	$(CARGO) test -q --offline
+
+## test-all: every crate in the workspace.
+test-all:
+	$(CARGO) test -q --offline --workspace
+
+## replay-demo: run the controller on the shipped 50+-event trace.
+replay-demo:
+	$(CARGO) run --release --offline --bin flowplace -- ctrl replay traces/controller_demo.trace
+
+clean:
+	$(CARGO) clean

@@ -176,11 +176,7 @@ fn sharp_into(a: &Ternary, b: &Ternary, out: &mut Vec<Ternary>) {
         if b.care() & bit != 0 && cur.care() & bit == 0 {
             // The half of `cur` that disagrees with `b` at position i is
             // disjoint from `b`; keep it and continue with the agreeing half.
-            let keep = Ternary::new(
-                width,
-                cur.care() | bit,
-                cur.value() | (!b.value() & bit),
-            );
+            let keep = Ternary::new(width, cur.care() | bit, cur.value() | (!b.value() & bit));
             out.push(keep);
             cur = Ternary::new(width, cur.care() | bit, cur.value() | (b.value() & bit));
         }

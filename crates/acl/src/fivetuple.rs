@@ -286,7 +286,14 @@ mod tests {
 
     #[test]
     fn range_expansion_is_exact_cover() {
-        for (lo, hi) in [(0u16, 65535u16), (1, 1), (80, 88), (1024, 65535), (5, 6), (0, 7)] {
+        for (lo, hi) in [
+            (0u16, 65535u16),
+            (1, 1),
+            (80, 88),
+            (1024, 65535),
+            (5, 6),
+            (0, 7),
+        ] {
             let cubes = range_to_prefixes(lo, hi);
             // Every port in range is covered exactly once; none outside.
             for port in 0..=u16::MAX {

@@ -43,8 +43,8 @@ mod packet;
 mod policy;
 pub mod redundancy;
 mod rule;
-pub mod textfmt;
 mod ternary;
+pub mod textfmt;
 
 pub use cube::CubeList;
 pub use packet::Packet;

@@ -35,7 +35,10 @@ impl fmt::Display for PolicyError {
                 write!(f, "duplicate rule priority {p} in policy")
             }
             PolicyError::MixedWidths { expected, found } => {
-                write!(f, "mixed match-field widths in policy: {expected} vs {found}")
+                write!(
+                    f,
+                    "mixed match-field widths in policy: {expected} vs {found}"
+                )
             }
         }
     }
@@ -282,11 +285,8 @@ mod tests {
 
     #[test]
     fn first_match_wins() {
-        let p = Policy::from_ordered(vec![
-            (t("11*"), Action::Permit),
-            (t("1**"), Action::Drop),
-        ])
-        .unwrap();
+        let p = Policy::from_ordered(vec![(t("11*"), Action::Permit), (t("1**"), Action::Drop)])
+            .unwrap();
         assert_eq!(p.evaluate(&Packet::from_bits(0b110, 3)), Action::Permit);
         assert_eq!(p.evaluate(&Packet::from_bits(0b100, 3)), Action::Drop);
         assert_eq!(p.evaluate(&Packet::from_bits(0b010, 3)), Action::Permit);
@@ -307,11 +307,8 @@ mod tests {
 
     #[test]
     fn without_and_with_rule() {
-        let p = Policy::from_ordered(vec![
-            (t("1*"), Action::Drop),
-            (t("0*"), Action::Permit),
-        ])
-        .unwrap();
+        let p =
+            Policy::from_ordered(vec![(t("1*"), Action::Drop), (t("0*"), Action::Permit)]).unwrap();
         let q = p.without_rule(RuleId(0));
         assert_eq!(q.len(), 1);
         assert_eq!(q.evaluate(&Packet::from_bits(0b10, 2)), Action::Permit);
@@ -327,18 +324,18 @@ mod tests {
             (t("0**"), Action::Drop),
         ])
         .unwrap();
-        assert_eq!(p.drop_rules().collect::<Vec<_>>(), vec![RuleId(1), RuleId(2)]);
+        assert_eq!(
+            p.drop_rules().collect::<Vec<_>>(),
+            vec![RuleId(1), RuleId(2)]
+        );
         assert_eq!(p.permit_rules().collect::<Vec<_>>(), vec![RuleId(0)]);
     }
 
     #[test]
     fn equivalence_by_enumeration() {
         let a = Policy::from_ordered(vec![(t("1*"), Action::Drop)]).unwrap();
-        let b = Policy::from_ordered(vec![
-            (t("11"), Action::Drop),
-            (t("10"), Action::Drop),
-        ])
-        .unwrap();
+        let b =
+            Policy::from_ordered(vec![(t("11"), Action::Drop), (t("10"), Action::Drop)]).unwrap();
         assert!(a.equivalent_by_enumeration(&b));
         let c = Policy::from_ordered(vec![(t("11"), Action::Drop)]).unwrap();
         assert!(!a.equivalent_by_enumeration(&c));

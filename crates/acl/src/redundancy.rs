@@ -80,9 +80,7 @@ pub fn remove_redundant(policy: &Policy) -> RemovalReport {
         for (_, rule, kind) in pass.removed {
             let original_id = policy
                 .iter()
-                .find(|(id, r)| {
-                    **r == rule && !all_removed.iter().any(|(rid, _, _)| rid == id)
-                })
+                .find(|(id, r)| **r == rule && !all_removed.iter().any(|(rid, _, _)| rid == id))
                 .map(|(id, _)| id)
                 .unwrap_or(RuleId(usize::MAX));
             all_removed.push((original_id, rule, kind));
@@ -129,8 +127,7 @@ fn remove_redundant_pass(policy: &Policy) -> RemovalReport {
     }
 
     let kept_rules: Vec<Rule> = kept.into_iter().map(|i| rules[i]).collect();
-    let policy = Policy::from_rules(kept_rules)
-        .expect("kept subset of a valid policy is valid");
+    let policy = Policy::from_rules(kept_rules).expect("kept subset of a valid policy is valid");
     RemovalReport { policy, removed }
 }
 

@@ -123,7 +123,11 @@ impl Rule {
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} {}", self.priority, self.match_field, self.action)
+        write!(
+            f,
+            "[{}] {} {}",
+            self.priority, self.match_field, self.action
+        )
     }
 }
 

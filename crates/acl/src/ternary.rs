@@ -245,8 +245,9 @@ impl Ternary {
         let wc = self.wildcard_count();
         assert!(wc <= 20, "too many wildcards to enumerate ({wc})");
         let wmask = Self::width_mask(self.width);
-        let free_positions: Vec<u32> =
-            (0..self.width).filter(|i| self.care & (1u128 << i) == 0).collect();
+        let free_positions: Vec<u32> = (0..self.width)
+            .filter(|i| self.care & (1u128 << i) == 0)
+            .collect();
         let count: u64 = 1u64 << wc;
         let base = self.value & wmask;
         (0..count).map(move |combo| {

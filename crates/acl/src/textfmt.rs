@@ -90,28 +90,25 @@ pub fn parse_policy(text: &str) -> Result<Policy, ParsePolicyError> {
                 reason: "missing match pattern".into(),
             });
         };
-        let match_field = Ternary::parse(pattern).map_err(|e: ParseTernaryError| {
-            ParsePolicyError::BadLine {
+        let match_field =
+            Ternary::parse(pattern).map_err(|e: ParseTernaryError| ParsePolicyError::BadLine {
                 line: line_no,
                 reason: e.to_string(),
-            }
-        })?;
+            })?;
         let explicit = match (parts.next(), parts.next()) {
             (None, _) => None,
-            (Some("@"), Some(p)) => Some(p.parse::<u32>().map_err(|_| {
-                ParsePolicyError::BadLine {
+            (Some("@"), Some(p)) => {
+                Some(p.parse::<u32>().map_err(|_| ParsePolicyError::BadLine {
                     line: line_no,
                     reason: format!("bad priority {p:?}"),
-                }
-            })?),
-            (Some(tok), _) if tok.starts_with('@') => {
-                Some(tok[1..].parse::<u32>().map_err(|_| {
-                    ParsePolicyError::BadLine {
-                        line: line_no,
-                        reason: format!("bad priority {tok:?}"),
-                    }
                 })?)
             }
+            (Some(tok), _) if tok.starts_with('@') => Some(tok[1..].parse::<u32>().map_err(
+                |_| ParsePolicyError::BadLine {
+                    line: line_no,
+                    reason: format!("bad priority {tok:?}"),
+                },
+            )?),
             (Some(extra), _) => {
                 return Err(ParsePolicyError::BadLine {
                     line: line_no,
@@ -137,9 +134,7 @@ pub fn parse_policy(text: &str) -> Result<Policy, ParsePolicyError> {
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let priority = p
-                .explicit
-                .unwrap_or(max_explicit + n - i as u32);
+            let priority = p.explicit.unwrap_or(max_explicit + n - i as u32);
             Rule::new(p.match_field, p.action, priority)
         })
         .collect();
@@ -209,7 +204,10 @@ mod tests {
     #[test]
     fn bad_lines_are_located() {
         let e = parse_policy("permit 11\nreject 00\n").unwrap_err();
-        assert!(matches!(e, ParsePolicyError::BadLine { line: 2, .. }), "{e}");
+        assert!(
+            matches!(e, ParsePolicyError::BadLine { line: 2, .. }),
+            "{e}"
+        );
         let e = parse_policy("permit\n").unwrap_err();
         assert!(e.to_string().contains("missing match pattern"));
         let e = parse_policy("permit 1x\n").unwrap_err();

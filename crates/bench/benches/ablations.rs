@@ -1,7 +1,7 @@
 //! Ablation benches: dependency-row encodings (A1), ILP vs PB-SAT for
 //! feasibility (A2), merge-linking forms, and greedy warm start on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowplace_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};
@@ -106,5 +106,11 @@ fn warm_start(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dependency_encodings, sat_vs_ilp, merge_linking, warm_start);
+criterion_group!(
+    benches,
+    dependency_encodings,
+    sat_vs_ilp,
+    merge_linking,
+    warm_start
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! lives in the `repro` binary; Criterion measures a few representative
 //! points per network size so `cargo bench` stays minutes, not hours.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowplace_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowplace_bench::experiments::{default_options, EXP1_NETWORKS, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};

@@ -1,6 +1,6 @@
 //! Figure 10: solve time vs number of paths (representative points).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowplace_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};

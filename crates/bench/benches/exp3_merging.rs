@@ -1,7 +1,7 @@
 //! Table II: merging on/off at a representative capacity and shared-rule
 //! count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowplace_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowplace_bench::experiments::{default_options, EXP3_CAPACITIES, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};
@@ -26,17 +26,13 @@ fn bench(c: &mut Criterion) {
             options.merging = merging;
             let placer = RulePlacer::new(options);
             let name = if merging { "merge" } else { "plain" };
-            group.bench_with_input(
-                BenchmarkId::new(name, shared),
-                &instance,
-                |b, inst| {
-                    b.iter(|| {
-                        placer
-                            .place(inst, Objective::TotalRules)
-                            .expect("placement is infallible")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, shared), &instance, |b, inst| {
+                b.iter(|| {
+                    placer
+                        .place(inst, Objective::TotalRules)
+                        .expect("placement is infallible")
+                })
+            });
         }
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Figure 11: solve time across the capacity phase transition
 //! (over-constrained / hard band / under-constrained).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowplace_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};

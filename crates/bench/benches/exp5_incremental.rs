@@ -1,9 +1,8 @@
 //! Experiment 5: incremental deployment latency — installing a tenant
 //! policy and rerouting one against spare capacity, vs the full solve.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowplace_bench::harness::{criterion_group, criterion_main, Criterion};
+use flowplace_rng::StdRng;
 
 use flowplace_bench::experiments::{default_options, QUICK_TIME_LIMIT};
 use flowplace_bench::{build_instance, ScenarioConfig};

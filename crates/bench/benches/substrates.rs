@@ -2,9 +2,8 @@
 //! difference, redundancy removal, LP simplex, branch & bound, and CDCL
 //! search. These track the building blocks the placement solves stand on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flowplace_bench::harness::{criterion_group, criterion_main, Criterion};
+use flowplace_rng::{Rng, StdRng};
 
 use flowplace_acl::{redundancy, CubeList, Ternary};
 use flowplace_classbench::{Generator, Profile};
@@ -51,7 +50,9 @@ fn lp_and_mip(c: &mut Criterion) {
     // A random covering LP/MIP of placement-like shape.
     let mut rng = StdRng::seed_from_u64(4);
     let mut model = Model::new(Sense::Minimize);
-    let vars: Vec<_> = (0..300).map(|i| model.add_binary(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..300)
+        .map(|i| model.add_binary(format!("x{i}")))
+        .collect();
     for v in &vars {
         model.set_objective(*v, 1.0 + rng.gen::<f64>().round());
     }

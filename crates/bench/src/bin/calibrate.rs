@@ -10,14 +10,29 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let k: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let ingresses: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let caps: Vec<usize> = args.get(2).map(|s| s.split(',').map(|x| x.parse().unwrap()).collect()).unwrap_or(vec![55]);
-    let ns: Vec<usize> = args.get(3).map(|s| s.split(',').map(|x| x.parse().unwrap()).collect()).unwrap_or(vec![60, 90, 110]);
+    let caps: Vec<usize> = args
+        .get(2)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or(vec![55]);
+    let ns: Vec<usize> = args
+        .get(3)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or(vec![60, 90, 110]);
     for &capacity in &caps {
         for &n in &ns {
-            let cfg = ScenarioConfig { k, ingresses, paths_per_ingress: 2, rules_per_policy: n, shared_rules: 0, capacity, seed: 7 };
+            let cfg = ScenarioConfig {
+                k,
+                ingresses,
+                paths_per_ingress: 2,
+                rules_per_policy: n,
+                shared_rules: 0,
+                capacity,
+                seed: 7,
+            };
             let inst = build_instance(&cfg);
             let out = RulePlacer::new(default_options(Duration::from_secs(60)))
-                .place(&inst, Objective::TotalRules).unwrap();
+                .place(&inst, Objective::TotalRules)
+                .unwrap();
             println!("k={k} ing={ingresses} C={capacity} n={n}: {} obj={:?} in {:?} (vars {}, rows {}, nodes {})",
                 out.status, out.objective, out.stats.elapsed, out.stats.variables, out.stats.constraints, out.stats.nodes);
         }

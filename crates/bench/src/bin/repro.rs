@@ -44,49 +44,73 @@ fn main() {
                 println!("== Experiment 1 (Figures 7/8/9): runtime vs rules per policy ==");
                 let rows = experiments::exp1_rules(quick);
                 print!("{}", report::solve_rows_table(&rows, "n"));
-                write(format!("{out_dir}/exp1_rules.csv"), &report::solve_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp1_rules.csv"),
+                    &report::solve_rows_csv(&rows),
+                );
             }
             "exp2" => {
                 println!("== Experiment 2 (Figure 10): runtime vs number of paths ==");
                 let rows = experiments::exp2_paths(quick);
                 print!("{}", report::solve_rows_table(&rows, "paths"));
-                write(format!("{out_dir}/exp2_paths.csv"), &report::solve_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp2_paths.csv"),
+                    &report::solve_rows_csv(&rows),
+                );
             }
             "exp3" => {
                 println!("== Experiment 3 (Table II): capacity vs overhead in rule merging ==");
                 let rows = experiments::exp3_merging(quick);
                 print!("{}", report::merge_rows_table(&rows));
-                write(format!("{out_dir}/exp3_merging.csv"), &report::merge_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp3_merging.csv"),
+                    &report::merge_rows_csv(&rows),
+                );
             }
             "exp4" => {
                 println!("== Experiment 4 (Figure 11): runtime vs per-switch capacity ==");
                 let rows = experiments::exp4_capacity(quick);
                 print!("{}", report::solve_rows_table(&rows, "capacity"));
-                write(format!("{out_dir}/exp4_capacity.csv"), &report::solve_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp4_capacity.csv"),
+                    &report::solve_rows_csv(&rows),
+                );
             }
             "exp5" => {
                 println!("== Experiment 5: incremental deployment ==");
                 let rows = experiments::exp5_incremental(quick);
                 print!("{}", report::inc_rows_table(&rows));
-                write(format!("{out_dir}/exp5_incremental.csv"), &report::inc_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp5_incremental.csv"),
+                    &report::inc_rows_csv(&rows),
+                );
             }
             "exp6" => {
                 println!("== Rule sharing (§V closing claim): placed rules vs p×r ==");
                 let rows = experiments::exp6_sharing(quick);
                 print!("{}", report::sharing_rows_table(&rows));
-                write(format!("{out_dir}/exp6_sharing.csv"), &report::sharing_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/exp6_sharing.csv"),
+                    &report::sharing_rows_csv(&rows),
+                );
             }
             "ablate-deps" => {
                 println!("== Ablation: Equation 1 dependency encodings ==");
                 let rows = experiments::ablate_dependency(quick);
                 print!("{}", report::solve_rows_table(&rows, "n"));
-                write(format!("{out_dir}/ablate_deps.csv"), &report::solve_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/ablate_deps.csv"),
+                    &report::solve_rows_csv(&rows),
+                );
             }
             "ablate-sat" => {
                 println!("== Ablation: ILP vs PB-SAT feasibility ==");
                 let rows = experiments::ablate_sat_vs_ilp(quick);
                 print!("{}", report::solve_rows_table(&rows, "n"));
-                write(format!("{out_dir}/ablate_sat.csv"), &report::solve_rows_csv(&rows));
+                write(
+                    format!("{out_dir}/ablate_sat.csv"),
+                    &report::solve_rows_csv(&rows),
+                );
             }
             other => {
                 eprintln!("unknown experiment `{other}`");

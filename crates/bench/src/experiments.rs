@@ -4,12 +4,10 @@ use std::time::{Duration, Instant};
 
 use flowplace_core::encode_sat::SatEncoding;
 use flowplace_core::{
-    incremental, verify, DependencyEncoding, Objective, PlacementOptions, RulePlacer,
-    SolveStatus,
+    incremental, verify, DependencyEncoding, Objective, PlacementOptions, RulePlacer, SolveStatus,
 };
 use flowplace_milp::MipOptions;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowplace_rng::StdRng;
 
 use flowplace_routing::shortest;
 use flowplace_topo::EntryPortId;
@@ -99,11 +97,8 @@ pub fn run_point(
 /// The three network sizes of Figures 7, 8, 9, scaled from the paper's
 /// k ∈ {8, 16, 32} to k ∈ {4, 6, 8}: `(k, ingresses, paths_per_ingress,
 /// C_small, C_large)`.
-pub const EXP1_NETWORKS: [(usize, usize, usize, usize, usize); 3] = [
-    (4, 8, 2, 60, 240),
-    (6, 10, 2, 60, 260),
-    (8, 12, 2, 60, 280),
-];
+pub const EXP1_NETWORKS: [(usize, usize, usize, usize, usize); 3] =
+    [(4, 8, 2, 60, 240), (6, 10, 2, 60, 260), (8, 12, 2, 60, 280)];
 
 /// Figures 7/8/9: execution time vs rules per policy, for three network
 /// sizes and a small/large capacity each.
@@ -168,12 +163,7 @@ pub fn exp2_paths(quick: bool) -> Vec<SolveRow> {
                     capacity,
                     seed: seed * 67 + 3,
                 };
-                rows.push(run_point(
-                    format!("C={capacity}"),
-                    &cfg,
-                    &options,
-                    !quick,
-                ));
+                rows.push(run_point(format!("C={capacity}"), &cfg, &options, !quick));
             }
         }
     }
@@ -242,7 +232,9 @@ pub fn exp3_merging(quick: bool) -> Vec<MergeRow> {
                     merging,
                     status: outcome.status,
                     total_rules: placement.as_ref().map(|p| p.total_rules()),
-                    overhead: placement.as_ref().map(|p| p.duplication_overhead(&instance)),
+                    overhead: placement
+                        .as_ref()
+                        .map(|p| p.duplication_overhead(&instance)),
                     elapsed: outcome.stats.elapsed,
                 });
             }
@@ -302,7 +294,11 @@ pub struct IncRow {
 /// policies and (b) reroute batches of existing policies, measuring the
 /// restricted solves against the full solve.
 pub fn exp5_incremental(quick: bool) -> Vec<IncRow> {
-    let tl = if quick { QUICK_TIME_LIMIT } else { FULL_TIME_LIMIT };
+    let tl = if quick {
+        QUICK_TIME_LIMIT
+    } else {
+        FULL_TIME_LIMIT
+    };
     let options = default_options(tl);
     let base_cfg = ScenarioConfig {
         k: 4,
@@ -338,7 +334,11 @@ pub fn exp5_incremental(quick: bool) -> Vec<IncRow> {
             let route = shortest::shortest_path(instance.topology(), ingress, egress, &mut rng)
                 .expect("fat-tree is connected");
             let rules = if quick { 8 } else { 35 };
-            additions.push((ingress, generator.policy(rules, 1000 + j as u64), vec![route]));
+            additions.push((
+                ingress,
+                generator.policy(rules, 1000 + j as u64),
+                vec![route],
+            ));
         }
         let out = incremental::install_policies(
             &instance,
@@ -370,8 +370,7 @@ pub fn exp5_incremental(quick: bool) -> Vec<IncRow> {
             let ingress = EntryPortId(j);
             let mut new_routes = Vec::new();
             for egress in [EntryPortId(12 + j % 4), EntryPortId(8 + j % 4)] {
-                if let Some(r) =
-                    shortest::shortest_path(inst.topology(), ingress, egress, &mut rng)
+                if let Some(r) = shortest::shortest_path(inst.topology(), ingress, egress, &mut rng)
                 {
                     new_routes.push(r);
                 }
@@ -423,7 +422,11 @@ pub struct SharingRow {
 /// reference \[1\]) would install.
 pub fn exp6_sharing(quick: bool) -> Vec<SharingRow> {
     let ppis: &[usize] = if quick { &[2] } else { &[1, 2, 4, 8] };
-    let options = default_options(if quick { QUICK_TIME_LIMIT } else { FULL_TIME_LIMIT });
+    let options = default_options(if quick {
+        QUICK_TIME_LIMIT
+    } else {
+        FULL_TIME_LIMIT
+    });
     let mut rows = Vec::new();
     for &ppi in ppis {
         let cfg = ScenarioConfig {
@@ -454,7 +457,11 @@ pub fn exp6_sharing(quick: bool) -> Vec<SharingRow> {
 /// Ablation: the three Equation 1 encodings on one instance family.
 pub fn ablate_dependency(quick: bool) -> Vec<SolveRow> {
     let ns: &[usize] = if quick { &[8] } else { &[20, 40, 60] };
-    let tl = if quick { QUICK_TIME_LIMIT } else { FULL_TIME_LIMIT };
+    let tl = if quick {
+        QUICK_TIME_LIMIT
+    } else {
+        FULL_TIME_LIMIT
+    };
     let mut rows = Vec::new();
     for &n in ns {
         for (name, dep) in [
@@ -483,7 +490,11 @@ pub fn ablate_dependency(quick: bool) -> Vec<SolveRow> {
 /// paper's §IV-D future work, implemented and measured here).
 pub fn ablate_sat_vs_ilp(quick: bool) -> Vec<SolveRow> {
     let ns: &[usize] = if quick { &[8] } else { &[20, 40, 60, 80] };
-    let tl = if quick { QUICK_TIME_LIMIT } else { FULL_TIME_LIMIT };
+    let tl = if quick {
+        QUICK_TIME_LIMIT
+    } else {
+        FULL_TIME_LIMIT
+    };
     let mut rows = Vec::new();
     for &n in ns {
         let cfg = ScenarioConfig {

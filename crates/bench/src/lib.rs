@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod scenario;
 

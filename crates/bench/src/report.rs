@@ -17,8 +17,7 @@ fn status_str(s: SolveStatus) -> &'static str {
 
 /// CSV for [`SolveRow`] sweeps (Figures 7–11 and the ablations).
 pub fn solve_rows_csv(rows: &[SolveRow]) -> String {
-    let mut out =
-        String::from("label,n,paths,capacity,seed,status,ms,objective,vars,rows,nodes\n");
+    let mut out = String::from("label,n,paths,capacity,seed,status,ms,objective,vars,rows,nodes\n");
     for r in rows {
         let _ = writeln!(
             out,

@@ -1,7 +1,6 @@
 //! The seeded policy generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flowplace_rng::{Rng, StdRng};
 
 use flowplace_acl::{Action, Policy, Rule, Ternary};
 
@@ -101,7 +100,10 @@ impl Generator {
         let mut attempts = 0;
         while out.len() < count {
             attempts += 1;
-            assert!(attempts < 1000 + count * 100, "blacklist generation stalled");
+            assert!(
+                attempts < 1000 + count * 100,
+                "blacklist generation stalled"
+            );
             let m = pools.draw_match(self.width, &mut rng);
             if !out.contains(&m) {
                 out.push(m);
@@ -154,19 +156,11 @@ impl PolicySuite {
 /// Returns `policy` with `shared` DROP rules prepended at priorities above
 /// every existing rule, in the order given.
 fn prepend_shared(policy: &Policy, shared: &[Ternary]) -> Policy {
-    let max_priority = policy
-        .rules()
-        .first()
-        .map(|r| r.priority())
-        .unwrap_or(0);
+    let max_priority = policy.rules().first().map(|r| r.priority()).unwrap_or(0);
     let mut rules: Vec<Rule> = policy.rules().to_vec();
     let n = shared.len() as u32;
     for (i, m) in shared.iter().enumerate() {
-        rules.push(Rule::new(
-            *m,
-            Action::Drop,
-            max_priority + n - i as u32,
-        ));
+        rules.push(Rule::new(*m, Action::Drop, max_priority + n - i as u32));
     }
     Policy::from_rules(rules).expect("shifted priorities remain strict")
 }
@@ -284,8 +278,7 @@ mod tests {
         let mut deps = 0;
         for (i, hi) in p.iter() {
             for (j, lo) in p.iter() {
-                if j.0 > i.0 && hi.action().is_permit() && lo.action().is_drop()
-                    && hi.overlaps(lo)
+                if j.0 > i.0 && hi.action().is_permit() && lo.action().is_drop() && hi.overlaps(lo)
                 {
                     deps += 1;
                 }

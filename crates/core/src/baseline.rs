@@ -99,11 +99,9 @@ mod tests {
         // the paths share NO switch and the baseline must duplicate.
         routes.push(Route::new(l0, l1, vec![s0, s1]));
         routes.push(Route::new(l0, l2, vec![s0, s2]));
-        let policy = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        let policy =
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap();
         Instance::new(topo, routes, vec![(l0, policy)]).unwrap()
     }
 
@@ -178,11 +176,8 @@ mod tests {
             vec![SwitchId(2), SwitchId(0), SwitchId(3)],
         ));
         let policy = || {
-            Policy::from_ordered(vec![
-                (t("11**"), Action::Permit),
-                (t("1***"), Action::Drop),
-            ])
-            .unwrap()
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap()
         };
         let inst = Instance::new(
             topo,
@@ -199,9 +194,7 @@ mod tests {
         // Baseline first-fits ingress-side leaves too, so also feasible
         // here — verify it and compare counts instead.
         if let Some(b) = per_path_placement(&inst) {
-            assert!(
-                optimal.placement.unwrap().total_rules() <= b.total_rules()
-            );
+            assert!(optimal.placement.unwrap().total_rules() <= b.total_rules());
         }
     }
 

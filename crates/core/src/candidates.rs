@@ -85,8 +85,12 @@ mod tests {
         let topo = Topology::linear(3);
         let mut routes = RouteSet::new();
         routes.push(
-            Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0), SwitchId(1)])
-                .with_flow(t("**01")),
+            Route::new(
+                EntryPortId(0),
+                EntryPortId(1),
+                vec![SwitchId(0), SwitchId(1)],
+            )
+            .with_flow(t("**01")),
         );
         let policy = Policy::from_ordered(vec![
             (t("1*01"), Action::Drop), // overlaps flow
@@ -115,11 +119,9 @@ mod tests {
             EntryPortId(2),
             vec![SwitchId(1), SwitchId(0), SwitchId(3)],
         ));
-        let policy = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        let policy =
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap();
         let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
         let cand = build_candidates(&inst);
         let permits = &cand[&(EntryPortId(0), RuleId(0))];

@@ -96,7 +96,11 @@ impl DependencyGraph {
     pub fn to_dot(&self, policy: &Policy) -> String {
         let mut out = String::from("digraph deps {\n");
         for (id, r) in policy.iter() {
-            let shape = if r.action().is_drop() { "ellipse" } else { "box" };
+            let shape = if r.action().is_drop() {
+                "ellipse"
+            } else {
+                "box"
+            };
             out.push_str(&format!(
                 "  r{} [shape={shape}, label=\"{} {} {}\"];\n",
                 id.0,
@@ -190,10 +194,7 @@ mod tests {
         ]);
         let g = DependencyGraph::build(&p);
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(
-            edges,
-            vec![(RuleId(0), RuleId(1)), (RuleId(0), RuleId(2))]
-        );
+        assert_eq!(edges, vec![(RuleId(0), RuleId(1)), (RuleId(0), RuleId(2))]);
     }
 
     #[test]

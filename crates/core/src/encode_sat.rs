@@ -267,11 +267,13 @@ mod tests {
         routes.push(Route::new(l0, l1, vec![s0, s1, s2]));
         routes.push(Route::new(l1, l0, vec![s2, s1, s0]));
         let q = Policy::from_ordered(vec![(t("1111"), Action::Drop)]).unwrap();
-        let inst =
-            Instance::new(topo, routes, vec![(l0, q.clone()), (l1, q)]).unwrap();
+        let inst = Instance::new(topo, routes, vec![(l0, q.clone()), (l1, q)]).unwrap();
 
         let mut plain = SatEncoding::build(&inst, false);
-        assert!(plain.solve().is_none(), "two entries cannot fit in one slot");
+        assert!(
+            plain.solve().is_none(),
+            "two entries cannot fit in one slot"
+        );
 
         let mut merged = SatEncoding::build(&inst, true);
         let p = merged.solve().expect("merging shares the single slot");

@@ -176,8 +176,7 @@ mod tests {
         let mut routes = RouteSet::new();
         routes.push(Route::new(l0, l1, vec![s0, s1]));
         routes.push(Route::new(l0, l2, vec![s0, s2]));
-        let policy =
-            Policy::from_ordered(vec![(t("1***"), Action::Drop)]).unwrap();
+        let policy = Policy::from_ordered(vec![(t("1***"), Action::Drop)]).unwrap();
         let inst = Instance::new(topo, routes, vec![(l0, policy)]).unwrap();
         let p = greedy_place(&inst).unwrap();
         assert_eq!(p.total_rules(), 1, "one shared entry at s0 covers both");

@@ -124,7 +124,12 @@ pub fn install_policies(
         new_policies.push((l, q));
         new_routes.extend(rs);
     }
-    let sub = sub_instance(instance, placement, new_policies.clone(), new_routes.clone())?;
+    let sub = sub_instance(
+        instance,
+        placement,
+        new_policies.clone(),
+        new_routes.clone(),
+    )?;
     let outcome = RulePlacer::new(options.clone())
         .place(&sub, objective)
         .expect("placement is infallible");
@@ -132,16 +137,10 @@ pub fn install_policies(
     // Merge updated inputs into a full instance.
     let mut all_routes = instance.routes().clone();
     all_routes.extend(new_routes.iter().cloned());
-    let mut all_policies: Vec<(EntryPortId, Policy)> = instance
-        .policies()
-        .map(|(l, q)| (l, q.clone()))
-        .collect();
+    let mut all_policies: Vec<(EntryPortId, Policy)> =
+        instance.policies().map(|(l, q)| (l, q.clone())).collect();
     all_policies.extend(new_policies);
-    let merged_instance = Instance::new(
-        instance.topology().clone(),
-        all_routes,
-        all_policies,
-    )?;
+    let merged_instance = Instance::new(instance.topology().clone(), all_routes, all_policies)?;
 
     let placement = outcome.placement.map(|sub_placement| {
         let mut full = placement.clone();
@@ -182,12 +181,7 @@ pub fn reroute_policy(
     frozen.remove_ingress(ingress);
 
     let sub_routes: RouteSet = new_routes.iter().cloned().collect();
-    let sub = sub_instance(
-        instance,
-        &frozen,
-        vec![(ingress, policy)],
-        sub_routes,
-    )?;
+    let sub = sub_instance(instance, &frozen, vec![(ingress, policy)], sub_routes)?;
     let outcome = RulePlacer::new(options.clone())
         .place(&sub, objective)
         .expect("placement is infallible");
@@ -248,10 +242,8 @@ pub fn add_rule_greedy(
         .map(|(id, _)| id)
         .expect("rule was just inserted");
 
-    let mut policies: Vec<(EntryPortId, Policy)> = instance
-        .policies()
-        .map(|(l, q)| (l, q.clone()))
-        .collect();
+    let mut policies: Vec<(EntryPortId, Policy)> =
+        instance.policies().map(|(l, q)| (l, q.clone())).collect();
     for (l, q) in &mut policies {
         if *l == ingress {
             *q = new_policy.clone();
@@ -289,8 +281,7 @@ pub fn add_rule_greedy(
     let mut remaining = spare_capacities(&updated, &shifted);
     let mut result = shifted.clone();
     let status = if rule.action().is_drop() {
-        match greedy::place_policy(&updated, ingress, &mut remaining, &mut result, Some(new_id))
-        {
+        match greedy::place_policy(&updated, ingress, &mut remaining, &mut result, Some(new_id)) {
             Some(()) => SolveStatus::Feasible,
             None => SolveStatus::Infeasible,
         }
@@ -364,10 +355,8 @@ pub fn remove_rule(
         return Err(IncrementalError::BadIngress(ingress));
     }
     let new_policy = policy.without_rule(rule);
-    let mut policies: Vec<(EntryPortId, Policy)> = instance
-        .policies()
-        .map(|(l, q)| (l, q.clone()))
-        .collect();
+    let mut policies: Vec<(EntryPortId, Policy)> =
+        instance.policies().map(|(l, q)| (l, q.clone())).collect();
     for (l, q) in &mut policies {
         if *l == ingress {
             *q = new_policy.clone();
@@ -457,11 +446,8 @@ mod tests {
             EntryPortId(2),
             vec![SwitchId(1), SwitchId(0), SwitchId(3)],
         ));
-        let q0 = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        let q0 = Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+            .unwrap();
         let inst = Instance::new(topo, routes, vec![(EntryPortId(0), q0)]).unwrap();
         let placement = RulePlacer::new(PlacementOptions::default())
             .place(&inst, Objective::TotalRules)
@@ -627,7 +613,11 @@ mod tests {
     fn modify_rule_swaps_semantics() {
         let (inst, p) = base();
         // Narrow the DROP from 1*** to 10**.
-        let prio = inst.policy(EntryPortId(0)).unwrap().rule(RuleId(1)).priority();
+        let prio = inst
+            .policy(EntryPortId(0))
+            .unwrap()
+            .rule(RuleId(1))
+            .priority();
         let out = modify_rule(
             &inst,
             &p,

@@ -153,10 +153,7 @@ impl Instance {
         Instance::new(
             self.topology.clone(),
             routes,
-            self.policies
-                .iter()
-                .map(|(l, q)| (*l, q.clone()))
-                .collect(),
+            self.policies.iter().map(|(l, q)| (*l, q.clone())).collect(),
         )
     }
 }
@@ -204,7 +201,11 @@ mod tests {
     fn route_without_policy_rejected() {
         let topo = Topology::linear(3);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(2)]));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(0),
+            vec![SwitchId(2)],
+        ));
         let e = Instance::new(topo, routes, vec![(EntryPortId(0), policy())]).unwrap_err();
         assert_eq!(e, InstanceError::RouteWithoutPolicy(EntryPortId(1)));
     }
@@ -212,8 +213,7 @@ mod tests {
     #[test]
     fn unknown_ingress_rejected() {
         let topo = Topology::linear(2);
-        let e = Instance::new(topo, RouteSet::new(), vec![(EntryPortId(9), policy())])
-            .unwrap_err();
+        let e = Instance::new(topo, RouteSet::new(), vec![(EntryPortId(9), policy())]).unwrap_err();
         assert_eq!(e, InstanceError::UnknownIngress(EntryPortId(9)));
     }
 
@@ -221,7 +221,11 @@ mod tests {
     fn unknown_switch_rejected() {
         let topo = Topology::linear(2);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(9)]));
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(9)],
+        ));
         let e = Instance::new(topo, routes, vec![(EntryPortId(0), policy())]).unwrap_err();
         assert_eq!(e, InstanceError::UnknownSwitch(SwitchId(9)));
     }
@@ -242,8 +246,7 @@ mod tests {
     fn mixed_width_rejected() {
         let topo = Topology::linear(2);
         let wide =
-            Policy::from_ordered(vec![(Ternary::parse("1***").unwrap(), Action::Drop)])
-                .unwrap();
+            Policy::from_ordered(vec![(Ternary::parse("1***").unwrap(), Action::Drop)]).unwrap();
         let e = Instance::new(
             topo,
             RouteSet::new(),

@@ -91,6 +91,6 @@ pub use instance::{Instance, InstanceError};
 pub use monitor::MonitorRequirement;
 pub use objective::Objective;
 pub use placement::{
-    DependencyEncoding, PlaceError, Placement, PlacementOptions, PlacementOutcome,
-    PlacementStats, PlacerEngine, RulePlacer, SolveStatus,
+    DependencyEncoding, PlaceError, Placement, PlacementOptions, PlacementOutcome, PlacementStats,
+    PlacerEngine, RulePlacer, SolveStatus,
 };

@@ -164,8 +164,11 @@ fn break_circular_dependencies(
                 }
             }
             // Kahn's algorithm.
-            let mut queue: Vec<usize> =
-                indeg.iter().filter(|(_, &d)| d == 0).map(|(&g, _)| g).collect();
+            let mut queue: Vec<usize> = indeg
+                .iter()
+                .filter(|(_, &d)| d == 0)
+                .map(|(&g, _)| g)
+                .collect();
             let mut seen = 0;
             let mut indeg_work = indeg.clone();
             while let Some(g) = queue.pop() {
@@ -251,11 +254,7 @@ pub fn add_dummy_rules(policy: &Policy, rule: RuleId) -> Policy {
         .iter()
         .map(|r| r.with_priority(r.priority() + 1))
         .collect();
-    let min_priority = rules
-        .iter()
-        .map(|r| r.priority())
-        .min()
-        .unwrap_or(1);
+    let min_priority = rules.iter().map(|r| r.priority()).min().unwrap_or(1);
     rules.push(Rule::new(
         *original.match_field(),
         original.action(),
@@ -327,13 +326,18 @@ mod tests {
     fn different_actions_not_grouped() {
         let topo = Topology::linear(1);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]));
-        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(0)]));
-        let q0 = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(0),
+            vec![SwitchId(0)],
+        ));
+        let q0 = Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+            .unwrap();
         // Same match 11** but DROP here.
         let q1 = Policy::from_ordered(vec![(t("11**"), Action::Drop)]).unwrap();
         let inst = Instance::new(
@@ -404,11 +408,8 @@ mod tests {
 
     #[test]
     fn dummy_rule_transformation_preserves_semantics() {
-        let p = Policy::from_ordered(vec![
-            (t("1***"), Action::Drop),
-            (t("11**"), Action::Permit),
-        ])
-        .unwrap();
+        let p = Policy::from_ordered(vec![(t("1***"), Action::Drop), (t("11**"), Action::Permit)])
+            .unwrap();
         let q = add_dummy_rules(&p, RuleId(0));
         assert_eq!(q.len(), 3);
         assert!(p.equivalent_by_enumeration(&q));
@@ -424,8 +425,16 @@ mod tests {
         // priorities) must contribute a single member.
         let topo = Topology::linear(1);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]));
-        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(0)]));
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(0),
+            vec![SwitchId(0)],
+        ));
         let q0 = Policy::from_ordered(vec![
             (t("11**"), Action::Drop),
             (t("0***"), Action::Drop),

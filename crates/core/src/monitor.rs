@@ -204,11 +204,14 @@ mod tests {
         topo.set_uniform_capacity(10);
         let mut routes = RouteSet::new();
         routes.push(
-            Route::new(EntryPortId(0), EntryPortId(1), (0..3).map(SwitchId).collect())
-                .with_flow(t("0***")),
+            Route::new(
+                EntryPortId(0),
+                EntryPortId(1),
+                (0..3).map(SwitchId).collect(),
+            )
+            .with_flow(t("0***")),
         );
-        let policy =
-            Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
+        let policy = Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
         let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
         let mut cand = build_candidates(&inst);
         let removed = restrict_candidates(

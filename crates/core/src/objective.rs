@@ -7,8 +7,7 @@ use flowplace_topo::{EntryPortId, SwitchId};
 use crate::Instance;
 
 /// What the ILP minimizes.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum Objective {
     /// Total number of rules placed in the network (the paper's primary
     /// objective — maximizes slack for future rules).
@@ -41,7 +40,6 @@ impl Objective {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,11 +55,8 @@ mod tests {
             EntryPortId(1),
             vec![SwitchId(0), SwitchId(1), SwitchId(2)],
         ));
-        let policy = Policy::from_ordered(vec![(
-            Ternary::parse("1*").unwrap(),
-            Action::Drop,
-        )])
-        .unwrap();
+        let policy =
+            Policy::from_ordered(vec![(Ternary::parse("1*").unwrap(), Action::Drop)]).unwrap();
         Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap()
     }
 

@@ -11,13 +11,12 @@ use flowplace_topo::{EntryPortId, SwitchId};
 use crate::candidates::build_candidates;
 use crate::encode_ilp::{EncodeOptions, IlpEncoding, MergeLinking};
 use crate::encode_sat::SatEncoding;
-use crate::monitor::{restrict_candidates, MonitorRequirement};
 use crate::greedy;
 use crate::merge::MergeGroup;
+use crate::monitor::{restrict_candidates, MonitorRequirement};
 use crate::{Instance, Objective};
 
 pub use crate::encode_ilp::DependencyEncoding;
-
 
 /// A solved mapping from rules to switches.
 ///
@@ -58,9 +57,7 @@ impl Placement {
     }
 
     /// Iterates over `((ingress, rule), switches)` entries.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&(EntryPortId, RuleId), &BTreeSet<SwitchId>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(EntryPortId, RuleId), &BTreeSet<SwitchId>)> {
         self.placed.iter()
     }
 
@@ -108,9 +105,8 @@ impl Placement {
     /// remaining members keep individual entries).
     pub fn remove_ingress(&mut self, ingress: EntryPortId) {
         self.placed.retain(|(l, _), _| *l != ingress);
-        self.merged.retain(|g| {
-            g.members.iter().all(|(l, _)| *l != ingress)
-        });
+        self.merged
+            .retain(|g| g.members.iter().all(|(l, _)| *l != ingress));
     }
 
     /// Merges another placement into this one (used by incremental
@@ -307,6 +303,9 @@ impl RulePlacer {
             MipStatus::Feasible => SolveStatus::Feasible,
             MipStatus::Infeasible => SolveStatus::Infeasible,
             MipStatus::Unknown => SolveStatus::Unknown,
+            // A malformed model / broken solver invariant proves nothing
+            // about feasibility.
+            MipStatus::Error => SolveStatus::Unknown,
         };
         let placement = out.best.as_ref().map(|b| enc.decode(&b.values));
         PlacementOutcome {

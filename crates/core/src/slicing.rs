@@ -44,8 +44,8 @@ mod tests {
     fn pol() -> Policy {
         // Mirrors Figure 6: dst in the low two bits.
         Policy::from_ordered(vec![
-            (Ternary::parse("1*01").unwrap(), Action::Drop),   // dst 01 only
-            (Ternary::parse("1*10").unwrap(), Action::Drop),   // dst 10 only
+            (Ternary::parse("1*01").unwrap(), Action::Drop), // dst 01 only
+            (Ternary::parse("1*10").unwrap(), Action::Drop), // dst 10 only
             (Ternary::parse("0***").unwrap(), Action::Permit), // both
         ])
         .unwrap()

@@ -65,11 +65,7 @@ impl SwitchTable {
     /// First-match lookup for a packet entering at `ingress`: the action
     /// of the highest-priority entry whose tag set contains `ingress` and
     /// whose match field matches, if any.
-    pub fn lookup(
-        &self,
-        ingress: EntryPortId,
-        packet: &flowplace_acl::Packet,
-    ) -> Option<Action> {
+    pub fn lookup(&self, ingress: EntryPortId, packet: &flowplace_acl::Packet) -> Option<Action> {
         self.entries
             .iter()
             .find(|e| e.tags.contains(&ingress) && e.match_field.matches(packet))
@@ -263,11 +259,9 @@ mod tests {
             EntryPortId(1),
             vec![SwitchId(0), SwitchId(1)],
         ));
-        let policy = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        let policy =
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap();
         Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap()
     }
 
@@ -360,8 +354,16 @@ mod tests {
         let mut topo = Topology::linear(1);
         topo.set_uniform_capacity(10);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]));
-        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(0)]));
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(0),
+            vec![SwitchId(0)],
+        ));
         let q0 = Policy::from_ordered(vec![(t("1***"), Action::Drop)]).unwrap();
         let q1 = Policy::from_ordered(vec![(t("0***"), Action::Drop)]).unwrap();
         let inst = Instance::new(
@@ -375,8 +377,7 @@ mod tests {
         p.place(EntryPortId(1), RuleId(0), SwitchId(0));
         let tables = emit_tables(&inst, &p).unwrap();
         assert_eq!(tables[0].len(), 2);
-        let prios: BTreeSet<u32> =
-            tables[0].entries().iter().map(|e| e.priority).collect();
+        let prios: BTreeSet<u32> = tables[0].entries().iter().map(|e| e.priority).collect();
         assert_eq!(prios.len(), 2);
     }
 
@@ -389,19 +390,21 @@ mod tests {
         let mut topo = Topology::linear(1);
         topo.set_uniform_capacity(10);
         let mut routes = RouteSet::new();
-        routes.push(Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]));
-        routes.push(Route::new(EntryPortId(1), EntryPortId(0), vec![SwitchId(0)]));
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(0),
+            vec![SwitchId(0)],
+        ));
         // Policy A: permit (high), drop (low); policy B: reversed.
-        let qa = Policy::from_ordered(vec![
-            (t("10**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
-        let qb = Policy::from_ordered(vec![
-            (t("1***"), Action::Drop),
-            (t("10**"), Action::Permit),
-        ])
-        .unwrap();
+        let qa = Policy::from_ordered(vec![(t("10**"), Action::Permit), (t("1***"), Action::Drop)])
+            .unwrap();
+        let qb = Policy::from_ordered(vec![(t("1***"), Action::Drop), (t("10**"), Action::Permit)])
+            .unwrap();
         let inst = Instance::new(
             topo,
             routes,

@@ -41,7 +41,10 @@ impl fmt::Display for TagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TagError::OutOfTags { needed } => {
-                write!(f, "{needed} policies exceed the {MAX_VLAN} usable VLAN tags")
+                write!(
+                    f,
+                    "{needed} policies exceed the {MAX_VLAN} usable VLAN tags"
+                )
             }
         }
     }
@@ -77,13 +80,8 @@ mod tests {
     #[test]
     fn sequential_tags() {
         let topo = Topology::star(3);
-        let pol = || {
-            Policy::from_ordered(vec![(
-                Ternary::parse("1*").unwrap(),
-                Action::Drop,
-            )])
-            .unwrap()
-        };
+        let pol =
+            || Policy::from_ordered(vec![(Ternary::parse("1*").unwrap(), Action::Drop)]).unwrap();
         let inst = Instance::new(
             topo,
             RouteSet::new(),

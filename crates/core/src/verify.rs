@@ -10,8 +10,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flowplace_rng::{Rng, StdRng};
 
 use flowplace_acl::{Action, Packet, Ternary};
 use flowplace_routing::Route;
@@ -243,11 +242,9 @@ mod tests {
             EntryPortId(1),
             vec![SwitchId(0), SwitchId(1), SwitchId(2)],
         ));
-        let policy = Policy::from_ordered(vec![
-            (t("11**"), Action::Permit),
-            (t("1***"), Action::Drop),
-        ])
-        .unwrap();
+        let policy =
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap();
         Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap()
     }
 
@@ -358,11 +355,14 @@ mod tests {
         topo.set_uniform_capacity(10);
         let mut routes = RouteSet::new();
         routes.push(
-            Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0), SwitchId(1)])
-                .with_flow(t("**00")),
+            Route::new(
+                EntryPortId(0),
+                EntryPortId(1),
+                vec![SwitchId(0), SwitchId(1)],
+            )
+            .with_flow(t("**00")),
         );
-        let policy =
-            Policy::from_ordered(vec![(t("1*11"), Action::Drop)]).unwrap();
+        let policy = Policy::from_ordered(vec![(t("1*11"), Action::Drop)]).unwrap();
         let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
         verify_placement(&inst, &Placement::new(), 64, 5)
             .expect("rule is irrelevant to this route's flow");

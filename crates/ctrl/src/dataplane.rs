@@ -1,0 +1,433 @@
+//! Simulated per-switch TCAM dataplane with transactional updates.
+//!
+//! The controller never mutates switch tables entry-by-entry. Each epoch
+//! it emits the *target* tables for the new placement, diffs them against
+//! what is deployed, and applies the [`RuleDiff`] as one transaction:
+//! all installs land before any delete (make-before-break), so the
+//! no-false-negative guarantee of §IV-A holds at every instant of the
+//! transition — a packet that should be dropped is never permitted
+//! because its DROP rule (or a shield above it) was momentarily absent.
+//! The price is transient occupancy above the committed load, which the
+//! dataplane tracks as `peak_occupancy`; only the *final* state must
+//! respect each switch's capacity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use flowplace_acl::{Action, Ternary};
+use flowplace_core::tables::SwitchTable;
+use flowplace_topo::{EntryPortId, SwitchId};
+
+/// One deployed TCAM entry. Identity is the full tuple: two entries that
+/// differ only in priority are distinct dataplane state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TcamEntry {
+    /// Table priority (larger wins).
+    pub priority: u32,
+    /// Ingress tags this entry applies to (§IV-D disjointness).
+    pub tags: std::collections::BTreeSet<EntryPortId>,
+    /// Header match field.
+    pub match_field: Ternary,
+    /// PERMIT or DROP.
+    pub action: Action,
+}
+
+impl fmt::Display for TcamEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] tags={{", self.priority)?;
+        for (i, t) in self.tags.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}} {} {}", self.match_field, self.action)
+    }
+}
+
+/// The table of one switch: entries sorted by descending priority, ties
+/// broken by the entry's full ordering so dumps are deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwitchTcam {
+    capacity: usize,
+    entries: Vec<TcamEntry>,
+}
+
+impl SwitchTcam {
+    /// Current number of installed entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The installed entries, highest priority first.
+    pub fn entries(&self) -> &[TcamEntry] {
+        &self.entries
+    }
+
+    fn sort(&mut self) {
+        self.entries
+            .sort_by(|a, b| b.priority.cmp(&a.priority).then_with(|| a.cmp(b)));
+    }
+}
+
+/// The delta between the deployed dataplane and a target table set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleDiff {
+    /// Entries to add, per switch.
+    pub install: Vec<(SwitchId, TcamEntry)>,
+    /// Entries to delete, per switch.
+    pub remove: Vec<(SwitchId, TcamEntry)>,
+}
+
+impl RuleDiff {
+    /// True when the diff changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.install.is_empty() && self.remove.is_empty()
+    }
+
+    /// Total entries touched (installs + removes) — the churn of the
+    /// transition.
+    pub fn churn(&self) -> usize {
+        self.install.len() + self.remove.len()
+    }
+}
+
+/// What a committed transaction did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Entries installed.
+    pub installed: usize,
+    /// Entries removed.
+    pub removed: usize,
+    /// Highest per-switch occupancy reached *during* the transition
+    /// (installs land before removes, so this can exceed the final
+    /// occupancy and even the capacity).
+    pub peak_occupancy: usize,
+}
+
+/// Error applying a [`RuleDiff`]; the dataplane is rolled back to its
+/// pre-transaction state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataPlaneError {
+    /// A remove referenced an entry that is not installed.
+    MissingEntry {
+        /// The switch the delete targeted.
+        switch: SwitchId,
+        /// Rendered form of the missing entry.
+        entry: String,
+    },
+    /// The *final* state of a switch exceeds its capacity.
+    OverCapacity {
+        /// The overfull switch.
+        switch: SwitchId,
+        /// Entries after the transaction.
+        occupancy: usize,
+        /// The switch's capacity.
+        capacity: usize,
+    },
+    /// A diff referenced a switch the dataplane does not have.
+    UnknownSwitch(SwitchId),
+}
+
+impl fmt::Display for DataPlaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataPlaneError::MissingEntry { switch, entry } => {
+                write!(f, "delete of absent entry on {switch}: {entry}")
+            }
+            DataPlaneError::OverCapacity {
+                switch,
+                occupancy,
+                capacity,
+            } => write!(
+                f,
+                "{switch} over capacity after commit: {occupancy}/{capacity}"
+            ),
+            DataPlaneError::UnknownSwitch(s) => write!(f, "diff references unknown switch {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DataPlaneError {}
+
+/// The simulated network dataplane: one TCAM per switch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataPlane {
+    switches: Vec<SwitchTcam>,
+}
+
+impl DataPlane {
+    /// Creates an empty dataplane with the given per-switch capacities.
+    pub fn new(capacities: Vec<usize>) -> Self {
+        DataPlane {
+            switches: capacities
+                .into_iter()
+                .map(|capacity| SwitchTcam {
+                    capacity,
+                    entries: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The TCAM of one switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn switch(&self, s: SwitchId) -> &SwitchTcam {
+        &self.switches[s.0]
+    }
+
+    /// Total entries installed across all switches.
+    pub fn total_occupancy(&self) -> usize {
+        self.switches.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Re-synchronizes per-switch capacities (after a `capacity` event).
+    pub fn set_capacities(&mut self, capacities: &[usize]) {
+        for (tcam, &c) in self.switches.iter_mut().zip(capacities) {
+            tcam.capacity = c;
+        }
+    }
+
+    /// Converts emitted [`SwitchTable`]s into target TCAM contents.
+    pub fn target_from_tables(tables: &[SwitchTable]) -> Vec<Vec<TcamEntry>> {
+        tables
+            .iter()
+            .map(|t| {
+                t.entries()
+                    .iter()
+                    .map(|e| TcamEntry {
+                        priority: e.priority,
+                        tags: e.tags.clone(),
+                        match_field: e.match_field,
+                        action: e.action,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Computes the diff that turns the deployed state into `target`.
+    /// Entries are compared as multisets per switch.
+    ///
+    /// # Errors
+    ///
+    /// [`DataPlaneError::UnknownSwitch`] if `target` has more switches
+    /// than the dataplane.
+    pub fn diff_to(&self, target: &[Vec<TcamEntry>]) -> Result<RuleDiff, DataPlaneError> {
+        if target.len() > self.switches.len() {
+            return Err(DataPlaneError::UnknownSwitch(SwitchId(self.switches.len())));
+        }
+        let mut diff = RuleDiff::default();
+        for (i, tcam) in self.switches.iter().enumerate() {
+            let want = target.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            let mut counts: BTreeMap<&TcamEntry, isize> = BTreeMap::new();
+            for e in want {
+                *counts.entry(e).or_default() += 1;
+            }
+            for e in &tcam.entries {
+                *counts.entry(e).or_default() -= 1;
+            }
+            for (e, n) in counts {
+                for _ in 0..n.max(0) {
+                    diff.install.push((SwitchId(i), e.clone()));
+                }
+                for _ in 0..(-n).max(0) {
+                    diff.remove.push((SwitchId(i), e.clone()));
+                }
+            }
+        }
+        Ok(diff)
+    }
+
+    /// Applies a diff transactionally: every install lands before any
+    /// delete, per-switch peak occupancy is recorded, and the final state
+    /// must respect capacities. On any error the dataplane is restored
+    /// to its pre-transaction state.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataPlaneError`].
+    pub fn apply(&mut self, diff: &RuleDiff) -> Result<ApplyReport, DataPlaneError> {
+        let before = self.switches.clone();
+        match self.apply_inner(diff) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.switches = before;
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(&mut self, diff: &RuleDiff) -> Result<ApplyReport, DataPlaneError> {
+        // Phase 1: install everything (make-before-break).
+        for (s, e) in &diff.install {
+            let tcam = self
+                .switches
+                .get_mut(s.0)
+                .ok_or(DataPlaneError::UnknownSwitch(*s))?;
+            tcam.entries.push(e.clone());
+        }
+        let peak_occupancy = self
+            .switches
+            .iter()
+            .map(|t| t.entries.len())
+            .max()
+            .unwrap_or(0);
+        // Phase 2: delete the obsolete entries.
+        for (s, e) in &diff.remove {
+            let tcam = self
+                .switches
+                .get_mut(s.0)
+                .ok_or(DataPlaneError::UnknownSwitch(*s))?;
+            let Some(pos) = tcam.entries.iter().position(|x| x == e) else {
+                return Err(DataPlaneError::MissingEntry {
+                    switch: *s,
+                    entry: e.to_string(),
+                });
+            };
+            tcam.entries.remove(pos);
+        }
+        // Commit check: the final state must fit.
+        for (i, tcam) in self.switches.iter_mut().enumerate() {
+            if tcam.entries.len() > tcam.capacity {
+                return Err(DataPlaneError::OverCapacity {
+                    switch: SwitchId(i),
+                    occupancy: tcam.entries.len(),
+                    capacity: tcam.capacity,
+                });
+            }
+            tcam.sort();
+        }
+        Ok(ApplyReport {
+            installed: diff.install.len(),
+            removed: diff.remove.len(),
+            peak_occupancy,
+        })
+    }
+
+    /// Deterministic text dump of the whole dataplane. Identical
+    /// deployed state always renders to identical bytes.
+    pub fn dump(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (i, tcam) in self.switches.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{} cap={} occ={}",
+                SwitchId(i),
+                tcam.capacity,
+                tcam.entries.len()
+            );
+            for e in &tcam.entries {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn entry(priority: u32, bits: &str, action: Action) -> TcamEntry {
+        TcamEntry {
+            priority,
+            tags: BTreeSet::from([EntryPortId(0)]),
+            match_field: Ternary::parse(bits).unwrap(),
+            action,
+        }
+    }
+
+    #[test]
+    fn diff_then_apply_reaches_target() {
+        let mut dp = DataPlane::new(vec![4, 4]);
+        let target = vec![
+            vec![
+                entry(2, "10**", Action::Drop),
+                entry(1, "****", Action::Permit),
+            ],
+            vec![entry(1, "****", Action::Permit)],
+        ];
+        let diff = dp.diff_to(&target).unwrap();
+        assert_eq!(diff.install.len(), 3);
+        assert_eq!(diff.remove.len(), 0);
+        let report = dp.apply(&diff).unwrap();
+        assert_eq!(report.installed, 3);
+        assert_eq!(dp.total_occupancy(), 3);
+        // Applying the same target again is a no-op.
+        let diff2 = dp.diff_to(&target).unwrap();
+        assert!(diff2.is_empty());
+    }
+
+    #[test]
+    fn installs_land_before_deletes() {
+        let mut dp = DataPlane::new(vec![2]);
+        let old = vec![vec![entry(1, "0***", Action::Drop)]];
+        dp.apply(&dp.diff_to(&old).unwrap()).unwrap();
+        // Replace the single entry: transiently 2 entries, finally 1.
+        let new = vec![vec![entry(1, "1***", Action::Drop)]];
+        let report = dp.apply(&dp.diff_to(&new).unwrap()).unwrap();
+        assert_eq!(report.peak_occupancy, 2);
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 1);
+    }
+
+    #[test]
+    fn over_capacity_commit_rolls_back() {
+        let mut dp = DataPlane::new(vec![1]);
+        let one = vec![vec![entry(1, "0***", Action::Drop)]];
+        dp.apply(&dp.diff_to(&one).unwrap()).unwrap();
+        let two = vec![vec![
+            entry(1, "0***", Action::Drop),
+            entry(2, "1***", Action::Drop),
+        ]];
+        let err = dp.apply(&dp.diff_to(&two).unwrap()).unwrap_err();
+        assert!(matches!(err, DataPlaneError::OverCapacity { .. }));
+        // Rolled back: still exactly the old entry.
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 1);
+    }
+
+    #[test]
+    fn missing_delete_rolls_back() {
+        let mut dp = DataPlane::new(vec![4]);
+        let diff = RuleDiff {
+            install: vec![],
+            remove: vec![(SwitchId(0), entry(1, "0***", Action::Drop))],
+        };
+        assert!(matches!(
+            dp.apply(&diff),
+            Err(DataPlaneError::MissingEntry { .. })
+        ));
+        assert_eq!(dp.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let mut a = DataPlane::new(vec![4]);
+        let mut b = DataPlane::new(vec![4]);
+        let target = vec![vec![
+            entry(2, "10**", Action::Drop),
+            entry(1, "****", Action::Permit),
+        ]];
+        // Same target through different diff orders.
+        a.apply(&a.diff_to(&target).unwrap()).unwrap();
+        let step = vec![vec![entry(1, "****", Action::Permit)]];
+        b.apply(&b.diff_to(&step).unwrap()).unwrap();
+        b.apply(&b.diff_to(&target).unwrap()).unwrap();
+        assert_eq!(a.dump(), b.dump());
+    }
+}

@@ -1,0 +1,114 @@
+//! Epoch numbering and checkpoint/rollback snapshots.
+//!
+//! The controller commits one epoch per processed batch. `checkpoint`
+//! events capture the working `(Instance, Placement)` pair; `rollback`
+//! restores the most recent capture. The dataplane is *not* part of a
+//! snapshot — it reconciles automatically at the next commit, because
+//! deployed tables are always re-derived from the placement and diffed.
+
+use flowplace_core::{Instance, Placement};
+
+/// A captured controller state.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Epoch counter at capture time.
+    pub epoch: u64,
+    /// The instance (topology, routes, policies) at capture time.
+    pub instance: Instance,
+    /// The deployed placement at capture time.
+    pub placement: Placement,
+}
+
+/// Monotonic epoch counter plus a bounded stack of snapshots.
+#[derive(Clone, Debug)]
+pub struct EpochLog {
+    current: u64,
+    depth: usize,
+    snapshots: Vec<Snapshot>,
+}
+
+impl EpochLog {
+    /// Creates a log retaining at most `depth` snapshots (older ones are
+    /// dropped silently).
+    pub fn new(depth: usize) -> Self {
+        EpochLog {
+            current: 0,
+            depth: depth.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The last committed epoch (0 before any commit).
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The epoch the in-flight batch will commit as.
+    pub fn next(&self) -> u64 {
+        self.current + 1
+    }
+
+    /// Commits the in-flight epoch.
+    pub fn advance(&mut self) -> u64 {
+        self.current += 1;
+        self.current
+    }
+
+    /// Number of retained snapshots.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Pushes a snapshot, evicting the oldest past the retention depth.
+    pub fn checkpoint(&mut self, instance: Instance, placement: Placement) {
+        self.snapshots.push(Snapshot {
+            epoch: self.current,
+            instance,
+            placement,
+        });
+        if self.snapshots.len() > self.depth {
+            let excess = self.snapshots.len() - self.depth;
+            self.snapshots.drain(..excess);
+        }
+    }
+
+    /// Pops the most recent snapshot, if any.
+    pub fn rollback(&mut self) -> Option<Snapshot> {
+        self.snapshots.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_routing::RouteSet;
+    use flowplace_topo::Topology;
+
+    fn empty_instance() -> Instance {
+        Instance::new(Topology::linear(2), RouteSet::new(), Vec::new()).unwrap()
+    }
+
+    #[test]
+    fn advances_monotonically() {
+        let mut log = EpochLog::new(4);
+        assert_eq!(log.current(), 0);
+        assert_eq!(log.next(), 1);
+        assert_eq!(log.advance(), 1);
+        assert_eq!(log.advance(), 2);
+        assert_eq!(log.current(), 2);
+    }
+
+    #[test]
+    fn bounded_snapshot_retention() {
+        let mut log = EpochLog::new(2);
+        for _ in 0..5 {
+            log.checkpoint(empty_instance(), Placement::default());
+            log.advance();
+        }
+        assert_eq!(log.snapshot_count(), 2);
+        // Most recent first on rollback.
+        assert_eq!(log.rollback().unwrap().epoch, 4);
+        assert_eq!(log.rollback().unwrap().epoch, 3);
+        assert!(log.rollback().is_none());
+    }
+}

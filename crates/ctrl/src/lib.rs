@@ -1,0 +1,860 @@
+//! # flowplace-ctrl — the placement controller runtime
+//!
+//! The solver crates answer one-shot questions; this crate runs
+//! placement as a long-lived controller. A [`Controller`] owns the
+//! deployed [`Instance`] + [`Placement`] pair and a simulated
+//! [`DataPlane`], consumes a bounded queue of typed [`Event`]s, and
+//! commits them in batched *epochs*.
+//!
+//! ## Escalation ladder
+//!
+//! Every mutating event is dispatched through up to three tiers,
+//! stopping at the first that succeeds:
+//!
+//! 1. **Greedy** — the §IV-E incremental operations from
+//!    [`flowplace_core::incremental`] (constant-ish work, no solver).
+//! 2. **Restricted** — re-solve only the affected ingress's policy
+//!    against the spare capacity left by every frozen placement.
+//! 3. **Full** — re-solve the entire instance from scratch.
+//!
+//! ## Transactional commits
+//!
+//! At the end of each epoch the controller emits the target tables for
+//! the new placement, verifies them against the golden model
+//! ([`flowplace_core::verify`]), and applies the table diff to the
+//! dataplane with make-before-break semantics — installs land before
+//! deletes, so the §IV-A no-false-negative guarantee holds during the
+//! transition. A failed verification discards the whole epoch: the
+//! deployed state never changes.
+
+#![warn(missing_docs)]
+
+pub mod dataplane;
+pub mod epoch;
+pub mod event;
+pub mod stats;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use flowplace_acl::Policy;
+use flowplace_core::tables::emit_tables;
+use flowplace_core::{
+    incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer,
+};
+use flowplace_routing::{Route, RouteSet};
+use flowplace_topo::{EntryPortId, Topology};
+
+pub use dataplane::{ApplyReport, DataPlane, DataPlaneError, RuleDiff, SwitchTcam, TcamEntry};
+pub use epoch::{EpochLog, Snapshot};
+pub use event::{format_trace, parse_trace, Event, TraceError};
+pub use stats::CtrlStats;
+
+/// Which rung of the escalation ladder settled an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Greedy incremental deployment (§IV-E), no solver run.
+    Greedy,
+    /// Restricted sub-problem re-solve against spare capacity.
+    Restricted,
+    /// Full re-solve of the whole instance.
+    Full,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Greedy => write!(f, "greedy"),
+            Tier::Restricted => write!(f, "restricted"),
+            Tier::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// What happened to one event inside an epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// The event was applied at the given tier.
+    Applied(Tier),
+    /// A checkpoint was taken.
+    Checkpoint,
+    /// The working state was rolled back to the snapshot taken at the
+    /// given epoch.
+    RolledBack {
+        /// Epoch counter of the restored snapshot.
+        to_epoch: u64,
+    },
+    /// The event could not be applied; the working state is unchanged.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The result of committing one epoch.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// The committed epoch number.
+    pub epoch: u64,
+    /// Each processed event with its outcome, in order.
+    pub outcomes: Vec<(Event, EventOutcome)>,
+    /// TCAM entries installed by this epoch's diff.
+    pub installed: usize,
+    /// TCAM entries removed by this epoch's diff.
+    pub removed: usize,
+    /// Peak per-switch occupancy during the transition.
+    pub peak_occupancy: usize,
+}
+
+impl EpochReport {
+    /// Tiers of the applied events, in order.
+    pub fn tiers(&self) -> Vec<Tier> {
+        self.outcomes
+            .iter()
+            .filter_map(|(_, o)| match o {
+                EventOutcome::Applied(t) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Controller configuration.
+#[derive(Clone, Debug)]
+pub struct CtrlOptions {
+    /// Maximum events coalesced into one epoch.
+    pub batch_size: usize,
+    /// Bounded queue size; submissions past it are rejected
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Snapshots retained for rollback.
+    pub checkpoint_depth: usize,
+    /// Random packets per route in the commit-time verification, on top
+    /// of the deterministic rule-corner packets.
+    pub verify_packets: usize,
+    /// Solver configuration for restricted and full tiers.
+    pub placement: PlacementOptions,
+    /// Objective for restricted and full tiers.
+    pub objective: Objective,
+}
+
+impl Default for CtrlOptions {
+    fn default() -> Self {
+        CtrlOptions {
+            batch_size: 8,
+            queue_capacity: 1024,
+            checkpoint_depth: 8,
+            verify_packets: 8,
+            placement: PlacementOptions::default(),
+            objective: Objective::default(),
+        }
+    }
+}
+
+/// Controller-level error. Event-level failures (an infeasible add, a
+/// bad rule id) do *not* surface here — they are recorded per event in
+/// the [`EpochReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlError {
+    /// The event queue is full; the event was not accepted.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// A trace file failed to parse.
+    Trace(TraceError),
+    /// Commit-time verification failed; the epoch was discarded.
+    VerifyFailed {
+        /// The epoch that was discarded.
+        epoch: u64,
+        /// The verifier's report.
+        detail: String,
+    },
+    /// Table emission failed for the new placement.
+    Table(String),
+    /// The dataplane refused the diff.
+    DataPlane(DataPlaneError),
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::QueueFull { capacity } => {
+                write!(f, "event queue full (capacity {capacity})")
+            }
+            CtrlError::Trace(e) => write!(f, "{e}"),
+            CtrlError::VerifyFailed { epoch, detail } => {
+                write!(f, "epoch {epoch} failed verification: {detail}")
+            }
+            CtrlError::Table(e) => write!(f, "table emission failed: {e}"),
+            CtrlError::DataPlane(e) => write!(f, "dataplane: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+impl From<TraceError> for CtrlError {
+    fn from(e: TraceError) -> Self {
+        CtrlError::Trace(e)
+    }
+}
+
+impl From<DataPlaneError> for CtrlError {
+    fn from(e: DataPlaneError) -> Self {
+        CtrlError::DataPlane(e)
+    }
+}
+
+/// The single-threaded, deterministic placement controller.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    instance: Instance,
+    placement: Placement,
+    dataplane: DataPlane,
+    epochs: EpochLog,
+    queue: VecDeque<Event>,
+    options: CtrlOptions,
+    stats: CtrlStats,
+}
+
+impl Controller {
+    /// Creates a controller managing a bare topology: no routes, no
+    /// policies, an empty dataplane. Policies arrive later via
+    /// [`Event::InstallPolicy`].
+    pub fn new(topology: Topology, options: CtrlOptions) -> Controller {
+        let capacities = topology.capacities();
+        let instance = Instance::new(topology, RouteSet::new(), Vec::new())
+            .expect("an instance with no routes or policies is always valid");
+        Controller {
+            instance,
+            placement: Placement::default(),
+            dataplane: DataPlane::new(capacities),
+            epochs: EpochLog::new(options.checkpoint_depth),
+            queue: VecDeque::new(),
+            options,
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Creates a controller around an existing instance, solving and
+    /// deploying it as epoch 1.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::VerifyFailed`] / [`CtrlError::DataPlane`] if the
+    /// initial deployment cannot be established (including an
+    /// infeasible instance, surfaced as a verify-free dataplane
+    /// mismatch via [`CtrlError::Table`]).
+    pub fn with_instance(
+        instance: Instance,
+        options: CtrlOptions,
+    ) -> Result<Controller, CtrlError> {
+        let mut ctrl = Controller::new(instance.topology().clone(), options);
+        ctrl.instance = instance;
+        ctrl.submit(Event::Solve)
+            .expect("fresh queue accepts one event");
+        ctrl.run_to_idle()?;
+        Ok(ctrl)
+    }
+
+    /// The deployed instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The deployed placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The simulated dataplane.
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dataplane
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// The last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.current()
+    }
+
+    /// Events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an event.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::QueueFull`] when the bounded queue is at capacity;
+    /// the rejection is counted in [`CtrlStats::events_rejected`].
+    pub fn submit(&mut self, event: Event) -> Result<(), CtrlError> {
+        if self.queue.len() >= self.options.queue_capacity {
+            self.stats.events_rejected += 1;
+            return Err(CtrlError::QueueFull {
+                capacity: self.options.queue_capacity,
+            });
+        }
+        self.queue.push_back(event);
+        self.stats.events_in += 1;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Processes one batch of queued events (up to `batch_size`) as a
+    /// single epoch: dispatch each event through the escalation ladder,
+    /// verify the resulting placement, and commit the coalesced diff to
+    /// the dataplane transactionally.
+    ///
+    /// Returns `Ok(None)` when the queue is empty. Event-level failures
+    /// are recorded in the report; an `Err` means the whole epoch was
+    /// discarded (deployed state unchanged).
+    ///
+    /// # Errors
+    ///
+    /// See [`CtrlError`].
+    pub fn run_epoch(&mut self) -> Result<Option<EpochReport>, CtrlError> {
+        if self.queue.is_empty() {
+            return Ok(None);
+        }
+        let epoch = self.epochs.next();
+        let take = self.options.batch_size.max(1).min(self.queue.len());
+        let batch: Vec<Event> = self.queue.drain(..take).collect();
+
+        // Working copy: events mutate this; the deployed pair is only
+        // replaced if the commit below succeeds.
+        let mut instance = self.instance.clone();
+        let mut placement = self.placement.clone();
+        let mut outcomes = Vec::with_capacity(batch.len());
+
+        for event in batch {
+            let outcome = match &event {
+                Event::Checkpoint => {
+                    self.epochs.checkpoint(instance.clone(), placement.clone());
+                    self.stats.checkpoints += 1;
+                    EventOutcome::Checkpoint
+                }
+                Event::Rollback => match self.epochs.rollback() {
+                    Some(snap) => {
+                        instance = snap.instance;
+                        placement = snap.placement;
+                        self.stats.rollbacks += 1;
+                        EventOutcome::RolledBack {
+                            to_epoch: snap.epoch,
+                        }
+                    }
+                    None => {
+                        self.stats.events_failed += 1;
+                        EventOutcome::Rejected {
+                            reason: "nothing to roll back".into(),
+                        }
+                    }
+                },
+                _ => match self.dispatch(&instance, &placement, &event) {
+                    Ok((ni, np, tier)) => {
+                        instance = ni;
+                        placement = np;
+                        match tier {
+                            Tier::Greedy => self.stats.greedy_ok += 1,
+                            Tier::Restricted => self.stats.restricted_ok += 1,
+                            Tier::Full => self.stats.full_ok += 1,
+                        }
+                        EventOutcome::Applied(tier)
+                    }
+                    Err(reason) => {
+                        self.stats.events_failed += 1;
+                        EventOutcome::Rejected { reason }
+                    }
+                },
+            };
+            outcomes.push((event, outcome));
+        }
+
+        // Commit: verify, then diff + transactional apply.
+        let tables =
+            emit_tables(&instance, &placement).map_err(|e| CtrlError::Table(e.to_string()))?;
+        if let Err(e) =
+            verify::verify_placement(&instance, &placement, self.options.verify_packets, epoch)
+        {
+            self.stats.verify_failures += 1;
+            return Err(CtrlError::VerifyFailed {
+                epoch,
+                detail: e.to_string(),
+            });
+        }
+        let target = DataPlane::target_from_tables(&tables);
+        self.dataplane
+            .set_capacities(&instance.topology().capacities());
+        let diff = self.dataplane.diff_to(&target)?;
+        let report = self.dataplane.apply(&diff)?;
+
+        self.instance = instance;
+        self.placement = placement;
+        self.epochs.advance();
+        self.stats.epochs += 1;
+        if !diff.is_empty() {
+            self.stats.diffs_applied += 1;
+        }
+        self.stats.entries_installed += report.installed as u64;
+        self.stats.entries_removed += report.removed as u64;
+        self.stats.peak_tcam_occupancy = self.stats.peak_tcam_occupancy.max(report.peak_occupancy);
+
+        Ok(Some(EpochReport {
+            epoch,
+            outcomes,
+            installed: report.installed,
+            removed: report.removed,
+            peak_occupancy: report.peak_occupancy,
+        }))
+    }
+
+    /// Runs epochs until the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_epoch`](Controller::run_epoch).
+    pub fn run_to_idle(&mut self) -> Result<Vec<EpochReport>, CtrlError> {
+        let mut reports = Vec::new();
+        while let Some(report) = self.run_epoch()? {
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Feeds a stream of events through the controller, draining the
+    /// queue whenever backpressure would reject a submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_epoch`](Controller::run_epoch).
+    pub fn replay(
+        &mut self,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Result<Vec<EpochReport>, CtrlError> {
+        let mut reports = Vec::new();
+        for event in events {
+            if self.queue.len() >= self.options.queue_capacity {
+                reports.extend(self.run_to_idle()?);
+            }
+            self.submit(event)?;
+        }
+        reports.extend(self.run_to_idle()?);
+        Ok(reports)
+    }
+
+    /// Parses a text trace (see [`event`]) and replays it.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::Trace`] on parse failure, otherwise as
+    /// [`replay`](Controller::replay).
+    pub fn replay_trace(&mut self, text: &str) -> Result<Vec<EpochReport>, CtrlError> {
+        let events = parse_trace(text)?;
+        self.replay(events)
+    }
+
+    /// Dispatches one mutating event through the escalation ladder.
+    /// Returns the updated working state and the tier that settled it,
+    /// or a rejection reason (working state untouched).
+    fn dispatch(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        event: &Event,
+    ) -> Result<(Instance, Placement, Tier), String> {
+        match event {
+            Event::AddRule { ingress, rule } => {
+                match incremental::add_rule_greedy(instance, placement, *ingress, *rule) {
+                    Ok(out) => {
+                        if let Some(p) = out.placement {
+                            return Ok((out.instance, p, Tier::Greedy));
+                        }
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+                let policy = instance
+                    .policy(*ingress)
+                    .expect("greedy tier validated the ingress");
+                let updated = policy.with_rule(*rule).map_err(|e| e.to_string())?;
+                self.replace_policy_laddered(instance, placement, *ingress, updated)
+            }
+            Event::RemoveRule { ingress, rule } => {
+                match incremental::remove_rule(instance, placement, *ingress, *rule) {
+                    Ok(out) => {
+                        let p = out.placement.ok_or_else(|| {
+                            "removal unexpectedly produced no placement".to_string()
+                        })?;
+                        Ok((out.instance, p, Tier::Greedy))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            Event::ModifyRule {
+                ingress,
+                rule,
+                replacement,
+            } => {
+                match incremental::modify_rule(instance, placement, *ingress, *rule, *replacement) {
+                    Ok(out) => {
+                        if let Some(p) = out.placement {
+                            return Ok((out.instance, p, Tier::Greedy));
+                        }
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+                let policy = instance
+                    .policy(*ingress)
+                    .expect("greedy tier validated the ingress");
+                let updated = policy
+                    .without_rule(*rule)
+                    .with_rule(*replacement)
+                    .map_err(|e| e.to_string())?;
+                self.replace_policy_laddered(instance, placement, *ingress, updated)
+            }
+            Event::InstallPolicy {
+                ingress,
+                policy,
+                routes,
+            } => {
+                match incremental::install_policies(
+                    instance,
+                    placement,
+                    vec![(*ingress, policy.clone(), routes.clone())],
+                    &self.options.placement,
+                    self.options.objective.clone(),
+                ) {
+                    Ok(out) => {
+                        if let Some(p) = out.placement {
+                            return Ok((out.instance, p, Tier::Restricted));
+                        }
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+                // Full: rebuild the instance with the policy and routes
+                // included, re-solve everything.
+                let mut policies: Vec<(EntryPortId, Policy)> =
+                    instance.policies().map(|(l, q)| (l, q.clone())).collect();
+                policies.push((*ingress, policy.clone()));
+                let all_routes: RouteSet = instance
+                    .routes()
+                    .iter()
+                    .chain(routes.iter())
+                    .cloned()
+                    .collect();
+                let updated = Instance::new(instance.topology().clone(), all_routes, policies)
+                    .map_err(|e| e.to_string())?;
+                let solved = self.full_solve(&updated)?;
+                Ok((updated, solved, Tier::Full))
+            }
+            Event::Reroute { ingress, routes } => {
+                match incremental::reroute_policy(
+                    instance,
+                    placement,
+                    *ingress,
+                    routes.clone(),
+                    &self.options.placement,
+                    self.options.objective.clone(),
+                ) {
+                    Ok(out) => {
+                        if let Some(p) = out.placement {
+                            return Ok((out.instance, p, Tier::Restricted));
+                        }
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+                let all_routes: RouteSet = instance
+                    .routes()
+                    .iter()
+                    .filter(|r| r.ingress != *ingress)
+                    .chain(routes.iter())
+                    .cloned()
+                    .collect();
+                let updated = instance
+                    .with_routes(all_routes)
+                    .map_err(|e| e.to_string())?;
+                let solved = self.full_solve(&updated)?;
+                Ok((updated, solved, Tier::Full))
+            }
+            Event::CapacityChange { switch, capacity } => {
+                if switch.0 >= instance.topology().switch_count() {
+                    return Err(format!("unknown switch {switch}"));
+                }
+                let mut topology = instance.topology().clone();
+                topology.set_capacity(*switch, *capacity);
+                let policies: Vec<(EntryPortId, Policy)> =
+                    instance.policies().map(|(l, q)| (l, q.clone())).collect();
+                let updated = Instance::new(topology, instance.routes().clone(), policies)
+                    .map_err(|e| e.to_string())?;
+                let load = placement.per_switch_load(instance);
+                if load.get(switch.0).copied().unwrap_or(0) <= *capacity {
+                    // The deployed placement still fits: no solver run.
+                    return Ok((updated, placement.clone(), Tier::Greedy));
+                }
+                let solved = self.full_solve(&updated)?;
+                Ok((updated, solved, Tier::Full))
+            }
+            Event::Solve => {
+                let solved = self.full_solve(instance)?;
+                Ok((instance.clone(), solved, Tier::Full))
+            }
+            Event::Checkpoint | Event::Rollback => {
+                unreachable!("handled in run_epoch")
+            }
+        }
+    }
+
+    /// Restricted → full ladder shared by `AddRule` and `ModifyRule`
+    /// once the greedy tier came up empty: re-place only this ingress's
+    /// (already updated) policy over its existing routes against the
+    /// spare capacity of the frozen rest, then fall back to a global
+    /// re-solve.
+    fn replace_policy_laddered(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+        ingress: EntryPortId,
+        updated_policy: Policy,
+    ) -> Result<(Instance, Placement, Tier), String> {
+        let mut policies: Vec<(EntryPortId, Policy)> =
+            instance.policies().map(|(l, q)| (l, q.clone())).collect();
+        match policies.iter_mut().find(|(l, _)| *l == ingress) {
+            Some(slot) => slot.1 = updated_policy,
+            None => return Err(format!("ingress {ingress} has no policy")),
+        }
+        let updated = Instance::new(
+            instance.topology().clone(),
+            instance.routes().clone(),
+            policies,
+        )
+        .map_err(|e| e.to_string())?;
+        let routes: Vec<Route> = updated
+            .routes()
+            .iter()
+            .filter(|r| r.ingress == ingress)
+            .cloned()
+            .collect();
+        match incremental::reroute_policy(
+            &updated,
+            placement,
+            ingress,
+            routes,
+            &self.options.placement,
+            self.options.objective.clone(),
+        ) {
+            Ok(out) => {
+                if let Some(p) = out.placement {
+                    return Ok((out.instance, p, Tier::Restricted));
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+        let solved = self.full_solve(&updated)?;
+        Ok((updated, solved, Tier::Full))
+    }
+
+    /// Full re-solve of `instance`; error if no feasible placement
+    /// exists.
+    fn full_solve(&self, instance: &Instance) -> Result<Placement, String> {
+        let outcome = RulePlacer::new(self.options.placement.clone())
+            .place(instance, self.options.objective.clone())
+            .expect("PlaceError is uninhabited");
+        outcome
+            .placement
+            .ok_or_else(|| format!("full re-solve failed: {}", outcome.status))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowplace_acl::{Action, Rule, Ternary};
+    use flowplace_topo::SwitchId;
+
+    fn t(bits: &str) -> Ternary {
+        Ternary::parse(bits).unwrap()
+    }
+
+    fn small_controller(capacity: usize) -> Controller {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(capacity);
+        Controller::new(topo, CtrlOptions::default())
+    }
+
+    fn install(ingress: usize, egress: usize, switches: &[usize]) -> Event {
+        Event::InstallPolicy {
+            ingress: EntryPortId(ingress),
+            policy: Policy::from_rules(vec![
+                Rule::new(t("10**"), Action::Drop, 2),
+                Rule::new(t("****"), Action::Permit, 1),
+            ])
+            .unwrap(),
+            routes: vec![Route::new(
+                EntryPortId(ingress),
+                EntryPortId(egress),
+                switches.iter().map(|&s| SwitchId(s)).collect(),
+            )],
+        }
+    }
+
+    #[test]
+    fn install_then_add_rule_greedy() {
+        let mut ctrl = small_controller(10);
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("01**"), Action::Drop, 3),
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert_eq!(reports.len(), 1, "both events coalesce into one epoch");
+        assert_eq!(
+            reports[0].tiers(),
+            vec![Tier::Restricted, Tier::Greedy],
+            "install settles restricted, add settles greedy"
+        );
+        assert_eq!(ctrl.epoch(), 1);
+        // Both DROP rules are deployed somewhere (the trailing PERMIT is
+        // the default action and costs no TCAM entry).
+        assert!(ctrl.dataplane().total_occupancy() >= 2);
+        assert_eq!(ctrl.stats().verify_failures, 0);
+    }
+
+    #[test]
+    fn batching_coalesces_to_one_diff() {
+        let mut ctrl = small_controller(16);
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        for p in 3..7 {
+            ctrl.submit(Event::AddRule {
+                ingress: EntryPortId(0),
+                rule: Rule::new(t(&format!("{:02b}**", p % 4)), Action::Drop, p),
+            })
+            .unwrap();
+        }
+        let reports = ctrl.run_to_idle().unwrap();
+        assert_eq!(reports.len(), 1, "5 events, batch_size 8, one epoch");
+        assert_eq!(ctrl.stats().epochs, 1);
+        assert_eq!(ctrl.stats().diffs_applied, 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_past_capacity() {
+        let mut ctrl = Controller::new(
+            Topology::linear(2),
+            CtrlOptions {
+                queue_capacity: 2,
+                ..CtrlOptions::default()
+            },
+        );
+        ctrl.submit(Event::Solve).unwrap();
+        ctrl.submit(Event::Solve).unwrap();
+        assert!(matches!(
+            ctrl.submit(Event::Solve),
+            Err(CtrlError::QueueFull { capacity: 2 })
+        ));
+        assert_eq!(ctrl.stats().events_rejected, 1);
+        assert_eq!(ctrl.stats().max_queue_depth, 2);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_state() {
+        let mut ctrl = small_controller(10);
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        let dump_before = ctrl.dataplane().dump();
+
+        ctrl.submit(Event::Checkpoint).unwrap();
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("11**"), Action::Drop, 5),
+        })
+        .unwrap();
+        ctrl.submit(Event::Rollback).unwrap();
+        ctrl.run_to_idle().unwrap();
+
+        assert_eq!(ctrl.dataplane().dump(), dump_before);
+        assert_eq!(ctrl.stats().checkpoints, 1);
+        assert_eq!(ctrl.stats().rollbacks, 1);
+        assert_eq!(ctrl.instance().policy(EntryPortId(0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rollback_without_checkpoint_is_rejected() {
+        let mut ctrl = small_controller(10);
+        ctrl.submit(Event::Rollback).unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert!(matches!(
+            reports[0].outcomes[0].1,
+            EventOutcome::Rejected { .. }
+        ));
+        assert_eq!(ctrl.stats().events_failed, 1);
+    }
+
+    #[test]
+    fn capacity_change_keeps_placement_when_it_fits() {
+        let mut ctrl = small_controller(10);
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        let before = ctrl.placement().clone();
+        ctrl.submit(Event::CapacityChange {
+            switch: SwitchId(1),
+            capacity: 9,
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert_eq!(reports[0].tiers(), vec![Tier::Greedy]);
+        assert_eq!(*ctrl.placement(), before);
+    }
+
+    #[test]
+    fn infeasible_event_is_rejected_not_fatal() {
+        let mut ctrl = small_controller(1);
+        // The DROP drags its overlapping higher-priority PERMIT shield
+        // onto the same switch: 2 entries cannot fit capacity 1.
+        ctrl.submit(Event::InstallPolicy {
+            ingress: EntryPortId(0),
+            policy: Policy::from_rules(vec![
+                Rule::new(t("10**"), Action::Permit, 2),
+                Rule::new(t("1***"), Action::Drop, 1),
+            ])
+            .unwrap(),
+            routes: vec![Route::new(
+                EntryPortId(0),
+                EntryPortId(2),
+                vec![SwitchId(0), SwitchId(1), SwitchId(2)],
+            )],
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert!(matches!(
+            reports[0].outcomes[0].1,
+            EventOutcome::Rejected { .. }
+        ));
+        assert_eq!(ctrl.stats().events_failed, 1);
+        assert_eq!(ctrl.dataplane().total_occupancy(), 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = "\
+install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
+add-rule l0 01** drop 3
+capacity s1 6
+add-rule l0 11** drop 4
+";
+        let run = |_: usize| {
+            let mut ctrl = small_controller(8);
+            ctrl.replay_trace(trace).unwrap();
+            (ctrl.dataplane().dump(), ctrl.stats().clone())
+        };
+        let (dump_a, stats_a) = run(0);
+        let (dump_b, stats_b) = run(1);
+        assert_eq!(dump_a, dump_b);
+        assert_eq!(stats_a, stats_b);
+    }
+}

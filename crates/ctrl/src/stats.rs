@@ -1,0 +1,108 @@
+//! Controller counters.
+
+use std::fmt;
+
+/// Cumulative counters for one [`Controller`](crate::Controller).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtrlStats {
+    /// Events accepted into the queue.
+    pub events_in: u64,
+    /// Events refused at submission because the queue was full.
+    pub events_rejected: u64,
+    /// Events that failed during processing (infeasible after the full
+    /// ladder, bad references, nothing to roll back).
+    pub events_failed: u64,
+    /// Epochs committed.
+    pub epochs: u64,
+    /// Non-empty diffs applied to the dataplane.
+    pub diffs_applied: u64,
+    /// TCAM entries installed, cumulative.
+    pub entries_installed: u64,
+    /// TCAM entries removed, cumulative.
+    pub entries_removed: u64,
+    /// Events settled at the greedy incremental tier.
+    pub greedy_ok: u64,
+    /// Events settled at the restricted re-solve tier.
+    pub restricted_ok: u64,
+    /// Events settled at the full re-solve tier.
+    pub full_ok: u64,
+    /// Commits whose golden-model verification failed (the epoch is
+    /// discarded, never deployed).
+    pub verify_failures: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Highest per-switch occupancy ever reached, including transient
+    /// make-before-break overshoot.
+    pub peak_tcam_occupancy: usize,
+    /// Deepest the event queue ever got.
+    pub max_queue_depth: usize,
+}
+
+impl CtrlStats {
+    /// Total TCAM entries churned (installed + removed).
+    pub fn rules_churned(&self) -> u64 {
+        self.entries_installed + self.entries_removed
+    }
+
+    /// Events that escalated past the greedy tier.
+    pub fn escalations(&self) -> u64 {
+        self.restricted_ok + self.full_ok
+    }
+}
+
+impl fmt::Display for CtrlStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "events: {} in, {} rejected, {} failed",
+            self.events_in, self.events_rejected, self.events_failed
+        )?;
+        writeln!(
+            f,
+            "tiers: {} greedy, {} restricted, {} full",
+            self.greedy_ok, self.restricted_ok, self.full_ok
+        )?;
+        writeln!(
+            f,
+            "epochs: {} committed, {} diffs, {} installed, {} removed ({} churned)",
+            self.epochs,
+            self.diffs_applied,
+            self.entries_installed,
+            self.entries_removed,
+            self.rules_churned()
+        )?;
+        writeln!(
+            f,
+            "safety: {} verify failures, {} checkpoints, {} rollbacks",
+            self.verify_failures, self.checkpoints, self.rollbacks
+        )?;
+        write!(
+            f,
+            "pressure: peak tcam occupancy {}, max queue depth {}",
+            self.peak_tcam_occupancy, self.max_queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let stats = CtrlStats {
+            entries_installed: 7,
+            entries_removed: 3,
+            restricted_ok: 2,
+            full_ok: 1,
+            ..CtrlStats::default()
+        };
+        assert_eq!(stats.rules_churned(), 10);
+        assert_eq!(stats.escalations(), 3);
+        let text = stats.to_string();
+        assert!(text.contains("2 restricted"));
+        assert!(text.contains("10 churned"));
+    }
+}

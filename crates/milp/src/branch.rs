@@ -138,6 +138,18 @@ pub fn solve_mip_lazy(
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
+    // Reject malformed models up front: every node would fail the same
+    // way, so surface the error once instead of searching.
+    if crate::simplex::validate_model(model).is_err() {
+        return MipOutcome {
+            status: MipStatus::Error,
+            best: None,
+            bound: f64::NEG_INFINITY * mul,
+            nodes: 0,
+            lp_iterations: 0,
+            lazy_rows_added: 0,
+        };
+    }
     let mut work = model.clone();
     let binaries = work.binary_vars();
     // With an all-integer objective over binaries, any improving solution
@@ -157,6 +169,7 @@ pub fn solve_mip_lazy(
     let mut lazy_rows_added = 0usize;
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-space obj, values)
     let mut hit_limit = false;
+    let mut solver_broke = false;
 
     // Warm start.
     if let Some(init) = &options.initial_solution {
@@ -236,6 +249,13 @@ pub fn solve_mip_lazy(
                     hit_limit = true;
                     break None;
                 }
+                LpOutcome::Error(_) => {
+                    // A solver invariant broke mid-search (the model
+                    // itself validated above): abort rather than risk an
+                    // incorrect bound.
+                    solver_broke = true;
+                    break None;
+                }
                 LpOutcome::Optimal(sol) => {
                     lp_iterations += sol.iterations;
                     let bound = sol.objective * mul;
@@ -276,8 +296,7 @@ pub fn solve_mip_lazy(
                         Some((var, _)) => {
                             // Try a cheap rounding incumbent before
                             // committing to a branch.
-                            if let Some(heur) = round_and_repair(&work, &sol.values, &binaries)
-                            {
+                            if let Some(heur) = round_and_repair(&work, &sol.values, &binaries) {
                                 let hobj = work.objective_value(&heur) * mul;
                                 let better = incumbent
                                     .as_ref()
@@ -308,6 +327,9 @@ pub fn solve_mip_lazy(
             work.set_bounds(v, lo, hi);
         }
 
+        if solver_broke {
+            break 'search;
+        }
         let Some((bound, values, branch_var)) = node_result else {
             continue;
         };
@@ -353,11 +375,15 @@ pub fn solve_mip_lazy(
         }
     }
 
-    let status = match (&incumbent, hit_limit) {
-        (Some(_), false) => MipStatus::Optimal,
-        (Some(_), true) => MipStatus::Feasible,
-        (None, false) => MipStatus::Infeasible,
-        (None, true) => MipStatus::Unknown,
+    let status = if solver_broke {
+        MipStatus::Error
+    } else {
+        match (&incumbent, hit_limit) {
+            (Some(_), false) => MipStatus::Optimal,
+            (Some(_), true) => MipStatus::Feasible,
+            (None, false) => MipStatus::Infeasible,
+            (None, true) => MipStatus::Unknown,
+        }
     };
     let best = incumbent.map(|(obj, values)| MipSolution {
         objective: obj * mul,
@@ -389,6 +415,17 @@ pub fn solve_mip_lazy(
 mod tests {
     use super::*;
     use crate::model::{Cmp, Sense};
+
+    #[test]
+    fn malformed_model_yields_error_status() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x");
+        m.set_objective(x, f64::NAN);
+        let out = crate::solve_mip(&m, &MipOptions::default());
+        assert_eq!(out.status, MipStatus::Error);
+        assert!(out.best.is_none());
+        assert_eq!(out.nodes, 0);
+    }
 
     #[test]
     fn knapsack_small() {
@@ -515,7 +552,10 @@ mod tests {
             ..MipOptions::default()
         };
         let out = solve_mip(&m, &opts);
-        assert!(matches!(out.status, MipStatus::Feasible | MipStatus::Unknown));
+        assert!(matches!(
+            out.status,
+            MipStatus::Feasible | MipStatus::Unknown
+        ));
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use lpformat::to_lp_format;
 pub use model::{Cmp, Constraint, Model, Sense, VarId, VarKind};
 pub use presolve::presolve;
 pub use simplex::{solve_lp, LpOptions};
-pub use status::{LpOutcome, LpSolution, LpStatus, MipOutcome, MipSolution, MipStatus};
+pub use status::{LpOutcome, LpSolution, LpStatus, MipOutcome, MipSolution, MipStatus, SolveError};

@@ -68,7 +68,11 @@ pub fn presolve(model: &Model) -> Presolved {
             // Binary domains stay integral: x >= 0.5 means x = 1.
             if out.vars[v.0].kind == crate::model::VarKind::Binary {
                 lo = if lo > tol { lo.ceil() } else { lo.max(0.0) };
-                hi = if hi < 1.0 - tol { hi.floor() } else { hi.min(1.0) };
+                hi = if hi < 1.0 - tol {
+                    hi.floor()
+                } else {
+                    hi.min(1.0)
+                };
             }
             if lo > hi + tol {
                 infeasible = true;

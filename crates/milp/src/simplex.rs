@@ -9,7 +9,7 @@
 #![allow(clippy::needless_range_loop)] // dense kernels index several arrays at once
 
 use crate::model::{Cmp, Model, Sense};
-use crate::status::{LpOutcome, LpSolution};
+use crate::status::{LpOutcome, LpSolution, SolveError};
 
 /// Options controlling an LP solve.
 #[derive(Clone, Debug)]
@@ -36,8 +36,59 @@ pub fn solve_lp(model: &Model) -> LpOutcome {
 
 /// Solves the LP relaxation of `model`.
 pub fn solve_lp_with(model: &Model, options: &LpOptions) -> LpOutcome {
-    let mut s = Simplex::build(model, options);
+    if let Err(e) = validate_model(model) {
+        return LpOutcome::Error(e);
+    }
+    let mut s = match Simplex::build(model, options) {
+        Ok(s) => s,
+        Err(e) => return LpOutcome::Error(e),
+    };
     s.solve(model)
+}
+
+/// Rejects models the simplex cannot meaningfully process: NaN or
+/// reversed variable bounds, a lower bound of `+inf` / upper of `-inf`,
+/// and non-finite objective, constraint, or right-hand-side
+/// coefficients.
+pub(crate) fn validate_model(model: &Model) -> Result<(), SolveError> {
+    for (j, v) in model.vars.iter().enumerate() {
+        let bad = v.lower.is_nan()
+            || v.upper.is_nan()
+            || v.lower == f64::INFINITY
+            || v.upper == f64::NEG_INFINITY
+            || v.lower > v.upper;
+        if bad {
+            return Err(SolveError::BadBound {
+                var: j,
+                lower: v.lower,
+                upper: v.upper,
+            });
+        }
+        if !v.objective.is_finite() {
+            return Err(SolveError::BadObjective {
+                var: j,
+                value: v.objective,
+            });
+        }
+    }
+    for (i, c) in model.constraints.iter().enumerate() {
+        for &(v, a) in &c.terms {
+            if !a.is_finite() {
+                return Err(SolveError::BadCoefficient {
+                    constraint: i,
+                    var: v.0,
+                    value: a,
+                });
+            }
+        }
+        if !c.rhs.is_finite() {
+            return Err(SolveError::BadRhs {
+                constraint: i,
+                value: c.rhs,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -53,6 +104,7 @@ enum PhaseResult {
     Converged,
     Unbounded,
     IterationLimit,
+    Error(SolveError),
 }
 
 struct Simplex {
@@ -86,7 +138,7 @@ struct Simplex {
 }
 
 impl Simplex {
-    fn build(model: &Model, options: &LpOptions) -> Simplex {
+    fn build(model: &Model, options: &LpOptions) -> Result<Simplex, SolveError> {
         let m = model.constraints.len();
         let n = model.vars.len();
         let sense_mul = match model.sense {
@@ -97,11 +149,7 @@ impl Simplex {
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
         let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
-        let mut cost2: Vec<f64> = model
-            .vars
-            .iter()
-            .map(|v| v.objective * sense_mul)
-            .collect();
+        let mut cost2: Vec<f64> = model.vars.iter().map(|v| v.objective * sense_mul).collect();
         let mut rhs = Vec::with_capacity(m);
         for (i, c) in model.constraints.iter().enumerate() {
             for &(v, a) in &c.terms {
@@ -131,7 +179,7 @@ impl Simplex {
         // Residual each slack must absorb.
         let mut resid = rhs;
         for j in 0..n {
-            let v = nb_value(lower[j], upper[j], status[j]);
+            let v = nb_value(lower[j], upper[j], status[j])?;
             if v != 0.0 {
                 for &(i, a) in &cols[j] {
                     resid[i] -= a * v;
@@ -158,7 +206,11 @@ impl Simplex {
             } else {
                 // Park the slack at its nearest (finite) bound.
                 let sb = if r < sl { sl } else { su };
-                status.push(if sb == sl { VStat::AtLower } else { VStat::AtUpper });
+                status.push(if sb == sl {
+                    VStat::AtLower
+                } else {
+                    VStat::AtUpper
+                });
                 needs_artificial.push((i, r, sb));
             }
         }
@@ -180,7 +232,7 @@ impl Simplex {
         debug_assert_eq!(status.len(), cols.len());
 
         let ncols = cols.len();
-        Simplex {
+        Ok(Simplex {
             m,
             n_struct: n,
             cols,
@@ -197,7 +249,7 @@ impl Simplex {
             tol: options.tolerance,
             degenerate_streak: 0,
             art_start: art_candidate,
-        }
+        })
     }
 
     fn solve(&mut self, model: &Model) -> LpOutcome {
@@ -210,8 +262,11 @@ impl Simplex {
             match self.optimize() {
                 PhaseResult::IterationLimit => return LpOutcome::IterationLimit,
                 PhaseResult::Unbounded => {
-                    unreachable!("phase-1 objective is bounded below by zero")
+                    return LpOutcome::Error(SolveError::Internal(
+                        "phase-1 objective diverged below zero",
+                    ))
                 }
+                PhaseResult::Error(e) => return LpOutcome::Error(e),
                 PhaseResult::Converged => {}
             }
             let infeas: f64 = (0..self.m)
@@ -221,7 +276,9 @@ impl Simplex {
             if infeas > 1e-6 {
                 return LpOutcome::Infeasible;
             }
-            self.drive_out_artificials();
+            if let Err(e) = self.drive_out_artificials() {
+                return LpOutcome::Error(e);
+            }
             // Freeze artificials at zero so phase 2 cannot use them.
             for j in self.art_start..self.cols.len() {
                 self.lower[j] = 0.0;
@@ -234,12 +291,16 @@ impl Simplex {
         match self.optimize() {
             PhaseResult::IterationLimit => LpOutcome::IterationLimit,
             PhaseResult::Unbounded => LpOutcome::Unbounded,
+            PhaseResult::Error(e) => LpOutcome::Error(e),
             PhaseResult::Converged => {
                 let mut values = vec![0.0; self.n_struct];
                 for (j, value) in values.iter_mut().enumerate() {
                     *value = match self.status[j] {
                         VStat::Basic(i) => self.xb[i],
-                        st => nb_value(self.lower[j], self.upper[j], st),
+                        st => match nb_value(self.lower[j], self.upper[j], st) {
+                            Ok(v) => v,
+                            Err(e) => return LpOutcome::Error(e),
+                        },
                     };
                 }
                 let objective = model.objective_value(&values);
@@ -255,7 +316,7 @@ impl Simplex {
     /// Pivots basic zero-valued artificials out of the basis where a
     /// non-artificial column can replace them; rows where none can are
     /// linearly redundant and keep their artificial pinned at zero.
-    fn drive_out_artificials(&mut self) {
+    fn drive_out_artificials(&mut self) -> Result<(), SolveError> {
         for row in 0..self.m {
             if self.basis[row] < self.art_start {
                 continue;
@@ -280,14 +341,12 @@ impl Simplex {
             // exchange keeps all values unchanged except bookkeeping.
             let w = self.ftran(q);
             let old = self.basis[row];
-            let enter_val = match self.status[q] {
-                VStat::Basic(_) => unreachable!(),
-                st => nb_value(self.lower[q], self.upper[q], st),
-            };
+            let enter_val = nb_value(self.lower[q], self.upper[q], self.status[q])?;
             self.pivot(row, q, w);
             self.xb[row] = enter_val;
             self.status[old] = VStat::AtLower;
         }
+        Ok(())
     }
 
     /// `Binv * A_q` for a sparse column.
@@ -337,7 +396,8 @@ impl Simplex {
                 match self.status[j] {
                     VStat::Basic(_) => {}
                     st => {
-                        let v = nb_value(self.lower[j], self.upper[j], st);
+                        let v = nb_value(self.lower[j], self.upper[j], st)
+                            .expect("nonbasic status always has a bound value");
                         assert!(
                             v.is_finite(),
                             "iter {}: column {j} nonbasic at non-finite bound {v} ({st:?}, [{}, {}])",
@@ -376,11 +436,7 @@ impl Simplex {
                 if self.upper[j] - self.lower[j] <= 0.0 {
                     continue;
                 }
-                let d = self.cost[j]
-                    - self.cols[j]
-                        .iter()
-                        .map(|&(r, a)| y[r] * a)
-                        .sum::<f64>();
+                let d = self.cost[j] - self.cols[j].iter().map(|&(r, a)| y[r] * a).sum::<f64>();
                 let (eligible, sigma) = match st {
                     VStat::AtLower => (d < -self.tol, 1.0),
                     VStat::AtUpper => (d > self.tol, -1.0),
@@ -429,9 +485,7 @@ impl Simplex {
                     (self.xb[i] - hi) / rate
                 };
                 let t_i = t_i.max(0.0);
-                if t_i < t_best - 1e-12
-                    || (t_i < t_best + 1e-12 && wi.abs() > leave_w.abs())
-                {
+                if t_i < t_best - 1e-12 || (t_i < t_best + 1e-12 && wi.abs() > leave_w.abs()) {
                     t_best = t_i;
                     leave = Some(i);
                     leave_w = wi;
@@ -463,11 +517,17 @@ impl Simplex {
                     other => other, // free vars never flip (span infinite)
                 };
             } else {
-                let row = leave.expect("bounded step has a leaving row");
+                let Some(row) = leave else {
+                    return PhaseResult::Error(SolveError::Internal(
+                        "bounded step has no leaving row",
+                    ));
+                };
                 let leaving = self.basis[row];
                 let rate = sigma * w[row];
-                let enter_val =
-                    nb_value(self.lower[q], self.upper[q], self.status[q]) + sigma * t;
+                let enter_val = match nb_value(self.lower[q], self.upper[q], self.status[q]) {
+                    Ok(v) => v + sigma * t,
+                    Err(e) => return PhaseResult::Error(e),
+                };
                 self.status[leaving] = if rate > 0.0 {
                     debug_assert!(
                         self.lower[leaving].is_finite(),
@@ -485,8 +545,7 @@ impl Simplex {
                 };
                 // A leaving free variable parks wherever it ended; model it
                 // as a fixed bound at its final value to stay consistent.
-                if self.lower[leaving] == f64::NEG_INFINITY
-                    && self.upper[leaving] == f64::INFINITY
+                if self.lower[leaving] == f64::NEG_INFINITY && self.upper[leaving] == f64::INFINITY
                 {
                     let v = self.xb[row];
                     self.lower[leaving] = v;
@@ -515,12 +574,16 @@ fn initial_status(lower: f64, upper: f64) -> VStat {
     }
 }
 
-fn nb_value(lower: f64, upper: f64, status: VStat) -> f64 {
+/// The resting value of a *nonbasic* variable. Asking for a basic
+/// variable's bound value is a solver invariant violation and surfaces
+/// as [`SolveError::Internal`] rather than a panic, so a malformed
+/// model cannot abort a long-running caller.
+fn nb_value(lower: f64, upper: f64, status: VStat) -> Result<f64, SolveError> {
     match status {
-        VStat::AtLower => lower,
-        VStat::AtUpper => upper,
-        VStat::FreeZero => 0.0,
-        VStat::Basic(_) => panic!("basic variable has no bound value"),
+        VStat::AtLower => Ok(lower),
+        VStat::AtUpper => Ok(upper),
+        VStat::FreeZero => Ok(0.0),
+        VStat::Basic(_) => Err(SolveError::Internal("basic variable has no bound value")),
     }
 }
 
@@ -534,7 +597,7 @@ mod tests {
     /// the converged state and exact linear algebra.
     fn audit(model: &Model) -> (LpSolution, Vec<String>) {
         let options = LpOptions::default();
-        let mut s = Simplex::build(model, &options);
+        let mut s = Simplex::build(model, &options).expect("audit models are well-formed");
         let out = s.solve(model);
         let sol = match out {
             LpOutcome::Optimal(ref sol) => sol.clone(),
@@ -601,7 +664,7 @@ mod tests {
         for j in 0..s.cols.len() {
             let val = match s.status[j] {
                 VStat::Basic(_) => continue,
-                st => nb_value(s.lower[j], s.upper[j], st),
+                st => nb_value(s.lower[j], s.upper[j], st).expect("nonbasic"),
             };
             if !val.is_finite() {
                 problems.push(format!(
@@ -636,8 +699,7 @@ mod tests {
             if matches!(s.status[j], VStat::Basic(_)) || s.upper[j] - s.lower[j] <= 0.0 {
                 continue;
             }
-            let d = s.cost[j]
-                - s.cols[j].iter().map(|&(r, a)| y[r] * a).sum::<f64>();
+            let d = s.cost[j] - s.cols[j].iter().map(|&(r, a)| y[r] * a).sum::<f64>();
             let bad = match s.status[j] {
                 VStat::AtLower => d < -1e-6,
                 VStat::AtUpper => d > 1e-6,
@@ -684,12 +746,7 @@ mod tests {
                 *rhs,
             );
         }
-        m.add_constraint(
-            "cap",
-            v.iter().map(|&x| (x, 1.0)).collect(),
-            Cmp::Le,
-            8.0,
-        );
+        m.add_constraint("cap", v.iter().map(|&x| (x, 1.0)).collect(), Cmp::Le, 8.0);
         let (sol, problems) = audit(&m);
         assert!(problems.is_empty(), "audit: {problems:?}");
         assert!(
@@ -704,6 +761,50 @@ mod tests {
             LpOutcome::Optimal(s) => s,
             other => panic!("expected optimal, got {:?}", other.status()),
         }
+    }
+
+    #[test]
+    fn malformed_models_error_instead_of_panicking() {
+        // Model constructors assert on NaN inputs; validation catches
+        // what slips past them: infinite pins, and NaN set after the
+        // fact. A lower bound pinned at +inf is unusable.
+        let mut m = Model::new(Sense::Minimize);
+        m.add_continuous("x", f64::INFINITY, f64::INFINITY);
+        assert!(matches!(
+            solve_lp(&m),
+            LpOutcome::Error(SolveError::BadBound { var: 0, .. })
+        ));
+        // Non-finite constraint coefficient.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("c", vec![(x, f64::INFINITY)], Cmp::Le, 1.0);
+        assert!(matches!(
+            solve_lp(&m),
+            LpOutcome::Error(SolveError::BadCoefficient { .. })
+        ));
+        // Non-finite rhs.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Cmp::Le, f64::INFINITY);
+        assert!(matches!(
+            solve_lp(&m),
+            LpOutcome::Error(SolveError::BadRhs { .. })
+        ));
+        // Non-finite objective.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.set_objective(x, f64::NAN);
+        assert!(matches!(
+            solve_lp(&m),
+            LpOutcome::Error(SolveError::BadObjective { .. })
+        ));
+    }
+
+    #[test]
+    fn error_outcome_has_error_status() {
+        let e = LpOutcome::Error(SolveError::Internal("test"));
+        assert_eq!(e.status(), crate::status::LpStatus::Error);
+        assert!(e.solution().is_none());
     }
 
     #[test]
@@ -729,7 +830,11 @@ mod tests {
         m.add_constraint("c2", vec![(y, 2.0)], Cmp::Le, 12.0);
         m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
         let s = lp(&m);
-        assert!((s.objective - 36.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 36.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.values[x.0] - 2.0).abs() < 1e-6);
         assert!((s.values[y.0] - 6.0).abs() < 1e-6);
     }
@@ -870,12 +975,7 @@ mod tests {
         m.add_constraint("r1", vec![(v[0], 1.0), (v[3], 1.0)], Cmp::Ge, 1.0);
         m.add_constraint("r2", vec![(v[1], 1.0), (v[4], 1.0)], Cmp::Ge, 1.0);
         m.add_constraint("r3", vec![(v[2], 1.0), (v[5], 1.0)], Cmp::Ge, 1.0);
-        m.add_constraint(
-            "cap",
-            v.iter().map(|&x| (x, 1.0)).collect(),
-            Cmp::Le,
-            4.0,
-        );
+        m.add_constraint("cap", v.iter().map(|&x| (x, 1.0)).collect(), Cmp::Le, 4.0);
         let s = lp(&m);
         assert!(m.check_feasible(&s.values, 1e-6).is_ok());
         // Cheapest cover: x0 (1.0) + x1 (1.3) + x2 (1.6) = 3.9.

@@ -2,6 +2,76 @@
 
 use std::fmt;
 
+/// A malformed model or a broken solver invariant, surfaced as data
+/// instead of a panic so a long-running caller (e.g. the controller
+/// loop) can reject the offending request and keep serving.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// A variable's bounds are unusable: NaN, `lower > upper`, lower at
+    /// `+inf`, or upper at `-inf`.
+    BadBound {
+        /// Variable index.
+        var: usize,
+        /// Offending lower bound.
+        lower: f64,
+        /// Offending upper bound.
+        upper: f64,
+    },
+    /// A variable's objective coefficient is NaN or infinite.
+    BadObjective {
+        /// Variable index.
+        var: usize,
+        /// Offending coefficient.
+        value: f64,
+    },
+    /// A constraint coefficient is NaN or infinite.
+    BadCoefficient {
+        /// Constraint index.
+        constraint: usize,
+        /// Variable index of the offending term.
+        var: usize,
+        /// Offending coefficient.
+        value: f64,
+    },
+    /// A constraint right-hand side is NaN or infinite.
+    BadRhs {
+        /// Constraint index.
+        constraint: usize,
+        /// Offending right-hand side.
+        value: f64,
+    },
+    /// An internal invariant broke (e.g. a basic variable was asked for
+    /// its nonbasic bound value).
+    Internal(&'static str),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::BadBound { var, lower, upper } => {
+                write!(f, "variable {var} has unusable bounds [{lower}, {upper}]")
+            }
+            SolveError::BadObjective { var, value } => {
+                write!(f, "variable {var} has non-finite objective {value}")
+            }
+            SolveError::BadCoefficient {
+                constraint,
+                var,
+                value,
+            } => write!(
+                f,
+                "constraint {constraint} has non-finite coefficient {value} on variable {var}"
+            ),
+            SolveError::BadRhs { constraint, value } => {
+                write!(f, "constraint {constraint} has non-finite rhs {value}")
+            }
+            SolveError::Internal(what) => write!(f, "solver invariant broken: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// Status of an LP solve.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LpStatus {
@@ -13,6 +83,8 @@ pub enum LpStatus {
     Unbounded,
     /// The iteration limit was hit before convergence.
     IterationLimit,
+    /// The model was malformed or a solver invariant broke.
+    Error,
 }
 
 /// A solved LP: status plus (when solved) the primal point.
@@ -37,6 +109,8 @@ pub enum LpOutcome {
     Unbounded,
     /// Iteration limit reached; no solution reported.
     IterationLimit,
+    /// The model was malformed or a solver invariant broke.
+    Error(SolveError),
 }
 
 impl LpOutcome {
@@ -55,6 +129,7 @@ impl LpOutcome {
             LpOutcome::Infeasible => LpStatus::Infeasible,
             LpOutcome::Unbounded => LpStatus::Unbounded,
             LpOutcome::IterationLimit => LpStatus::IterationLimit,
+            LpOutcome::Error(_) => LpStatus::Error,
         }
     }
 }
@@ -72,6 +147,9 @@ pub enum MipStatus {
     /// A limit was reached before any feasible solution was found; the
     /// instance may or may not be feasible.
     Unknown,
+    /// The model was malformed or a solver invariant broke; the search
+    /// was aborted.
+    Error,
 }
 
 impl fmt::Display for MipStatus {
@@ -81,6 +159,7 @@ impl fmt::Display for MipStatus {
             MipStatus::Infeasible => write!(f, "infeasible"),
             MipStatus::Feasible => write!(f, "feasible"),
             MipStatus::Unknown => write!(f, "unknown"),
+            MipStatus::Error => write!(f, "error"),
         }
     }
 }

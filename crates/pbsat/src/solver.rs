@@ -673,11 +673,8 @@ impl Solver {
                     match self.pick_branch_var() {
                         None => {
                             // Full assignment: SAT.
-                            let values: Vec<bool> = self
-                                .assign
-                                .iter()
-                                .map(|a| *a == LBool::True)
-                                .collect();
+                            let values: Vec<bool> =
+                                self.assign.iter().map(|a| *a == LBool::True).collect();
                             let model = Model { values };
                             debug_assert!(self.model_consistent(&model));
                             self.cancel_until(0);

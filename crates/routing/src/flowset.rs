@@ -28,7 +28,10 @@ use crate::RouteSet;
 /// Panics if `dst_bits` is zero or exceeds `width`, or `width` exceeds
 /// [`flowplace_acl::MAX_WIDTH`].
 pub fn assign_destination_flows(routes: &mut RouteSet, width: u32, dst_bits: u32) {
-    assert!(dst_bits >= 1 && dst_bits <= width, "dst_bits must be in 1..=width");
+    assert!(
+        dst_bits >= 1 && dst_bits <= width,
+        "dst_bits must be in 1..=width"
+    );
     let care = if dst_bits >= 128 {
         u128::MAX
     } else {
@@ -66,7 +69,10 @@ mod tests {
         assert!(f1.matches(&Packet::from_bits(0b0000_0001, 8)));
         assert!(!f1.matches(&Packet::from_bits(0b0000_0010, 8)));
         assert!(f2.matches(&Packet::from_bits(0b1111_0010, 8)));
-        assert!(!f1.intersects(&f2), "different egresses carry disjoint flows");
+        assert!(
+            !f1.intersects(&f2),
+            "different egresses carry disjoint flows"
+        );
     }
 
     #[test]

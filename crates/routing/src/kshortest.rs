@@ -27,7 +27,9 @@ pub fn all_shortest_paths(
     }
     let mut out: Vec<Route> = Vec::new();
     let mut stack: Vec<SwitchId> = vec![src];
-    dfs(topo, &dist, dst, &mut stack, &mut out, ingress, egress, limit);
+    dfs(
+        topo, &dist, dst, &mut stack, &mut out, ingress, egress, limit,
+    );
     out
 }
 
@@ -153,5 +155,4 @@ mod tests {
         assert_eq!(set.paths_from(EntryPortId(0)).len(), 2);
         assert_eq!(set.paths_from(EntryPortId(1)).len(), 2);
     }
-
 }

@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn reachable_switches_is_union() {
-        let rs = RouteSet::from_routes(vec![
-            route(0, 1, &[0, 1, 2]),
-            route(0, 2, &[0, 1, 3]),
-        ]);
+        let rs = RouteSet::from_routes(vec![route(0, 1, &[0, 1, 2]), route(0, 2, &[0, 1, 3])]);
         let s: Vec<usize> = rs
             .reachable_switches(EntryPortId(0))
             .into_iter()
@@ -243,10 +240,7 @@ mod tests {
 
     #[test]
     fn loc_is_min_over_paths() {
-        let rs = RouteSet::from_routes(vec![
-            route(0, 1, &[0, 1, 2]),
-            route(0, 2, &[2, 3]),
-        ]);
+        let rs = RouteSet::from_routes(vec![route(0, 1, &[0, 1, 2]), route(0, 2, &[2, 3])]);
         assert_eq!(rs.loc(EntryPortId(0), SwitchId(2)), Some(0));
         assert_eq!(rs.loc(EntryPortId(0), SwitchId(1)), Some(1));
         assert_eq!(rs.loc(EntryPortId(0), SwitchId(9)), None);

@@ -6,8 +6,7 @@
 //! the caller's seed) — the standard ECMP-style path selection in a
 //! fat-tree, where many shortest paths exist between most host pairs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flowplace_rng::{Rng, StdRng};
 
 use flowplace_topo::{EntryPortId, SwitchId, Topology};
 
@@ -136,8 +135,7 @@ mod tests {
         let topo = Topology::fat_tree(4);
         let mut rng = StdRng::seed_from_u64(3);
         for (a, b) in [(0usize, 15usize), (0, 3), (5, 10)] {
-            let r =
-                shortest_path(&topo, EntryPortId(a), EntryPortId(b), &mut rng).unwrap();
+            let r = shortest_path(&topo, EntryPortId(a), EntryPortId(b), &mut rng).unwrap();
             let src = topo.entry_port(EntryPortId(a)).switch;
             let dst = topo.entry_port(EntryPortId(b)).switch;
             let d = topo.distances_from(src);
@@ -179,8 +177,7 @@ mod tests {
         let mut distinct = std::collections::BTreeSet::new();
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let r = shortest_path(&topo, EntryPortId(0), EntryPortId(15), &mut rng)
-                .unwrap();
+            let r = shortest_path(&topo, EntryPortId(0), EntryPortId(15), &mut rng).unwrap();
             distinct.insert(r.switches.clone());
         }
         assert!(distinct.len() > 1, "expected ECMP diversity");

@@ -24,7 +24,10 @@ use crate::{SwitchId, Topology, TopologyBuilder};
 ///
 /// Panics if `k` is odd or less than 2.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity k={k} must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity k={k} must be even and >= 2"
+    );
     let half = k / 2;
     let mut b = TopologyBuilder::new();
 

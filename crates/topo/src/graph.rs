@@ -163,7 +163,11 @@ impl Topology {
 
     /// Total number of links (each undirected link counted once).
     pub fn link_count(&self) -> usize {
-        self.switches.iter().map(|s| s.neighbors.len()).sum::<usize>() / 2
+        self.switches
+            .iter()
+            .map(|s| s.neighbors.len())
+            .sum::<usize>()
+            / 2
     }
 
     /// True if every switch is reachable from switch 0 (or the network is

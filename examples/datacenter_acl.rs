@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use flowplace::classbench::{Generator, Profile, PolicySuite};
+use flowplace::classbench::{Generator, PolicySuite, Profile};
 use flowplace::core::verify;
 use flowplace::milp::MipOptions;
 use flowplace::prelude::*;

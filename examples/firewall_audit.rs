@@ -55,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("path slicing on destination sub-flows (low 4 bits):");
     for f in flows {
         let flow = Ternary::parse(&format!("************{f}"))?;
-        let route = Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)])
-            .with_flow(flow);
+        let route = Route::new(EntryPortId(0), EntryPortId(1), vec![SwitchId(0)]).with_flow(flow);
         let kept = slicing::sliced_rules(&policy, &route).len();
         println!(
             "  flow dst={f}: {kept}/{} rules needed ({:.0}% sliced away)",

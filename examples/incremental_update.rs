@@ -12,8 +12,7 @@ use flowplace::classbench::{Generator, Profile};
 use flowplace::core::{incremental, verify};
 use flowplace::prelude::*;
 use flowplace::routing::shortest;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowplace_rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut topo = Topology::fat_tree(4);

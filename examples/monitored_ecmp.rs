@@ -119,9 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let mut upstream = 0usize;
                 for ((ingress, rule), switches) in p.iter() {
                     let r = instance.policy(*ingress).unwrap().rule(*rule);
-                    if !r.action().is_drop()
-                        || !r.match_field().intersects(&monitored_flow)
-                    {
+                    if !r.action().is_drop() || !r.match_field().intersects(&monitored_flow) {
                         continue;
                     }
                     for &s in switches {

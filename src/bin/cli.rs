@@ -26,6 +26,7 @@ USAGE:
   flowplace place [FLAGS]        solve a placement instance
   flowplace audit FILE [FLAGS]   analyze a policy file (redundancy, deps)
   flowplace gen-policy [FLAGS]   generate a synthetic policy to stdout
+  flowplace ctrl replay FILE [FLAGS]   drive the controller from an event trace
   flowplace help                 show this text
 
 place flags:
@@ -52,6 +53,18 @@ gen-policy flags:
   --width N            match width in bits                       [16]
   --seed N             RNG seed                                  [1]
   --profile firewall|acl|ipchain                                 [firewall]
+
+ctrl replay flags:
+  --topo SPEC          fat-tree:K | leaf-spine:S,L,H | linear:N  [linear:4]
+  --capacity N         TCAM slots per switch                     [16]
+  --batch N            events coalesced per epoch                [8]
+  --verbose            print every event outcome, not just epochs
+
+Trace files hold one event per line (# comments, blank lines ignored):
+  install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
+  add-rule l0 01** drop 3 | modify-rule l0 r1 11** permit 4
+  remove-rule l0 r0 | reroute l0 via l2:s0-s2 | capacity s1 4
+  solve | checkpoint | rollback
 ";
 
 fn main() -> ExitCode {
@@ -60,6 +73,7 @@ fn main() -> ExitCode {
         Some("place") => place(&args[1..]),
         Some("audit") => audit(&args[1..]),
         Some("gen-policy") => gen_policy(&args[1..]),
+        Some("ctrl") => ctrl(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -73,7 +87,7 @@ fn main() -> ExitCode {
 
 /// Splits `args` into `--flag value` pairs and bare switches.
 fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
-    const SWITCHES: &[&str] = &["--merging", "--verify", "--tables"];
+    const SWITCHES: &[&str] = &["--merging", "--verify", "--tables", "--verbose"];
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter().peekable();
@@ -82,9 +96,7 @@ fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>
             if SWITCHES.contains(&a.as_str()) {
                 flags.insert(name.to_string(), "true".to_string());
             } else {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("flag {a} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("flag {a} needs a value"))?;
                 flags.insert(name.to_string(), v.clone());
             }
         } else {
@@ -105,13 +117,18 @@ fn build_topology(spec: &str) -> Result<Topology, String> {
     let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
     match kind {
         "fat-tree" => {
-            let k: usize = params.parse().map_err(|_| format!("bad fat-tree arity {params:?}"))?;
+            let k: usize = params
+                .parse()
+                .map_err(|_| format!("bad fat-tree arity {params:?}"))?;
             Ok(Topology::fat_tree(k))
         }
         "leaf-spine" => {
             let ps: Vec<usize> = params
                 .split(',')
-                .map(|p| p.parse().map_err(|_| format!("bad leaf-spine params {params:?}")))
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| format!("bad leaf-spine params {params:?}"))
+                })
                 .collect::<Result<_, _>>()?;
             if ps.len() != 3 {
                 return Err("leaf-spine needs S,L,H".into());
@@ -119,7 +136,9 @@ fn build_topology(spec: &str) -> Result<Topology, String> {
             Ok(Topology::leaf_spine(ps[0], ps[1], ps[2]))
         }
         "linear" => {
-            let n: usize = params.parse().map_err(|_| format!("bad linear length {params:?}"))?;
+            let n: usize = params
+                .parse()
+                .map_err(|_| format!("bad linear length {params:?}"))?;
             Ok(Topology::linear(n))
         }
         other => Err(format!("unknown topology kind {other:?}")),
@@ -141,7 +160,12 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
     if !positional.is_empty() {
         return Err(format!("unexpected arguments: {positional:?}"));
     }
-    let mut topo = build_topology(flags.get("topo").map(String::as_str).unwrap_or("fat-tree:4"))?;
+    let mut topo = build_topology(
+        flags
+            .get("topo")
+            .map(String::as_str)
+            .unwrap_or("fat-tree:4"),
+    )?;
     let capacity = get_usize(&flags, "capacity", 40)?;
     topo.set_uniform_capacity(capacity);
     let ingresses = get_usize(&flags, "ingresses", 4)?;
@@ -163,8 +187,8 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
 
     let policies: Vec<(EntryPortId, Policy)> = match flags.get("policy-file") {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let policy = textfmt::parse_policy(&text).map_err(|e| format!("{path}: {e}"))?;
             (0..ingresses)
                 .map(|i| (EntryPortId(i), policy.clone()))
@@ -279,8 +303,7 @@ fn audit_inner(args: &[String]) -> Result<(), String> {
     let [path] = positional.as_slice() else {
         return Err("audit needs exactly one policy file".into());
     };
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let policy = textfmt::parse_policy(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: {} rules", policy.len());
 
@@ -302,6 +325,65 @@ fn audit_inner(args: &[String]) -> Result<(), String> {
         println!("wrote dependency graph to {dot_path}");
     }
     Ok(())
+}
+
+fn ctrl(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("replay") => match ctrl_replay_inner(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: flowplace ctrl replay FILE [FLAGS]; try `flowplace help`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
+    use flowplace::ctrl::{Controller, CtrlOptions};
+
+    let (flags, positional) = parse_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("ctrl replay needs exactly one trace file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut topo = build_topology(flags.get("topo").map(String::as_str).unwrap_or("linear:4"))?;
+    topo.set_uniform_capacity(get_usize(&flags, "capacity", 16)?);
+    let options = CtrlOptions {
+        batch_size: get_usize(&flags, "batch", 8)?,
+        ..CtrlOptions::default()
+    };
+    let verbose = flags.contains_key("verbose");
+
+    let mut ctrl = Controller::new(topo, options);
+    let reports = ctrl.replay_trace(&text).map_err(|e| e.to_string())?;
+
+    for r in &reports {
+        println!(
+            "epoch {}: {} events, +{} -{} entries (peak {})",
+            r.epoch,
+            r.outcomes.len(),
+            r.installed,
+            r.removed,
+            r.peak_occupancy
+        );
+        if verbose {
+            for (event, outcome) in &r.outcomes {
+                println!("  {event}  =>  {outcome:?}");
+            }
+        }
+    }
+    println!("{}", ctrl.stats());
+    print!("{}", ctrl.dataplane().dump());
+    if ctrl.stats().verify_failures > 0 || ctrl.stats().events_failed > 0 {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn gen_policy(args: &[String]) -> ExitCode {
@@ -328,7 +410,9 @@ fn gen_policy_inner(args: &[String]) -> Result<(), String> {
         Some("ipchain") => Profile::IpChain,
         Some(other) => return Err(format!("unknown profile {other:?}")),
     };
-    let policy = Generator::new(profile, width).with_seed(seed).policy(rules, 0);
+    let policy = Generator::new(profile, width)
+        .with_seed(seed)
+        .policy(rules, 0);
     print!("{}", textfmt::format_policy(&policy));
     Ok(())
 }

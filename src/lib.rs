@@ -18,7 +18,10 @@
 //! * [`milp`] — the 0/1 ILP solver (bounded simplex + branch & bound);
 //! * [`pbsat`] — the CDCL pseudo-Boolean SAT solver;
 //! * [`core`] — the placement optimizer itself (dependency graphs,
-//!   encodings, merging, incremental deployment, verification).
+//!   encodings, merging, incremental deployment, verification);
+//! * [`ctrl`] — the event-driven controller runtime (batched updates,
+//!   greedy→restricted→full escalation, transactional TCAM dataplane);
+//! * [`rng`] — seedable, registry-free pseudo-random number generation.
 //!
 //! The most common entry points are re-exported at the root:
 //! [`Instance`], [`RulePlacer`], [`PlacementOptions`], [`Objective`].
@@ -53,8 +56,10 @@
 pub use flowplace_acl as acl;
 pub use flowplace_classbench as classbench;
 pub use flowplace_core as core;
+pub use flowplace_ctrl as ctrl;
 pub use flowplace_milp as milp;
 pub use flowplace_pbsat as pbsat;
+pub use flowplace_rng as rng;
 pub use flowplace_routing as routing;
 pub use flowplace_topo as topo;
 
@@ -67,9 +72,10 @@ pub use flowplace_core::{
 pub mod prelude {
     pub use flowplace_acl::{Action, Packet, Policy, Rule, RuleId, Ternary};
     pub use flowplace_core::{
-        DependencyEncoding, Instance, Objective, Placement, PlacementOptions,
-        PlacementOutcome, PlacerEngine, RulePlacer, SolveStatus,
+        DependencyEncoding, Instance, Objective, Placement, PlacementOptions, PlacementOutcome,
+        PlacerEngine, RulePlacer, SolveStatus,
     };
+    pub use flowplace_ctrl::{Controller, CtrlOptions, CtrlStats, Event, Tier};
     pub use flowplace_routing::{Route, RouteId, RouteSet};
     pub use flowplace_topo::{EntryPortId, SwitchId, Topology, TopologyBuilder};
 }

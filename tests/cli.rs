@@ -38,7 +38,9 @@ fn gen_policy_audit_place_pipeline() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert_eq!(text.lines().count(), 8);
-    assert!(text.lines().all(|l| l.starts_with("permit") || l.starts_with("drop")));
+    assert!(text
+        .lines()
+        .all(|l| l.starts_with("permit") || l.starts_with("drop")));
     std::fs::write(&policy_path, &text).unwrap();
 
     // Audit it with a DOT export.
@@ -48,7 +50,11 @@ fn gen_policy_audit_place_pipeline() {
         "--dot",
         dot_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("8 rules"));
     let dot = std::fs::read_to_string(&dot_path).unwrap();
     assert!(dot.starts_with("digraph"));
@@ -69,7 +75,11 @@ fn gen_policy_audit_place_pipeline() {
         "--verify",
         "--tables",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("status: optimal"));
     assert!(text.contains("verification passed"));
@@ -79,12 +89,30 @@ fn gen_policy_audit_place_pipeline() {
 
 #[test]
 fn place_reports_infeasible_with_exit_code() {
+    // An explicit policy with a reachable drop needs at least one TCAM
+    // entry, so capacity 0 is infeasible regardless of RNG streams.
+    let dir = std::env::temp_dir().join(format!("flowplace-cli-infeasible-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy_path = dir.join("deny.txt");
+    std::fs::write(&policy_path, "drop   10** @ 2\npermit **** @ 1\n").unwrap();
+
     let out = flowplace(&[
-        "place", "--topo", "linear:2", "--capacity", "0", "--ingresses", "1", "--paths",
-        "1", "--rules", "4",
+        "place",
+        "--topo",
+        "linear:2",
+        "--capacity",
+        "0",
+        "--ingresses",
+        "1",
+        "--paths",
+        "1",
+        "--policy-file",
+        policy_path.to_str().unwrap(),
     ]);
     assert_eq!(out.status.code(), Some(1), "infeasible exits 1");
     assert!(String::from_utf8_lossy(&out.stdout).contains("infeasible"));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -105,7 +133,11 @@ fn place_exports_lp_model() {
         "--export-lp",
         lp_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lp = std::fs::read_to_string(&lp_path).unwrap();
     assert!(lp.contains("Minimize"));
     assert!(lp.contains("Subject To"));
@@ -116,10 +148,24 @@ fn place_exports_lp_model() {
 #[test]
 fn sat_engine_flag() {
     let out = flowplace(&[
-        "place", "--topo", "fat-tree:4", "--capacity", "30", "--ingresses", "2",
-        "--rules", "6", "--engine", "sat", "--verify",
+        "place",
+        "--topo",
+        "fat-tree:4",
+        "--capacity",
+        "30",
+        "--ingresses",
+        "2",
+        "--rules",
+        "6",
+        "--engine",
+        "sat",
+        "--verify",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verification passed"));
 }
 

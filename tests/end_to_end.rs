@@ -101,13 +101,9 @@ fn all_dependency_encodings_reach_same_objective() {
 #[test]
 fn merging_never_increases_total_rules_and_verifies() {
     let instance = small_fat_tree_instance(6, 8, 4, 40, 9);
-    let plain = RulePlacer::new(options(
-        PlacerEngine::Ilp,
-        false,
-        DependencyEncoding::Lazy,
-    ))
-    .place(&instance, Objective::TotalRules)
-    .unwrap();
+    let plain = RulePlacer::new(options(PlacerEngine::Ilp, false, DependencyEncoding::Lazy))
+        .place(&instance, Objective::TotalRules)
+        .unwrap();
     let merged = RulePlacer::new(options(PlacerEngine::Ilp, true, DependencyEncoding::Lazy))
         .place(&instance, Objective::TotalRules)
         .unwrap();
@@ -231,13 +227,9 @@ fn redundancy_removal_pre_pass_preserves_outcome_feasibility() {
         reduced,
     )
     .unwrap();
-    let outcome = RulePlacer::new(options(
-        PlacerEngine::Ilp,
-        false,
-        DependencyEncoding::Lazy,
-    ))
-    .place(&reduced_instance, Objective::TotalRules)
-    .unwrap();
+    let outcome = RulePlacer::new(options(PlacerEngine::Ilp, false, DependencyEncoding::Lazy))
+        .place(&reduced_instance, Objective::TotalRules)
+        .unwrap();
     let placement = outcome.placement.expect("reduced instance feasible");
     verify::verify_placement(&reduced_instance, &placement, 128, 5).expect("verified");
     // And the deployment of the reduced policy equals the original

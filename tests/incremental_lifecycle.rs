@@ -10,8 +10,7 @@ use flowplace::core::{incremental, verify};
 use flowplace::milp::MipOptions;
 use flowplace::prelude::*;
 use flowplace::routing::shortest;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowplace_rng::StdRng;
 
 fn options() -> PlacementOptions {
     PlacementOptions {
@@ -77,7 +76,11 @@ fn lifecycle_with_rolling_updates() {
         let out = incremental::install_policies(
             &instance,
             &placement,
-            vec![(ingress, generator.policy(12, 100 + week as u64), vec![route])],
+            vec![(
+                ingress,
+                generator.policy(12, 100 + week as u64),
+                vec![route],
+            )],
             &options(),
             Objective::TotalRules,
         )
@@ -136,7 +139,11 @@ fn lifecycle_with_rolling_updates() {
             Rule::new(urgent, Action::Drop, top),
         )
         .unwrap();
-        assert_eq!(out.status, SolveStatus::Feasible, "urgent rule for {ingress}");
+        assert_eq!(
+            out.status,
+            SolveStatus::Feasible,
+            "urgent rule for {ingress}"
+        );
         instance = out.instance;
         placement = out.placement.unwrap();
         verify::verify_placement(&instance, &placement, 32, 300 + i as u64).unwrap();

@@ -29,10 +29,7 @@ fn figure3(capacity: usize) -> (Instance, EntryPortId) {
         (Ternary::parse("0***").unwrap(), Action::Drop),
     ])
     .unwrap();
-    (
-        Instance::new(topo, routes, vec![(l1, policy)]).unwrap(),
-        l1,
-    )
+    (Instance::new(topo, routes, vec![(l1, policy)]).unwrap(), l1)
 }
 
 #[test]
@@ -114,12 +111,8 @@ fn figure6_path_slicing_drops_irrelevant_rules() {
     let topo = b.build();
     let mut routes = RouteSet::new();
     // Red route carries dst=01 packets; blue carries dst=10.
-    routes.push(
-        Route::new(l0, red, vec![s0, s1]).with_flow(Ternary::parse("**01").unwrap()),
-    );
-    routes.push(
-        Route::new(l0, blue, vec![s0, s2]).with_flow(Ternary::parse("**10").unwrap()),
-    );
+    routes.push(Route::new(l0, red, vec![s0, s1]).with_flow(Ternary::parse("**01").unwrap()));
+    routes.push(Route::new(l0, blue, vec![s0, s2]).with_flow(Ternary::parse("**10").unwrap()));
     // Rule 1 matches only red traffic, rule 2 only blue, rule 3 both.
     let policy = Policy::from_ordered(vec![
         (Ternary::parse("1*01").unwrap(), Action::Drop),
@@ -156,8 +149,7 @@ fn tag_isolation_between_policies() {
     routes.push(Route::new(l0, l1, vec![a, mid, c]));
     routes.push(Route::new(l1, l0, vec![c, mid, a]));
     // l0 drops everything 1***; l1 permits everything (empty policy).
-    let q0 = Policy::from_ordered(vec![(Ternary::parse("1***").unwrap(), Action::Drop)])
-        .unwrap();
+    let q0 = Policy::from_ordered(vec![(Ternary::parse("1***").unwrap(), Action::Drop)]).unwrap();
     let q1 = Policy::from_rules(vec![]).unwrap();
     let instance = Instance::new(topo, routes, vec![(l0, q0), (l1, q1)]).unwrap();
     let outcome = RulePlacer::new(PlacementOptions::default())
@@ -186,11 +178,7 @@ fn vlan_tags_are_distinct() {
         .map(|i| {
             (
                 EntryPortId(i),
-                Policy::from_ordered(vec![(
-                    Ternary::parse("1*").unwrap(),
-                    Action::Drop,
-                )])
-                .unwrap(),
+                Policy::from_ordered(vec![(Ternary::parse("1*").unwrap(), Action::Drop)]).unwrap(),
             )
         })
         .collect();

@@ -1,7 +1,7 @@
-//! Property-based tests over the whole stack.
+//! Randomized property tests over the whole stack.
 //!
-//! Strategy-generated small instances exercise the invariants the paper's
-//! correctness argument rests on:
+//! Seeded-RNG generated small instances exercise the invariants the
+//! paper's correctness argument rests on:
 //!
 //! * ternary algebra laws against exhaustive bit-vector enumeration;
 //! * redundancy removal preserves first-match semantics;
@@ -9,118 +9,174 @@
 //! * the CDCL PB solver matches brute-force truth tables;
 //! * any feasible placement (ILP or SAT engine, merging on or off)
 //!   passes the golden-model verifier.
-
-use proptest::prelude::*;
+//!
+//! Each test draws a fixed number of cases from a fixed-seed
+//! [`StdRng`], so runs are deterministic; failure messages carry the
+//! case number so a regression reproduces by construction.
 
 use flowplace::acl::{redundancy, Action, CubeList, Packet, Policy, Ternary};
 use flowplace::core::verify;
 use flowplace::prelude::*;
+use flowplace::rng::{Rng, StdRng};
 
 const WIDTH: u32 = 6;
 
-fn ternary_strategy() -> impl Strategy<Value = Ternary> {
-    // Generate (care, value) pairs at WIDTH bits.
-    (0u128..(1 << WIDTH), 0u128..(1 << WIDTH))
-        .prop_map(|(care, value)| Ternary::new(WIDTH, care, value))
+fn rand_ternary(rng: &mut StdRng) -> Ternary {
+    let care = rng.gen_range(0u128..(1 << WIDTH));
+    let value = rng.gen_range(0u128..(1 << WIDTH));
+    Ternary::new(WIDTH, care, value)
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![Just(Action::Permit), Just(Action::Drop)]
+fn rand_action(rng: &mut StdRng) -> Action {
+    if rng.gen_bool(0.5) {
+        Action::Permit
+    } else {
+        Action::Drop
+    }
 }
 
-fn policy_strategy(max_rules: usize) -> impl Strategy<Value = Policy> {
-    prop::collection::vec((ternary_strategy(), action_strategy()), 0..=max_rules)
-        .prop_map(|specs| Policy::from_ordered(specs).expect("ordered priorities are strict"))
+fn rand_policy(rng: &mut StdRng, max_rules: usize) -> Policy {
+    let n = rng.gen_range(0..=max_rules);
+    let specs: Vec<(Ternary, Action)> = (0..n)
+        .map(|_| (rand_ternary(rng), rand_action(rng)))
+        .collect();
+    Policy::from_ordered(specs).expect("ordered priorities are strict")
 }
 
 fn all_packets() -> impl Iterator<Item = Packet> {
     (0u128..(1 << WIDTH)).map(|b| Packet::from_bits(b, WIDTH))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ternary_intersection_is_exact(a in ternary_strategy(), b in ternary_strategy()) {
+#[test]
+fn ternary_intersection_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..64 {
+        let a = rand_ternary(&mut rng);
+        let b = rand_ternary(&mut rng);
         for p in all_packets() {
             let in_both = a.matches(&p) && b.matches(&p);
             match a.intersection(&b) {
-                None => prop_assert!(!in_both),
-                Some(i) => prop_assert_eq!(i.matches(&p), in_both),
+                None => assert!(!in_both, "case {case}: missed intersection at {p}"),
+                Some(i) => assert_eq!(
+                    i.matches(&p),
+                    in_both,
+                    "case {case}: {a} ∩ {b} wrong at {p}"
+                ),
             }
         }
     }
+}
 
-    #[test]
-    fn ternary_subsumption_is_exact(a in ternary_strategy(), b in ternary_strategy()) {
+#[test]
+fn ternary_subsumption_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..64 {
+        let a = rand_ternary(&mut rng);
+        let b = rand_ternary(&mut rng);
         let claimed = a.subsumes(&b);
         let actual = all_packets().all(|p| !b.matches(&p) || a.matches(&p));
-        prop_assert_eq!(claimed, actual);
+        assert_eq!(claimed, actual, "case {case}: {a} subsumes {b}");
     }
+}
 
-    #[test]
-    fn cubelist_subtract_is_exact(
-        base in ternary_strategy(),
-        subs in prop::collection::vec(ternary_strategy(), 0..5),
-    ) {
+#[test]
+fn cubelist_subtract_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for case in 0..64 {
+        let base = rand_ternary(&mut rng);
+        let nsubs = rng.gen_range(0..5usize);
+        let subs: Vec<Ternary> = (0..nsubs).map(|_| rand_ternary(&mut rng)).collect();
         let mut list = CubeList::from_cube(base);
         for s in &subs {
             list.subtract(s);
         }
         for p in all_packets() {
             let expected = base.matches(&p) && subs.iter().all(|s| !s.matches(&p));
-            prop_assert_eq!(list.contains_packet(&p), expected, "packet {}", p);
+            assert_eq!(
+                list.contains_packet(&p),
+                expected,
+                "case {case}: packet {p}"
+            );
         }
         // Cubes remain pairwise disjoint.
         let cubes = list.cubes();
         for (i, a) in cubes.iter().enumerate() {
             for b in &cubes[i + 1..] {
-                prop_assert!(!a.intersects(b));
+                assert!(!a.intersects(b), "case {case}: overlapping cubes");
             }
         }
     }
+}
 
-    #[test]
-    fn redundancy_removal_preserves_semantics(policy in policy_strategy(10)) {
+#[test]
+fn redundancy_removal_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xDEED);
+    for case in 0..64 {
+        let policy = rand_policy(&mut rng, 10);
         let report = redundancy::remove_redundant(&policy);
-        prop_assert!(report.policy.len() <= policy.len());
+        assert!(report.policy.len() <= policy.len());
         for p in all_packets() {
-            prop_assert_eq!(policy.evaluate(&p), report.policy.evaluate(&p), "packet {}", p);
+            assert_eq!(
+                policy.evaluate(&p),
+                report.policy.evaluate(&p),
+                "case {case}: packet {p}"
+            );
         }
-    }
-
-    #[test]
-    fn redundancy_removal_is_idempotent(policy in policy_strategy(10)) {
-        let once = redundancy::remove_redundant(&policy).policy;
-        let twice = redundancy::remove_redundant(&once);
-        prop_assert_eq!(twice.removed_count(), 0, "second pass found more redundancy");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn redundancy_removal_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    for case in 0..64 {
+        let policy = rand_policy(&mut rng, 10);
+        let once = redundancy::remove_redundant(&policy).policy;
+        let twice = redundancy::remove_redundant(&once);
+        assert_eq!(
+            twice.removed_count(),
+            0,
+            "case {case}: second pass found more redundancy"
+        );
+    }
+}
 
-    #[test]
-    fn milp_matches_brute_force(
-        costs in prop::collection::vec(1u32..6, 4..=8),
-        covers in prop::collection::vec(
-            prop::collection::vec(0usize..8, 1..4), 1..5),
-        cap in 1u32..8,
-    ) {
-        use flowplace::milp::{solve_mip, Cmp, MipOptions, Model, Sense};
-        let n = costs.len();
+#[test]
+fn milp_matches_brute_force() {
+    use flowplace::milp::{solve_mip, Cmp, MipOptions, Model, Sense};
+    let mut rng = StdRng::seed_from_u64(0x111);
+    for case in 0..48 {
+        let n = rng.gen_range(4..=8usize);
+        let costs: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..6)).collect();
+        let ncovers = rng.gen_range(1..5usize);
+        let covers: Vec<Vec<usize>> = (0..ncovers)
+            .map(|_| {
+                let len = rng.gen_range(1..4usize);
+                (0..len).map(|_| rng.gen_range(0..8usize)).collect()
+            })
+            .collect();
+        let cap = rng.gen_range(1u32..8);
+
         let mut model = Model::new(Sense::Minimize);
         let vars: Vec<_> = (0..n).map(|i| model.add_binary(format!("x{i}"))).collect();
         for (v, c) in vars.iter().zip(&costs) {
             model.set_objective(*v, *c as f64);
         }
         for (r, cover) in covers.iter().enumerate() {
-            let terms: Vec<_> = cover.iter().filter(|&&i| i < n).map(|&i| (vars[i], 1.0)).collect();
+            let terms: Vec<_> = cover
+                .iter()
+                .filter(|&&i| i < n)
+                .map(|&i| (vars[i], 1.0))
+                .collect();
             if !terms.is_empty() {
                 model.add_constraint(format!("c{r}"), terms, Cmp::Ge, 1.0);
             }
         }
-        model.add_constraint("cap", vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, cap as f64);
+        model.add_constraint(
+            "cap",
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Cmp::Le,
+            cap as f64,
+        );
 
         let out = solve_mip(&model, &MipOptions::default());
 
@@ -134,30 +190,57 @@ proptest! {
             }
         }
         match best {
-            None => prop_assert!(out.is_infeasible(), "solver found {:?}", out.status),
+            None => assert!(
+                out.is_infeasible(),
+                "case {case}: solver found {:?}",
+                out.status
+            ),
             Some(b) => {
-                let sol = out.solution().expect("solver missed a feasible point");
-                prop_assert!((sol.objective - b).abs() < 1e-6,
-                    "solver {} vs brute force {}", sol.objective, b);
+                let sol = out
+                    .solution()
+                    .unwrap_or_else(|| panic!("case {case}: solver missed a feasible point"));
+                assert!(
+                    (sol.objective - b).abs() < 1e-6,
+                    "case {case}: solver {} vs brute force {}",
+                    sol.objective,
+                    b
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn pbsat_matches_brute_force(
-        clauses in prop::collection::vec(
-            prop::collection::vec((0u32..6, prop::bool::ANY), 1..4), 1..8),
-        k in 0u64..4,
-    ) {
-        use flowplace::pbsat::{Lit, Solver, Var};
+#[test]
+fn pbsat_matches_brute_force() {
+    use flowplace::pbsat::{Lit, Solver, Var};
+    let mut rng = StdRng::seed_from_u64(0x222);
+    for case in 0..48 {
+        let nclauses = rng.gen_range(1..8usize);
+        let clauses: Vec<Vec<(u32, bool)>> = (0..nclauses)
+            .map(|_| {
+                let len = rng.gen_range(1..4usize);
+                (0..len)
+                    .map(|_| (rng.gen_range(0u32..6), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let k = rng.gen_range(0u64..4);
+
         let nv = 6u32;
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
         let mut ok = true;
         for clause in &clauses {
-            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| {
-                if pos { Lit::positive(vars[v as usize]) } else { Lit::negative(vars[v as usize]) }
-            }).collect();
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| {
+                    if pos {
+                        Lit::positive(vars[v as usize])
+                    } else {
+                        Lit::negative(vars[v as usize])
+                    }
+                })
+                .collect();
             ok &= s.add_clause(&lits);
         }
         let card: Vec<Lit> = vars.iter().take(4).map(|&v| Lit::positive(v)).collect();
@@ -178,55 +261,56 @@ proptest! {
             expected = true;
             break;
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
 }
 
 /// Builds a random small placement instance on a star topology.
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    (
-        prop::collection::vec(policy_strategy(6), 2..=3),
-        2usize..=12, // capacity
-    )
-        .prop_map(|(policies, capacity)| {
-            let mut topo = Topology::star(policies.len() + 1);
-            topo.set_uniform_capacity(capacity);
-            let mut routes = RouteSet::new();
-            let egress = EntryPortId(policies.len());
-            let egress_switch = topo.entry_port(egress).switch;
-            for (i, _) in policies.iter().enumerate() {
-                let ingress_switch = topo.entry_port(EntryPortId(i)).switch;
-                routes.push(Route::new(
-                    EntryPortId(i),
-                    egress,
-                    vec![ingress_switch, SwitchId(0), egress_switch],
-                ));
-            }
-            let attached: Vec<(EntryPortId, Policy)> = policies
-                .into_iter()
-                .enumerate()
-                .map(|(i, p)| (EntryPortId(i), p))
-                .collect();
-            Instance::new(topo, routes, attached).expect("valid instance")
-        })
+fn rand_instance(rng: &mut StdRng) -> Instance {
+    let npolicies = rng.gen_range(2..=3usize);
+    let policies: Vec<Policy> = (0..npolicies).map(|_| rand_policy(rng, 6)).collect();
+    let capacity = rng.gen_range(2..=12usize);
+    let mut topo = Topology::star(policies.len() + 1);
+    topo.set_uniform_capacity(capacity);
+    let mut routes = RouteSet::new();
+    let egress = EntryPortId(policies.len());
+    let egress_switch = topo.entry_port(egress).switch;
+    for (i, _) in policies.iter().enumerate() {
+        let ingress_switch = topo.entry_port(EntryPortId(i)).switch;
+        routes.push(Route::new(
+            EntryPortId(i),
+            egress,
+            vec![ingress_switch, SwitchId(0), egress_switch],
+        ));
+    }
+    let attached: Vec<(EntryPortId, Policy)> = policies
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (EntryPortId(i), p))
+        .collect();
+    Instance::new(topo, routes, attached).expect("valid instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn any_feasible_ilp_placement_verifies(instance in instance_strategy()) {
+#[test]
+fn any_feasible_ilp_placement_verifies() {
+    let mut rng = StdRng::seed_from_u64(0x333);
+    for case in 0..32 {
+        let instance = rand_instance(&mut rng);
         let placer = RulePlacer::new(PlacementOptions::default());
         let outcome = placer.place(&instance, Objective::TotalRules).unwrap();
         if let Some(p) = outcome.placement {
             // Exhaustive: a pass is a proof over the full packet space.
             let result = verify::verify_placement_exhaustive(&instance, &p);
-            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            assert!(result.is_ok(), "case {case}: violation: {:?}", result.err());
         }
     }
+}
 
-    #[test]
-    fn any_feasible_sat_placement_verifies(instance in instance_strategy()) {
+#[test]
+fn any_feasible_sat_placement_verifies() {
+    let mut rng = StdRng::seed_from_u64(0x444);
+    for case in 0..32 {
+        let instance = rand_instance(&mut rng);
         let placer = RulePlacer::new(PlacementOptions {
             engine: PlacerEngine::Sat,
             ..PlacementOptions::default()
@@ -234,58 +318,78 @@ proptest! {
         let outcome = placer.place(&instance, Objective::TotalRules).unwrap();
         if let Some(p) = outcome.placement {
             let result = verify::verify_placement(&instance, &p, 64, 98);
-            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            assert!(result.is_ok(), "case {case}: violation: {:?}", result.err());
         }
     }
+}
 
-    #[test]
-    fn merged_placement_verifies_and_never_costs_more(instance in instance_strategy()) {
+#[test]
+fn merged_placement_verifies_and_never_costs_more() {
+    let mut rng = StdRng::seed_from_u64(0x555);
+    for case in 0..32 {
+        let instance = rand_instance(&mut rng);
         let plain = RulePlacer::new(PlacementOptions::default())
-            .place(&instance, Objective::TotalRules).unwrap();
+            .place(&instance, Objective::TotalRules)
+            .unwrap();
         let merged = RulePlacer::new(PlacementOptions {
             merging: true,
             ..PlacementOptions::default()
-        }).place(&instance, Objective::TotalRules).unwrap();
+        })
+        .place(&instance, Objective::TotalRules)
+        .unwrap();
         match (plain.placement, merged.placement) {
             (Some(p0), Some(p1)) => {
-                prop_assert!(p1.total_rules() <= p0.total_rules());
+                assert!(p1.total_rules() <= p0.total_rules(), "case {case}");
                 let result = verify::verify_placement(&instance, &p1, 64, 97);
-                prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+                assert!(result.is_ok(), "case {case}: violation: {:?}", result.err());
             }
             (None, Some(p1)) => {
                 // Merging can rescue infeasible instances, never the
                 // other way around.
                 let result = verify::verify_placement(&instance, &p1, 64, 96);
-                prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+                assert!(result.is_ok(), "case {case}: violation: {:?}", result.err());
             }
-            (Some(_), None) => prop_assert!(false, "merging lost feasibility"),
+            (Some(_), None) => panic!("case {case}: merging lost feasibility"),
             (None, None) => {}
         }
     }
+}
 
-    #[test]
-    fn greedy_placement_verifies_when_it_succeeds(instance in instance_strategy()) {
+#[test]
+fn greedy_placement_verifies_when_it_succeeds() {
+    let mut rng = StdRng::seed_from_u64(0x666);
+    for case in 0..32 {
+        let instance = rand_instance(&mut rng);
         if let Some(p) = flowplace::core::greedy::greedy_place(&instance) {
             let result = verify::verify_placement(&instance, &p, 64, 95);
-            prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+            assert!(result.is_ok(), "case {case}: violation: {:?}", result.err());
             // Greedy success implies the exact engines also find solutions.
             let ilp = RulePlacer::new(PlacementOptions::default())
-                .place(&instance, Objective::TotalRules).unwrap();
-            prop_assert!(ilp.placement.is_some(), "ILP missed a greedy-feasible instance");
+                .place(&instance, Objective::TotalRules)
+                .unwrap();
+            assert!(
+                ilp.placement.is_some(),
+                "case {case}: ILP missed a greedy-feasible instance"
+            );
             if let Some(opt) = ilp.placement {
-                prop_assert!(opt.total_rules() <= p.total_rules(),
-                    "optimal exceeds greedy: {} > {}", opt.total_rules(), p.total_rules());
+                assert!(
+                    opt.total_rules() <= p.total_rules(),
+                    "case {case}: optimal exceeds greedy: {} > {}",
+                    opt.total_rules(),
+                    p.total_rules()
+                );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn port_range_expansion_covers_exactly(lo in 0u16..=u16::MAX, span in 0u16..1000) {
-        use flowplace::acl::fivetuple::{FiveTuple, Ports, Prefix, Protocol};
+#[test]
+fn port_range_expansion_covers_exactly() {
+    use flowplace::acl::fivetuple::{FiveTuple, Ports, Prefix, Protocol};
+    let mut rng = StdRng::seed_from_u64(0x777);
+    for case in 0..64 {
+        let lo = rng.gen_range(0u32..=u16::MAX as u32) as u16;
+        let span = rng.gen_range(0u32..1000) as u16;
         let hi = lo.saturating_add(span);
         let spec = FiveTuple {
             src: Prefix::any(),
@@ -310,44 +414,59 @@ proptest! {
             let pkt = Packet::from_bits(bits, 104);
             let matched = cubes.iter().filter(|c| c.matches(&pkt)).count();
             let expected = usize::from(port >= lo && port <= hi);
-            prop_assert_eq!(matched, expected, "port {}", port);
+            assert_eq!(matched, expected, "case {case}: port {port}");
         }
     }
+}
 
-    #[test]
-    fn policy_text_round_trips(policy in policy_strategy(8)) {
-        use flowplace::acl::textfmt;
+#[test]
+fn policy_text_round_trips() {
+    use flowplace::acl::textfmt;
+    let mut rng = StdRng::seed_from_u64(0x888);
+    for case in 0..64 {
+        let policy = rand_policy(&mut rng, 8);
         let text = textfmt::format_policy(&policy);
         let reparsed = textfmt::parse_policy(&text).unwrap();
-        prop_assert_eq!(&policy, &reparsed);
+        assert_eq!(&policy, &reparsed, "case {case}");
     }
+}
 
-    #[test]
-    fn ecmp_paths_are_shortest_and_distinct(
-        src in 0usize..16,
-        dst in 0usize..16,
-    ) {
-        prop_assume!(src != dst);
-        use flowplace::routing::kshortest;
-        let topo = Topology::fat_tree(4);
-        let paths = kshortest::all_shortest_paths(
-            &topo, EntryPortId(src), EntryPortId(dst), 64);
-        prop_assert!(!paths.is_empty());
+#[test]
+fn ecmp_paths_are_shortest_and_distinct() {
+    use flowplace::routing::kshortest;
+    let mut rng = StdRng::seed_from_u64(0x999);
+    let topo = Topology::fat_tree(4);
+    for case in 0..64 {
+        let src = rng.gen_range(0usize..16);
+        let dst = rng.gen_range(0usize..16);
+        if src == dst {
+            continue;
+        }
+        let paths = kshortest::all_shortest_paths(&topo, EntryPortId(src), EntryPortId(dst), 64);
+        assert!(!paths.is_empty(), "case {case}");
         let src_sw = topo.entry_port(EntryPortId(src)).switch;
         let dst_sw = topo.entry_port(EntryPortId(dst)).switch;
         let dist = topo.distances_from(src_sw);
         let mut sigs = Vec::new();
         for p in &paths {
-            prop_assert_eq!(p.switches.len(), dist[dst_sw.0] + 1, "length minimal");
-            prop_assert_eq!(*p.switches.first().unwrap(), src_sw);
-            prop_assert_eq!(*p.switches.last().unwrap(), dst_sw);
+            assert_eq!(
+                p.switches.len(),
+                dist[dst_sw.0] + 1,
+                "case {case}: length minimal"
+            );
+            assert_eq!(*p.switches.first().unwrap(), src_sw);
+            assert_eq!(*p.switches.last().unwrap(), dst_sw);
             for w in p.switches.windows(2) {
-                prop_assert!(topo.neighbors(w[0]).contains(&w[1]));
+                assert!(topo.neighbors(w[0]).contains(&w[1]), "case {case}");
             }
             sigs.push(p.switches.clone());
         }
         sigs.sort();
         sigs.dedup();
-        prop_assert_eq!(sigs.len(), paths.len(), "paths pairwise distinct");
+        assert_eq!(
+            sigs.len(),
+            paths.len(),
+            "case {case}: paths pairwise distinct"
+        );
     }
 }

@@ -6,8 +6,7 @@ use flowplace::milp::{
     presolve, solve_lp, solve_mip, Cmp, LpOutcome, MipOptions, Model, Sense, VarId,
 };
 use flowplace::pbsat::{Lit, SatResult, Solver};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flowplace_rng::{Rng, StdRng};
 
 /// Builds a random covering/packing 0/1 model. Returns the model.
 fn random_model(seed: u64, n: usize, covers: usize) -> Model {
@@ -15,10 +14,10 @@ fn random_model(seed: u64, n: usize, covers: usize) -> Model {
     let mut m = Model::new(Sense::Minimize);
     let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
     for v in &vars {
-        m.set_objective(*v, rng.gen_range(1..5) as f64);
+        m.set_objective(*v, rng.gen_range(1..5u32) as f64);
     }
     for r in 0..covers {
-        let k = rng.gen_range(2..5).min(n);
+        let k = rng.gen_range(2..5usize).min(n);
         let mut terms = Vec::new();
         for _ in 0..k {
             terms.push((vars[rng.gen_range(0..n)], 1.0));
@@ -26,7 +25,12 @@ fn random_model(seed: u64, n: usize, covers: usize) -> Model {
         m.add_constraint(format!("c{r}"), terms, Cmp::Ge, 1.0);
     }
     let cap = rng.gen_range(n / 2..n + 1) as f64;
-    m.add_constraint("cap", vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, cap);
+    m.add_constraint(
+        "cap",
+        vars.iter().map(|&v| (v, 1.0)).collect(),
+        Cmp::Le,
+        cap,
+    );
     m
 }
 

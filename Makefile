@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy build test test-all replay-demo clean
+.PHONY: all ci fmt fmt-check clippy build test test-all replay-demo chaos clean
 
 all: ci
 
@@ -33,6 +33,14 @@ test-all:
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:
 	$(CARGO) run --release --offline --bin flowplace -- ctrl replay traces/controller_demo.trace
+
+## chaos: replay the committed chaos trace under the pinned fault seed;
+## exits non-zero unless the fail-closed audit is green.
+chaos:
+	$(CARGO) run --release --offline --bin flowplace -- \
+		ctrl replay traces/chaos.trace --batch 4 \
+		--faults traces/chaos.faults --fault-seed 42 \
+		--reject-rate 0.1 --crash-rate 0.02 --recover-rate 0.5
 
 clean:
 	$(CARGO) clean

@@ -78,18 +78,22 @@ pub fn spare_capacities(instance: &Instance, placement: &Placement) -> Vec<usize
 }
 
 /// Builds the restricted sub-instance: same topology with capacities set
-/// to the spare left by `placement`, carrying only `policies` and
-/// `routes`.
+/// to the spare left by `placement` (zero for `excluded` switches),
+/// carrying only `policies` and `routes`.
 fn sub_instance(
     instance: &Instance,
     placement: &Placement,
     policies: Vec<(EntryPortId, Policy)>,
     routes: RouteSet,
+    excluded: &[flowplace_topo::SwitchId],
 ) -> Result<Instance, InstanceError> {
     let spare = spare_capacities(instance, placement);
     let mut topo = instance.topology().clone();
     for (i, c) in spare.into_iter().enumerate() {
         topo.set_capacity(flowplace_topo::SwitchId(i), c);
+    }
+    for &s in excluded {
+        topo.set_capacity(s, 0);
     }
     Instance::new(topo, routes, policies)
 }
@@ -129,6 +133,7 @@ pub fn install_policies(
         placement,
         new_policies.clone(),
         new_routes.clone(),
+        &[],
     )?;
     let outcome = RulePlacer::new(options.clone())
         .place(&sub, objective)
@@ -181,7 +186,7 @@ pub fn reroute_policy(
     frozen.remove_ingress(ingress);
 
     let sub_routes: RouteSet = new_routes.iter().cloned().collect();
-    let sub = sub_instance(instance, &frozen, vec![(ingress, policy)], sub_routes)?;
+    let sub = sub_instance(instance, &frozen, vec![(ingress, policy)], sub_routes, &[])?;
     let outcome = RulePlacer::new(options.clone())
         .place(&sub, objective)
         .expect("placement is infallible");
@@ -203,6 +208,66 @@ pub fn reroute_policy(
     });
     Ok(IncrementalOutcome {
         instance: merged_instance,
+        placement,
+        status: outcome.status,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Re-places the policies of a set of ingresses on their *existing*
+/// routes, with `excluded` switches barred from the sub-problem — the
+/// §IV-E restricted re-solve a fault-tolerant controller runs when a
+/// switch is quarantined or crashes: the dead switch contributes zero
+/// capacity, every other ingress's placement stays frozen, and the
+/// affected policies are re-solved against what spare remains.
+///
+/// Routes are not changed; a route through an excluded switch simply
+/// cannot host rules there, so coverage must land on its surviving hops.
+///
+/// # Errors
+///
+/// [`IncrementalError::BadIngress`] if any ingress has no policy;
+/// instance-validation failures otherwise. A `SolveStatus::Infeasible`
+/// outcome is *not* an error — the caller escalates (full re-solve, then
+/// fail-closed safe mode).
+pub fn replace_ingresses(
+    instance: &Instance,
+    placement: &Placement,
+    ingresses: &[EntryPortId],
+    excluded: &[flowplace_topo::SwitchId],
+    options: &PlacementOptions,
+    objective: Objective,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    let start = Instant::now();
+    let mut policies: Vec<(EntryPortId, Policy)> = Vec::new();
+    for &l in ingresses {
+        let Some(q) = instance.policy(l) else {
+            return Err(IncrementalError::BadIngress(l));
+        };
+        policies.push((l, q.clone()));
+    }
+    // Freeze everything except the affected ingresses.
+    let mut frozen = placement.clone();
+    for &l in ingresses {
+        frozen.remove_ingress(l);
+    }
+    let sub_routes: RouteSet = instance
+        .routes()
+        .iter()
+        .filter(|r| ingresses.contains(&r.ingress))
+        .cloned()
+        .collect();
+    let sub = sub_instance(instance, &frozen, policies, sub_routes, excluded)?;
+    let outcome = RulePlacer::new(options.clone())
+        .place(&sub, objective)
+        .expect("placement is infallible");
+    let placement = outcome.placement.map(|sub_placement| {
+        let mut full = frozen;
+        full.absorb(sub_placement);
+        full
+    });
+    Ok(IncrementalOutcome {
+        instance: instance.clone(),
         placement,
         status: outcome.status,
         elapsed: start.elapsed(),
@@ -554,6 +619,64 @@ mod tests {
         assert_eq!(out.status, SolveStatus::Optimal);
         let full = out.placement.unwrap();
         verify_placement(&out.instance, &full, 64, 2).expect("rerouted placement correct");
+    }
+
+    #[test]
+    fn replace_ingresses_avoids_excluded_switch() {
+        let (inst, p) = base();
+        // The deployed placement put ingress 0's rules somewhere on its
+        // route s1-s0-s3; exclude whichever switches it used and re-place.
+        let used: Vec<SwitchId> = (0..4)
+            .map(SwitchId)
+            .filter(|&s| {
+                p.iter()
+                    .any(|((l, _), sw)| *l == EntryPortId(0) && sw.contains(&s))
+            })
+            .collect();
+        assert!(!used.is_empty());
+        let out = replace_ingresses(
+            &inst,
+            &p,
+            &[EntryPortId(0)],
+            &used,
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let q = out.placement.unwrap();
+        for ((_, _), switches) in q.iter() {
+            for s in switches {
+                assert!(!used.contains(s), "rule still on excluded {s}");
+            }
+        }
+        verify_placement(&out.instance, &q, 64, 11).expect("re-placed placement correct");
+    }
+
+    #[test]
+    fn replace_ingresses_infeasible_when_everything_excluded() {
+        let (inst, p) = base();
+        let all: Vec<SwitchId> = (0..4).map(SwitchId).collect();
+        let out = replace_ingresses(
+            &inst,
+            &p,
+            &[EntryPortId(0)],
+            &all,
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .unwrap();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+        assert!(out.placement.is_none());
+        assert!(replace_ingresses(
+            &inst,
+            &p,
+            &[EntryPortId(3)],
+            &[],
+            &PlacementOptions::default(),
+            Objective::TotalRules,
+        )
+        .is_err());
     }
 
     #[test]

@@ -47,6 +47,24 @@ pub struct SwitchTable {
 }
 
 impl SwitchTable {
+    /// Builds a table directly from entries, sorting them into descending
+    /// priority order (ties broken by tags/match so the result is
+    /// deterministic). This is the bridge for auditors that reconstruct
+    /// tables from *actual* switch state — e.g. a fault-tolerant
+    /// controller handing the dataplane's surviving TCAM contents to
+    /// [`crate::verify::verify_tables`] — rather than emitting them from
+    /// a placement.
+    pub fn from_entries(mut entries: Vec<TableEntry>) -> Self {
+        entries.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then_with(|| a.tags.cmp(&b.tags))
+                .then_with(|| a.match_field.cmp(&b.match_field))
+                .then_with(|| a.action.cmp(&b.action))
+        });
+        SwitchTable { entries }
+    }
+
     /// Entries in descending priority order.
     pub fn entries(&self) -> &[TableEntry] {
         &self.entries

@@ -7,7 +7,21 @@
 //! [`Policy::evaluate`](flowplace_acl::Policy::evaluate) — the executable
 //! form of the paper's semantic-preservation requirement, used throughout
 //! the test suite and available to library users as a deployment check.
+//!
+//! Two relaxations support fault-tolerant controllers:
+//!
+//! * [`verify_tables`] checks an arbitrary table set (e.g. the *actual*
+//!   dataplane state reconstructed after faults, rather than the tables
+//!   emitted from a placement), can restrict the check to live routes,
+//!   and supports [`VerifyMode::NoFalseNegatives`] — the one-sided §IV-A
+//!   guarantee that no packet the policy DROPs is ever permitted, which
+//!   must survive degraded operation even when fail-closed drop-all
+//!   rules make the deployment stricter than the policy.
+//! * [`verify_placement_excluding`] skips the routes of ingresses that
+//!   are in safe mode (their traffic is dropped wholesale by an explicit
+//!   drop-all entry, so exact equivalence is deliberately violated).
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use flowplace_rng::{Rng, StdRng};
@@ -87,6 +101,127 @@ pub fn evaluate_route(tables: &[SwitchTable], route: &Route, packet: &Packet) ->
     Action::Permit
 }
 
+/// How strictly [`verify_tables`] compares deployment with policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Exact semantic equivalence: the tables drop a packet iff the
+    /// policy's first-match decision is DROP.
+    Exact,
+    /// One-sided fail-closed check: every packet the policy DROPs must
+    /// be dropped by the tables; extra drops (safe-mode drop-alls,
+    /// stale entries on fenced switches) are tolerated.
+    NoFalseNegatives,
+}
+
+/// The adversarial packet set for one route: per-rule corners, pairwise
+/// rule intersections (the regions where priority matters), and
+/// `random_per_route` seeded random packets, all restricted to the
+/// route's flow when path slicing is in use.
+fn route_packets(
+    policy: &flowplace_acl::Policy,
+    route: &Route,
+    random_per_route: usize,
+    rng: &mut StdRng,
+) -> Vec<Packet> {
+    let mut packets: Vec<Packet> = Vec::new();
+    let rules = policy.rules();
+    let restrict = |m: &Ternary| -> Option<Ternary> {
+        match &route.flow {
+            None => Some(*m),
+            Some(f) => m.intersection(f),
+        }
+    };
+    for r in rules {
+        if let Some(m) = restrict(r.match_field()) {
+            packets.push(m.sample_packet());
+            packets.push(m.max_packet());
+        }
+    }
+    for (i, a) in rules.iter().enumerate() {
+        for b in &rules[i + 1..] {
+            if let Some(m) = a.match_field().intersection(b.match_field()) {
+                if let Some(m) = restrict(&m) {
+                    packets.push(m.sample_packet());
+                    packets.push(m.max_packet());
+                }
+            }
+        }
+    }
+    let width = if policy.is_empty() {
+        route.flow.map(|f| f.width()).unwrap_or(4)
+    } else {
+        policy.width()
+    };
+    let wmask = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    for _ in 0..random_per_route {
+        let bits: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+        let bits = match &route.flow {
+            None => bits & wmask,
+            Some(f) => (bits & wmask & !f.care()) | f.value(),
+        };
+        packets.push(Packet::from_bits(bits, width));
+    }
+    packets
+}
+
+/// Checks a concrete table set against every ingress policy, route by
+/// route. `route_live` filters which routes carry traffic (a route
+/// through a crashed switch is dead and exempt); `mode` selects exact
+/// equivalence or the one-sided fail-closed check.
+///
+/// Unlike [`verify_placement`] this does not emit tables itself, so it
+/// can audit *actual* dataplane state — including state that diverged
+/// from any placement after partial apply failures.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn verify_tables(
+    instance: &Instance,
+    tables: &[SwitchTable],
+    random_per_route: usize,
+    seed: u64,
+    mode: VerifyMode,
+    mut route_live: impl FnMut(&Route) -> bool,
+) -> Result<(), VerifyError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for route in instance.routes().iter() {
+        let policy = instance
+            .policy(route.ingress)
+            .expect("validated instance has a policy per route");
+        // Draw packets unconditionally so the RNG stream (and therefore
+        // every later route's packet set) does not depend on liveness.
+        let packets = route_packets(policy, route, random_per_route, &mut rng);
+        if !route_live(route) {
+            continue;
+        }
+        for packet in packets {
+            let expected = policy.evaluate(&packet);
+            let actual = evaluate_route(tables, route, &packet);
+            let violated = match mode {
+                VerifyMode::Exact => expected != actual,
+                VerifyMode::NoFalseNegatives => {
+                    expected == Action::Drop && actual == Action::Permit
+                }
+            };
+            if violated {
+                return Err(VerifyError::Violation(Violation {
+                    ingress: route.ingress,
+                    packet,
+                    expected,
+                    actual,
+                    route: route.to_string(),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Emits switch tables for `placement` and checks semantic equivalence
 /// with every ingress policy on every route, over a packet set combining
 /// per-rule corners, pairwise rule intersections, and `random_per_route`
@@ -102,73 +237,40 @@ pub fn verify_placement(
     random_per_route: usize,
     seed: u64,
 ) -> Result<(), VerifyError> {
-    let tables = emit_tables(instance, placement)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    for route in instance.routes().iter() {
-        let policy = instance
-            .policy(route.ingress)
-            .expect("validated instance has a policy per route");
-        let mut packets: Vec<Packet> = Vec::new();
-        let rules = policy.rules();
-        // Rule corners (restricted to the route's flow).
-        let restrict = |m: &Ternary| -> Option<Ternary> {
-            match &route.flow {
-                None => Some(*m),
-                Some(f) => m.intersection(f),
-            }
-        };
-        for r in rules {
-            if let Some(m) = restrict(r.match_field()) {
-                packets.push(m.sample_packet());
-                packets.push(m.max_packet());
-            }
-        }
-        // Pairwise intersections (the regions where priority matters).
-        for (i, a) in rules.iter().enumerate() {
-            for b in &rules[i + 1..] {
-                if let Some(m) = a.match_field().intersection(b.match_field()) {
-                    if let Some(m) = restrict(&m) {
-                        packets.push(m.sample_packet());
-                        packets.push(m.max_packet());
-                    }
-                }
-            }
-        }
-        // Random packets within the flow.
-        let width = if policy.is_empty() {
-            route.flow.map(|f| f.width()).unwrap_or(4)
-        } else {
-            policy.width()
-        };
-        let wmask = if width >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << width) - 1
-        };
-        for _ in 0..random_per_route {
-            let bits: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
-            let bits = match &route.flow {
-                None => bits & wmask,
-                Some(f) => (bits & wmask & !f.care()) | f.value(),
-            };
-            packets.push(Packet::from_bits(bits, width));
-        }
+    verify_placement_excluding(
+        instance,
+        placement,
+        random_per_route,
+        seed,
+        &BTreeSet::new(),
+    )
+}
 
-        for packet in packets {
-            let expected = policy.evaluate(&packet);
-            let actual = evaluate_route(&tables, route, &packet);
-            if expected != actual {
-                return Err(VerifyError::Violation(Violation {
-                    ingress: route.ingress,
-                    packet,
-                    expected,
-                    actual,
-                    route: route.to_string(),
-                }));
-            }
-        }
-    }
-    Ok(())
+/// [`verify_placement`], but skipping the routes of the given ingresses.
+/// A fault-tolerant controller passes its safe-mode set here: those
+/// ingresses are covered by an explicit drop-all (fail-closed by
+/// construction) and intentionally violate exact equivalence.
+///
+/// # Errors
+///
+/// The first violation found on a non-excluded route, or a
+/// table-emission failure.
+pub fn verify_placement_excluding(
+    instance: &Instance,
+    placement: &Placement,
+    random_per_route: usize,
+    seed: u64,
+    exclude: &BTreeSet<EntryPortId>,
+) -> Result<(), VerifyError> {
+    let tables = emit_tables(instance, placement)?;
+    verify_tables(
+        instance,
+        &tables,
+        random_per_route,
+        seed,
+        VerifyMode::Exact,
+        |route| !exclude.contains(&route.ingress),
+    )
 }
 
 /// Exhaustive variant of [`verify_placement`]: checks *every* packet of
@@ -345,6 +447,58 @@ mod tests {
             evaluate_route(&tables, route, &Packet::from_bits(0b1100, 4)),
             Action::Permit
         );
+    }
+
+    #[test]
+    fn one_sided_mode_tolerates_extra_drops() {
+        let inst = chain_instance();
+        // Nothing placed at all: false negatives everywhere — both modes
+        // must object.
+        let tables = emit_tables(&inst, &Placement::new()).unwrap();
+        assert!(
+            verify_tables(&inst, &tables, 32, 7, VerifyMode::NoFalseNegatives, |_| {
+                true
+            })
+            .is_err()
+        );
+        // A drop-all table is wrong under Exact but fine one-sided: it
+        // never lets a to-be-dropped packet through.
+        let drop_all = crate::tables::SwitchTable::from_entries(vec![crate::tables::TableEntry {
+            tags: std::collections::BTreeSet::from([EntryPortId(0)]),
+            match_field: t("****"),
+            action: Action::Drop,
+            priority: u32::MAX,
+            contributors: Vec::new(),
+        }]);
+        let tables = vec![drop_all, SwitchTable::default(), SwitchTable::default()];
+        assert!(verify_tables(&inst, &tables, 32, 7, VerifyMode::Exact, |_| true).is_err());
+        verify_tables(&inst, &tables, 32, 7, VerifyMode::NoFalseNegatives, |_| {
+            true
+        })
+        .expect("drop-all is fail-closed");
+    }
+
+    #[test]
+    fn dead_routes_are_exempt() {
+        let inst = chain_instance();
+        let tables = emit_tables(&inst, &Placement::new()).unwrap();
+        // The only route is declared dead, so the (empty, violating)
+        // deployment passes vacuously.
+        verify_tables(&inst, &tables, 32, 7, VerifyMode::NoFalseNegatives, |_| {
+            false
+        })
+        .expect("dead routes carry no traffic");
+    }
+
+    #[test]
+    fn excluding_an_ingress_skips_its_routes() {
+        let inst = chain_instance();
+        // Empty placement: ingress 0's DROP is uncovered...
+        assert!(verify_placement(&inst, &Placement::new(), 16, 7).is_err());
+        // ...but excluding ingress 0 (e.g. it is in safe mode) passes.
+        let skip = BTreeSet::from([EntryPortId(0)]);
+        verify_placement_excluding(&inst, &Placement::new(), 16, 7, &skip)
+            .expect("excluded ingress is not checked");
     }
 
     #[test]

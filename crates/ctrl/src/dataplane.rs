@@ -10,6 +10,14 @@
 //! The price is transient occupancy above the committed load, which the
 //! dataplane tracks as `peak_occupancy`; only the *final* state must
 //! respect each switch's capacity.
+//!
+//! Switches can also *fail*: [`DataPlane::crash`] takes a switch down
+//! (it stops forwarding and its TCAM is lost) and [`DataPlane::restore`]
+//! brings it back with a blank table. Control operations against a down
+//! switch fail with [`DataPlaneError::SwitchDown`]. Safe-mode drop-all
+//! entries (see [`TcamEntry::is_safe_mode`]) occupy a reserved system
+//! slot and are exempt from the capacity check, so the controller's
+//! fail-closed fallback can never itself be infeasible.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -32,6 +40,15 @@ pub struct TcamEntry {
     pub action: Action,
 }
 
+impl TcamEntry {
+    /// True for the controller's reserved safe-mode drop-all entry: a
+    /// maximum-priority all-wildcard DROP. These live in a reserved
+    /// system slot and do not count against TCAM capacity.
+    pub fn is_safe_mode(&self) -> bool {
+        self.priority == u32::MAX && self.match_field.care() == 0 && self.action == Action::Drop
+    }
+}
+
 impl fmt::Display for TcamEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] tags={{", self.priority)?;
@@ -47,21 +64,42 @@ impl fmt::Display for TcamEntry {
 
 /// The table of one switch: entries sorted by descending priority, ties
 /// broken by the entry's full ordering so dumps are deterministic.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SwitchTcam {
     capacity: usize,
     entries: Vec<TcamEntry>,
+    online: bool,
+}
+
+impl Default for SwitchTcam {
+    fn default() -> Self {
+        SwitchTcam {
+            capacity: 0,
+            entries: Vec::new(),
+            online: true,
+        }
+    }
 }
 
 impl SwitchTcam {
-    /// Current number of installed entries.
+    /// Current number of installed entries (safe-mode slots included).
     pub fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries that count against capacity (safe-mode slots excluded).
+    pub fn billable_occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_safe_mode()).count()
     }
 
     /// Capacity in entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// False while the switch is crashed (not forwarding, TCAM lost).
+    pub fn is_online(&self) -> bool {
+        self.online
     }
 
     /// The installed entries, highest priority first.
@@ -132,6 +170,16 @@ pub enum DataPlaneError {
     },
     /// A diff referenced a switch the dataplane does not have.
     UnknownSwitch(SwitchId),
+    /// A control operation targeted a crashed switch.
+    SwitchDown(SwitchId),
+    /// The dataplane (scripted or probabilistic fault) rejected an
+    /// install. Retryable.
+    InstallRejected {
+        /// The switch that rejected the install.
+        switch: SwitchId,
+        /// Rendered form of the rejected entry.
+        entry: String,
+    },
 }
 
 impl fmt::Display for DataPlaneError {
@@ -149,6 +197,10 @@ impl fmt::Display for DataPlaneError {
                 "{switch} over capacity after commit: {occupancy}/{capacity}"
             ),
             DataPlaneError::UnknownSwitch(s) => write!(f, "diff references unknown switch {s}"),
+            DataPlaneError::SwitchDown(s) => write!(f, "{s} is down"),
+            DataPlaneError::InstallRejected { switch, entry } => {
+                write!(f, "{switch} rejected install: {entry}")
+            }
         }
     }
 }
@@ -170,6 +222,7 @@ impl DataPlane {
                 .map(|capacity| SwitchTcam {
                     capacity,
                     entries: Vec::new(),
+                    online: true,
                 })
                 .collect(),
         }
@@ -252,46 +305,46 @@ impl DataPlane {
         Ok(diff)
     }
 
-    /// Applies a diff transactionally: every install lands before any
-    /// delete, per-switch peak occupancy is recorded, and the final state
-    /// must respect capacities. On any error the dataplane is restored
-    /// to its pre-transaction state.
+    /// Applies a diff as one atomic transaction: every install lands
+    /// before any delete, per-switch peak occupancy is recorded, and the
+    /// final state must respect capacities. The transaction is *staged*
+    /// — all mutations happen on a shadow copy of the tables and are
+    /// swapped in only after every operation and the commit check
+    /// succeed, so a failure can never leave the dataplane half-applied.
     ///
     /// # Errors
     ///
-    /// See [`DataPlaneError`].
+    /// See [`DataPlaneError`]. On error the deployed state is untouched.
     pub fn apply(&mut self, diff: &RuleDiff) -> Result<ApplyReport, DataPlaneError> {
-        let before = self.switches.clone();
-        match self.apply_inner(diff) {
-            Ok(report) => Ok(report),
-            Err(e) => {
-                self.switches = before;
-                Err(e)
-            }
-        }
+        let mut staged = self.switches.clone();
+        let report = Self::apply_staged(&mut staged, diff)?;
+        self.switches = staged;
+        Ok(report)
     }
 
-    fn apply_inner(&mut self, diff: &RuleDiff) -> Result<ApplyReport, DataPlaneError> {
+    fn apply_staged(
+        switches: &mut [SwitchTcam],
+        diff: &RuleDiff,
+    ) -> Result<ApplyReport, DataPlaneError> {
         // Phase 1: install everything (make-before-break).
         for (s, e) in &diff.install {
-            let tcam = self
-                .switches
+            let tcam = switches
                 .get_mut(s.0)
                 .ok_or(DataPlaneError::UnknownSwitch(*s))?;
+            if !tcam.online {
+                return Err(DataPlaneError::SwitchDown(*s));
+            }
             tcam.entries.push(e.clone());
         }
-        let peak_occupancy = self
-            .switches
-            .iter()
-            .map(|t| t.entries.len())
-            .max()
-            .unwrap_or(0);
+        let peak_occupancy = switches.iter().map(|t| t.entries.len()).max().unwrap_or(0);
         // Phase 2: delete the obsolete entries.
         for (s, e) in &diff.remove {
-            let tcam = self
-                .switches
+            let tcam = switches
                 .get_mut(s.0)
                 .ok_or(DataPlaneError::UnknownSwitch(*s))?;
+            if !tcam.online {
+                return Err(DataPlaneError::SwitchDown(*s));
+            }
             let Some(pos) = tcam.entries.iter().position(|x| x == e) else {
                 return Err(DataPlaneError::MissingEntry {
                     switch: *s,
@@ -300,12 +353,13 @@ impl DataPlane {
             };
             tcam.entries.remove(pos);
         }
-        // Commit check: the final state must fit.
-        for (i, tcam) in self.switches.iter_mut().enumerate() {
-            if tcam.entries.len() > tcam.capacity {
+        // Commit check: the final state must fit (safe-mode slots are
+        // reserved system entries and do not count).
+        for (i, tcam) in switches.iter_mut().enumerate() {
+            if tcam.billable_occupancy() > tcam.capacity {
                 return Err(DataPlaneError::OverCapacity {
                     switch: SwitchId(i),
-                    occupancy: tcam.entries.len(),
+                    occupancy: tcam.billable_occupancy(),
                     capacity: tcam.capacity,
                 });
             }
@@ -318,6 +372,127 @@ impl DataPlane {
         })
     }
 
+    /// Installs one entry on one switch (fault-aware op-by-op path).
+    /// No capacity check: transient over-occupancy is legal
+    /// mid-transition; call [`DataPlane::validate_capacities`] at commit.
+    ///
+    /// # Errors
+    ///
+    /// [`DataPlaneError::UnknownSwitch`] or [`DataPlaneError::SwitchDown`].
+    pub fn install(&mut self, s: SwitchId, e: &TcamEntry) -> Result<(), DataPlaneError> {
+        let tcam = self
+            .switches
+            .get_mut(s.0)
+            .ok_or(DataPlaneError::UnknownSwitch(s))?;
+        if !tcam.online {
+            return Err(DataPlaneError::SwitchDown(s));
+        }
+        tcam.entries.push(e.clone());
+        tcam.sort();
+        Ok(())
+    }
+
+    /// Removes one entry from one switch (fault-aware op-by-op path).
+    ///
+    /// # Errors
+    ///
+    /// [`DataPlaneError::UnknownSwitch`], [`DataPlaneError::SwitchDown`],
+    /// or [`DataPlaneError::MissingEntry`].
+    pub fn remove(&mut self, s: SwitchId, e: &TcamEntry) -> Result<(), DataPlaneError> {
+        let tcam = self
+            .switches
+            .get_mut(s.0)
+            .ok_or(DataPlaneError::UnknownSwitch(s))?;
+        if !tcam.online {
+            return Err(DataPlaneError::SwitchDown(s));
+        }
+        let Some(pos) = tcam.entries.iter().position(|x| x == e) else {
+            return Err(DataPlaneError::MissingEntry {
+                switch: s,
+                entry: e.to_string(),
+            });
+        };
+        tcam.entries.remove(pos);
+        Ok(())
+    }
+
+    /// Checks that every switch's final state fits its capacity
+    /// (safe-mode slots exempt).
+    ///
+    /// # Errors
+    ///
+    /// [`DataPlaneError::OverCapacity`] for the first overfull switch.
+    pub fn validate_capacities(&self) -> Result<(), DataPlaneError> {
+        for (i, tcam) in self.switches.iter().enumerate() {
+            if tcam.billable_occupancy() > tcam.capacity {
+                return Err(DataPlaneError::OverCapacity {
+                    switch: SwitchId(i),
+                    occupancy: tcam.billable_occupancy(),
+                    capacity: tcam.capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Crashes a switch: it goes offline and its TCAM contents are lost.
+    /// Idempotent. Returns the number of entries lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn crash(&mut self, s: SwitchId) -> usize {
+        let tcam = &mut self.switches[s.0];
+        tcam.online = false;
+        let lost = tcam.entries.len();
+        tcam.entries.clear();
+        lost
+    }
+
+    /// Brings a crashed switch back online with a blank TCAM.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn restore(&mut self, s: SwitchId) {
+        self.switches[s.0].online = true;
+    }
+
+    /// True while switch `s` is online (not crashed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn is_online(&self, s: SwitchId) -> bool {
+        self.switches[s.0].online
+    }
+
+    /// TCAM bank failure: shrinks `s`'s capacity to `capacity` and
+    /// evicts the lowest-priority entries that no longer fit (safe-mode
+    /// slots are in the reserved bank and always survive). Returns the
+    /// number of entries lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn revoke_capacity(&mut self, s: SwitchId, capacity: usize) -> usize {
+        let tcam = &mut self.switches[s.0];
+        tcam.capacity = capacity;
+        // Entries are sorted by descending priority, so survivors are
+        // the safe-mode slots plus the first `capacity` billable ones.
+        let mut kept = 0usize;
+        let before = tcam.entries.len();
+        tcam.entries.retain(|e| {
+            if e.is_safe_mode() {
+                return true;
+            }
+            kept += 1;
+            kept <= capacity
+        });
+        before - tcam.entries.len()
+    }
+
     /// Deterministic text dump of the whole dataplane. Identical
     /// deployed state always renders to identical bytes.
     pub fn dump(&self) -> String {
@@ -326,10 +501,11 @@ impl DataPlane {
         for (i, tcam) in self.switches.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{} cap={} occ={}",
+                "{} cap={} occ={}{}",
                 SwitchId(i),
                 tcam.capacity,
-                tcam.entries.len()
+                tcam.entries.len(),
+                if tcam.online { "" } else { " down" }
             );
             for e in &tcam.entries {
                 let _ = writeln!(out, "  {e}");
@@ -413,6 +589,110 @@ mod tests {
             Err(DataPlaneError::MissingEntry { .. })
         ));
         assert_eq!(dp.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn failed_transaction_leaves_no_half_applied_state() {
+        // The remove in this diff is bogus, but the installs before it
+        // are fine — staging must discard them too, not just roll back
+        // the failing op.
+        let mut dp = DataPlane::new(vec![4, 4]);
+        let seeded = vec![vec![entry(1, "0***", Action::Permit)]];
+        dp.apply(&dp.diff_to(&seeded).unwrap()).unwrap();
+        let before = dp.dump();
+        let diff = RuleDiff {
+            install: vec![
+                (SwitchId(0), entry(3, "11**", Action::Drop)),
+                (SwitchId(1), entry(2, "10**", Action::Drop)),
+            ],
+            remove: vec![(SwitchId(0), entry(9, "0101", Action::Drop))],
+        };
+        let err = dp.apply(&diff).unwrap_err();
+        assert!(matches!(err, DataPlaneError::MissingEntry { .. }));
+        assert_eq!(dp.dump(), before, "no install from the failed txn leaked");
+    }
+
+    #[test]
+    fn crashed_switch_rejects_ops_and_loses_tcam() {
+        let mut dp = DataPlane::new(vec![4]);
+        let target = vec![vec![
+            entry(2, "10**", Action::Drop),
+            entry(1, "****", Action::Permit),
+        ]];
+        dp.apply(&dp.diff_to(&target).unwrap()).unwrap();
+        assert_eq!(dp.crash(SwitchId(0)), 2, "both entries lost");
+        assert!(!dp.is_online(SwitchId(0)));
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 0);
+        assert!(dp.dump().contains(" down"));
+        let e = entry(1, "0***", Action::Drop);
+        assert_eq!(
+            dp.install(SwitchId(0), &e),
+            Err(DataPlaneError::SwitchDown(SwitchId(0)))
+        );
+        assert_eq!(
+            dp.remove(SwitchId(0), &e),
+            Err(DataPlaneError::SwitchDown(SwitchId(0)))
+        );
+        assert!(matches!(
+            dp.apply(&RuleDiff {
+                install: vec![(SwitchId(0), e.clone())],
+                remove: vec![],
+            }),
+            Err(DataPlaneError::SwitchDown(_))
+        ));
+        dp.restore(SwitchId(0));
+        assert!(dp.is_online(SwitchId(0)));
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 0, "blank after restore");
+        dp.install(SwitchId(0), &e).unwrap();
+        dp.remove(SwitchId(0), &e).unwrap();
+    }
+
+    #[test]
+    fn capacity_revoke_evicts_lowest_priority_but_keeps_safe_mode() {
+        let mut dp = DataPlane::new(vec![4]);
+        let safe = TcamEntry {
+            priority: u32::MAX,
+            tags: BTreeSet::from([EntryPortId(0)]),
+            match_field: Ternary::parse("****").unwrap(),
+            action: Action::Drop,
+        };
+        assert!(safe.is_safe_mode());
+        dp.install(SwitchId(0), &safe).unwrap();
+        dp.install(SwitchId(0), &entry(3, "11**", Action::Drop))
+            .unwrap();
+        dp.install(SwitchId(0), &entry(2, "10**", Action::Drop))
+            .unwrap();
+        dp.install(SwitchId(0), &entry(1, "****", Action::Permit))
+            .unwrap();
+        let lost = dp.revoke_capacity(SwitchId(0), 1);
+        assert_eq!(lost, 2, "two lowest-priority billable entries evicted");
+        let survivors = dp.switch(SwitchId(0)).entries();
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors[0].is_safe_mode());
+        assert_eq!(survivors[1].priority, 3);
+        dp.validate_capacities().unwrap();
+    }
+
+    #[test]
+    fn safe_mode_slot_is_exempt_from_capacity() {
+        let mut dp = DataPlane::new(vec![1]);
+        let safe = TcamEntry {
+            priority: u32::MAX,
+            tags: BTreeSet::from([EntryPortId(0)]),
+            match_field: Ternary::parse("****").unwrap(),
+            action: Action::Drop,
+        };
+        let diff = RuleDiff {
+            install: vec![
+                (SwitchId(0), safe),
+                (SwitchId(0), entry(1, "0***", Action::Drop)),
+            ],
+            remove: vec![],
+        };
+        dp.apply(&diff).unwrap();
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 2);
+        assert_eq!(dp.switch(SwitchId(0)).billable_occupancy(), 1);
+        dp.validate_capacities().unwrap();
     }
 
     #[test]

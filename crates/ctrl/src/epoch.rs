@@ -5,6 +5,12 @@
 //! restores the most recent capture. The dataplane is *not* part of a
 //! snapshot — it reconciles automatically at the next commit, because
 //! deployed tables are always re-derived from the placement and diffed.
+//!
+//! Fault-tolerance state (out-of-service switches, safe-mode ingresses,
+//! circuit breakers, the injector's RNG) is likewise not snapshotted:
+//! outages are facts about the network, not controller decisions, so a
+//! rollback cannot undo them. The commit after a rollback re-zeroes
+//! capacities for switches that are still out and reconciles as usual.
 
 use flowplace_core::{Instance, Placement};
 

@@ -12,6 +12,8 @@
 //! remove-rule l0 r0
 //! reroute l0 via l2:s0-s2
 //! capacity s1 4
+//! switch-fail s2
+//! switch-recover s2
 //! solve
 //! checkpoint
 //! rollback
@@ -74,6 +76,19 @@ pub enum Event {
         switch: SwitchId,
         /// The new capacity in TCAM entries.
         capacity: usize,
+    },
+    /// A switch went down: its TCAM is lost, it forwards nothing, and
+    /// the controller must re-place around it (or degrade fail-closed).
+    SwitchFail {
+        /// The failed switch.
+        switch: SwitchId,
+    },
+    /// A failed (or quarantined) switch came back under control (blank
+    /// TCAM if it crashed); its saved capacity becomes usable again and
+    /// the next commit reconciles its table.
+    SwitchRecover {
+        /// The recovering switch.
+        switch: SwitchId,
     },
     /// Force a full re-solve of the current instance.
     Solve,
@@ -149,6 +164,8 @@ impl fmt::Display for Event {
             Event::CapacityChange { switch, capacity } => {
                 write!(f, "capacity {switch} {capacity}")
             }
+            Event::SwitchFail { switch } => write!(f, "switch-fail {switch}"),
+            Event::SwitchRecover { switch } => write!(f, "switch-recover {switch}"),
             Event::Solve => write!(f, "solve"),
             Event::Checkpoint => write!(f, "checkpoint"),
             Event::Rollback => write!(f, "rollback"),
@@ -294,6 +311,12 @@ fn parse_line(text: &str, line: usize) -> Result<Event, TraceError> {
                 .parse::<usize>()
                 .map_err(|_| err(line, format!("bad capacity `{capacity}`")))?,
         }),
+        ["switch-fail", switch] => Ok(Event::SwitchFail {
+            switch: parse_switch(switch, line)?,
+        }),
+        ["switch-recover", switch] => Ok(Event::SwitchRecover {
+            switch: parse_switch(switch, line)?,
+        }),
         ["solve"] => Ok(Event::Solve),
         ["checkpoint"] => Ok(Event::Checkpoint),
         ["rollback"] => Ok(Event::Rollback),
@@ -345,12 +368,26 @@ modify-rule l0 1 11** permit 4
 install-policy l1 via l2:s0-s1;l3:s0-s2 rules 0***:drop:2,****:permit:1
 reroute l1 via l2:s0-s1-s2
 capacity s1 16
+switch-fail s2
+switch-recover 2
 solve
 checkpoint
 rollback
 ";
         let events = parse_trace(text).expect("trace parses");
-        assert_eq!(events.len(), 9);
+        assert_eq!(events.len(), 11);
+        assert_eq!(
+            events[6],
+            Event::SwitchFail {
+                switch: SwitchId(2)
+            }
+        );
+        assert_eq!(
+            events[7],
+            Event::SwitchRecover {
+                switch: SwitchId(2)
+            }
+        );
         assert_eq!(
             events[0],
             Event::AddRule {
@@ -383,6 +420,8 @@ modify-rule l0 r1 11** permit 4
 install-policy l1 via l2:s0-s1;l3:s0-s2 rules 0***:drop:2,****:permit:1
 reroute l1 via l2:s0-s1-s2
 capacity s1 16
+switch-fail s2
+switch-recover s2
 solve
 checkpoint
 rollback

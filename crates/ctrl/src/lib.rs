@@ -26,28 +26,62 @@
 //! deletes, so the §IV-A no-false-negative guarantee holds during the
 //! transition. A failed verification discards the whole epoch: the
 //! deployed state never changes.
+//!
+//! ## Fault tolerance
+//!
+//! With a non-default [`FaultPlan`] (or after any switch outage) the
+//! commit pipeline switches from the atomic transaction above to a
+//! *resilient* op-by-op path that preserves the no-false-negative
+//! invariant under dataplane faults:
+//!
+//! - Rejected TCAM installs are retried with bounded exponential
+//!   backoff on a [`faults::VirtualClock`]; a run of consecutive
+//!   failures trips a per-switch circuit breaker and **quarantines**
+//!   the switch (alive and forwarding, but unmanageable — its entries
+//!   are treated as absent, which is pessimal-safe because a stale
+//!   entry can only add drops, never permits, along a route).
+//! - Crashed switches ([`Event::SwitchFail`]) lose their TCAM and
+//!   forward nothing; routes through them carry no traffic.
+//! - Placement degrades gracefully around outages: a restricted §IV-E
+//!   re-solve of the affected ingresses, then a full re-solve, then —
+//!   if an ingress cannot be placed at all — **safe mode**: an explicit
+//!   maximum-priority drop-all entry fencing that ingress's traffic at
+//!   the first manageable switch of each route. Degraded is never
+//!   permissive.
+//! - After partial-apply failures and switch restarts an anti-entropy
+//!   reconciliation loop re-diffs desired against actual TCAM state
+//!   until it converges (or quarantines the switches that prevent it).
+//!
+//! Every fault is drawn from a seeded RNG or a scripted schedule and
+//! all time is virtual, so chaos runs replay byte-identically.
 
 #![warn(missing_docs)]
 
 pub mod dataplane;
 pub mod epoch;
 pub mod event;
+pub mod faults;
 pub mod stats;
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use flowplace_acl::Policy;
-use flowplace_core::tables::emit_tables;
+use flowplace_acl::{Action, Policy, Ternary};
+use flowplace_core::tables::{emit_tables, SwitchTable, TableEntry};
+use flowplace_core::verify::VerifyMode;
 use flowplace_core::{
     incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer,
 };
 use flowplace_routing::{Route, RouteSet};
-use flowplace_topo::{EntryPortId, Topology};
+use flowplace_topo::{EntryPortId, SwitchId, Topology};
 
 pub use dataplane::{ApplyReport, DataPlane, DataPlaneError, RuleDiff, SwitchTcam, TcamEntry};
 pub use epoch::{EpochLog, Snapshot};
 pub use event::{format_trace, parse_trace, Event, TraceError};
+pub use faults::{
+    format_fault_schedule, parse_fault_schedule, CircuitBreaker, FaultInjector, FaultKind,
+    FaultPlan, RetryPolicy, ScheduledFault, VirtualClock,
+};
 pub use stats::CtrlStats;
 
 /// Which rung of the escalation ladder settled an event.
@@ -89,6 +123,17 @@ pub enum EventOutcome {
         /// Human-readable reason.
         reason: String,
     },
+    /// A switch crashed; the commit pipeline re-placed around it or
+    /// degraded fail-closed.
+    SwitchFailed {
+        /// The crashed switch.
+        switch: SwitchId,
+    },
+    /// A switch came back under control.
+    SwitchRecovered {
+        /// The recovered switch.
+        switch: SwitchId,
+    },
 }
 
 /// The result of committing one epoch.
@@ -104,6 +149,13 @@ pub struct EpochReport {
     pub removed: usize,
     /// Peak per-switch occupancy during the transition.
     pub peak_occupancy: usize,
+    /// Switches newly quarantined while committing this epoch.
+    pub quarantined: Vec<SwitchId>,
+    /// Ingresses in safe mode (fail-closed drop-all fence) after this
+    /// epoch.
+    pub safe_mode: Vec<EntryPortId>,
+    /// Dataplane faults injected during this epoch.
+    pub injected: usize,
 }
 
 impl EpochReport {
@@ -136,6 +188,17 @@ pub struct CtrlOptions {
     pub placement: PlacementOptions,
     /// Objective for restricted and full tiers.
     pub objective: Objective,
+    /// Dataplane fault plan. The default plan injects nothing, and the
+    /// commit pipeline stays on the atomic transaction path.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for rejected TCAM installs.
+    pub retry: RetryPolicy,
+    /// Consecutive failed operations on one switch before its circuit
+    /// breaker trips and the switch is quarantined.
+    pub quarantine_after: u32,
+    /// Reconcile rounds tolerated without progress before the
+    /// still-failing switches are force-quarantined.
+    pub reconcile_rounds: usize,
 }
 
 impl Default for CtrlOptions {
@@ -147,6 +210,10 @@ impl Default for CtrlOptions {
             verify_packets: 8,
             placement: PlacementOptions::default(),
             objective: Objective::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+            quarantine_after: 3,
+            reconcile_rounds: 3,
         }
     }
 }
@@ -206,6 +273,37 @@ impl From<DataPlaneError> for CtrlError {
     }
 }
 
+/// Why a switch is out of the controller's reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutageKind {
+    /// Down: not forwarding, TCAM lost. Routes through it are
+    /// traffic-dead.
+    Crashed,
+    /// Alive and forwarding, but its control channel is broken (circuit
+    /// breaker tripped). Its entries are stale and treated as absent —
+    /// pessimal-safe, since a stale entry can only add drops.
+    Quarantined,
+}
+
+/// Controller-side bookkeeping for one out-of-service switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Outage {
+    kind: OutageKind,
+    /// The hardware capacity to restore when the switch recovers (the
+    /// working instance's capacity is zeroed while it is out).
+    saved_capacity: usize,
+}
+
+/// All mutable fault-tolerance state of a controller.
+#[derive(Clone, Debug)]
+struct FaultRuntime {
+    injector: FaultInjector,
+    clock: VirtualClock,
+    breakers: BTreeMap<SwitchId, CircuitBreaker>,
+    unmanageable: BTreeMap<SwitchId, Outage>,
+    safe_mode: BTreeSet<EntryPortId>,
+}
+
 /// The single-threaded, deterministic placement controller.
 #[derive(Clone, Debug)]
 pub struct Controller {
@@ -216,6 +314,30 @@ pub struct Controller {
     queue: VecDeque<Event>,
     options: CtrlOptions,
     stats: CtrlStats,
+    faults: FaultRuntime,
+}
+
+/// Rebuilds `instance` with one switch's capacity changed (capacity
+/// never affects instance validity).
+fn with_capacity(instance: &Instance, switch: SwitchId, capacity: usize) -> Instance {
+    let mut topology = instance.topology().clone();
+    topology.set_capacity(switch, capacity);
+    let policies: Vec<(EntryPortId, Policy)> =
+        instance.policies().map(|(l, q)| (l, q.clone())).collect();
+    Instance::new(topology, instance.routes().clone(), policies)
+        .expect("a capacity-only change keeps the instance valid")
+}
+
+/// The ingress an event targets, for the safe-mode gate.
+fn event_ingress(event: &Event) -> Option<EntryPortId> {
+    match event {
+        Event::AddRule { ingress, .. }
+        | Event::RemoveRule { ingress, .. }
+        | Event::ModifyRule { ingress, .. }
+        | Event::InstallPolicy { ingress, .. }
+        | Event::Reroute { ingress, .. } => Some(*ingress),
+        _ => None,
+    }
 }
 
 impl Controller {
@@ -232,6 +354,13 @@ impl Controller {
             dataplane: DataPlane::new(capacities),
             epochs: EpochLog::new(options.checkpoint_depth),
             queue: VecDeque::new(),
+            faults: FaultRuntime {
+                injector: FaultInjector::new(options.faults.clone()),
+                clock: VirtualClock::default(),
+                breakers: BTreeMap::new(),
+                unmanageable: BTreeMap::new(),
+                safe_mode: BTreeSet::new(),
+            },
             options,
             stats: CtrlStats::default(),
         }
@@ -288,6 +417,33 @@ impl Controller {
         self.queue.len()
     }
 
+    /// Switches currently out of service (crashed or quarantined).
+    pub fn out_of_service(&self) -> Vec<SwitchId> {
+        self.faults.unmanageable.keys().copied().collect()
+    }
+
+    /// Switches currently quarantined by a tripped circuit breaker
+    /// (alive and forwarding, but unmanageable).
+    pub fn quarantined_switches(&self) -> Vec<SwitchId> {
+        self.faults
+            .unmanageable
+            .iter()
+            .filter(|(_, o)| o.kind == OutageKind::Quarantined)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+
+    /// Ingresses currently degraded to the safe-mode drop-all fence.
+    pub fn safe_mode_ingresses(&self) -> Vec<EntryPortId> {
+        self.faults.safe_mode.iter().copied().collect()
+    }
+
+    /// Current virtual time in milliseconds (advanced only by retry
+    /// backoff, never by wall time — replays are deterministic).
+    pub fn virtual_time_ms(&self) -> u64 {
+        self.faults.clock.now_ms()
+    }
+
     /// Enqueues an event.
     ///
     /// # Errors
@@ -324,8 +480,14 @@ impl Controller {
             return Ok(None);
         }
         let epoch = self.epochs.next();
+        let faults_before = self.stats.faults_injected;
+
+        // Faults due at this epoch's start are synthesized as events at
+        // the head of the batch, so they show up in the report (and the
+        // trace of record) like any other input.
+        let mut batch = self.inject_due_faults(epoch);
         let take = self.options.batch_size.max(1).min(self.queue.len());
-        let batch: Vec<Event> = self.queue.drain(..take).collect();
+        batch.extend(self.queue.drain(..take));
 
         // Working copy: events mutate this; the deployed pair is only
         // replaced if the commit below succeeds.
@@ -356,54 +518,95 @@ impl Controller {
                         }
                     }
                 },
-                _ => match self.dispatch(&instance, &placement, &event) {
-                    Ok((ni, np, tier)) => {
-                        instance = ni;
-                        placement = np;
-                        match tier {
-                            Tier::Greedy => self.stats.greedy_ok += 1,
-                            Tier::Restricted => self.stats.restricted_ok += 1,
-                            Tier::Full => self.stats.full_ok += 1,
-                        }
-                        EventOutcome::Applied(tier)
-                    }
-                    Err(reason) => {
+                Event::SwitchFail { switch } => self.on_switch_fail(*switch, &mut instance),
+                Event::SwitchRecover { switch } => self.on_switch_recover(*switch, &mut instance),
+                Event::CapacityChange { switch, capacity }
+                    if self.faults.unmanageable.contains_key(switch) =>
+                {
+                    // The switch is out of reach: remember the hardware
+                    // capacity for its recovery, keep the working
+                    // instance's capacity at zero.
+                    self.dataplane.revoke_capacity(*switch, *capacity);
+                    self.faults
+                        .unmanageable
+                        .get_mut(switch)
+                        .expect("guard checked membership")
+                        .saved_capacity = *capacity;
+                    self.stats.greedy_ok += 1;
+                    EventOutcome::Applied(Tier::Greedy)
+                }
+                _ => match event_ingress(&event) {
+                    Some(l) if self.faults.safe_mode.contains(&l) => {
                         self.stats.events_failed += 1;
-                        EventOutcome::Rejected { reason }
+                        EventOutcome::Rejected {
+                            reason: format!("ingress {l} is in safe mode (degraded)"),
+                        }
                     }
+                    _ => match self.dispatch(&instance, &placement, &event) {
+                        Ok((ni, np, tier)) => {
+                            instance = ni;
+                            placement = np;
+                            match tier {
+                                Tier::Greedy => self.stats.greedy_ok += 1,
+                                Tier::Restricted => self.stats.restricted_ok += 1,
+                                Tier::Full => self.stats.full_ok += 1,
+                            }
+                            EventOutcome::Applied(tier)
+                        }
+                        Err(reason) => {
+                            self.stats.events_failed += 1;
+                            EventOutcome::Rejected { reason }
+                        }
+                    },
                 },
             };
             outcomes.push((event, outcome));
         }
 
-        // Commit: verify, then diff + transactional apply.
-        let tables =
-            emit_tables(&instance, &placement).map_err(|e| CtrlError::Table(e.to_string()))?;
-        if let Err(e) =
-            verify::verify_placement(&instance, &placement, self.options.verify_packets, epoch)
-        {
-            self.stats.verify_failures += 1;
-            return Err(CtrlError::VerifyFailed {
-                epoch,
-                detail: e.to_string(),
-            });
-        }
-        let target = DataPlane::target_from_tables(&tables);
-        self.dataplane
-            .set_capacities(&instance.topology().capacities());
-        let diff = self.dataplane.diff_to(&target)?;
-        let report = self.dataplane.apply(&diff)?;
+        // Commit. The resilient pipeline only engages when faults can
+        // fire or an outage / safe-mode fence is live, so a fault-free
+        // controller behaves exactly like the atomic one.
+        let resilient = self.faults.injector.plan().is_active()
+            || !self.faults.unmanageable.is_empty()
+            || !self.faults.safe_mode.is_empty();
+
+        let (report, quarantined) = if resilient {
+            self.commit_resilient(epoch, &mut instance, &mut placement)?
+        } else {
+            // Atomic path: verify, then one staged transaction.
+            let tables =
+                emit_tables(&instance, &placement).map_err(|e| CtrlError::Table(e.to_string()))?;
+            if let Err(e) =
+                verify::verify_placement(&instance, &placement, self.options.verify_packets, epoch)
+            {
+                self.stats.verify_failures += 1;
+                return Err(CtrlError::VerifyFailed {
+                    epoch,
+                    detail: e.to_string(),
+                });
+            }
+            let target = DataPlane::target_from_tables(&tables);
+            self.dataplane
+                .set_capacities(&instance.topology().capacities());
+            let diff = self.dataplane.diff_to(&target)?;
+            let report = self.dataplane.apply(&diff)?;
+            if !diff.is_empty() {
+                self.stats.diffs_applied += 1;
+            }
+            (report, Vec::new())
+        };
 
         self.instance = instance;
         self.placement = placement;
         self.epochs.advance();
         self.stats.epochs += 1;
-        if !diff.is_empty() {
-            self.stats.diffs_applied += 1;
-        }
         self.stats.entries_installed += report.installed as u64;
         self.stats.entries_removed += report.removed as u64;
         self.stats.peak_tcam_occupancy = self.stats.peak_tcam_occupancy.max(report.peak_occupancy);
+
+        if resilient && self.fail_closed_audit().is_err() {
+            self.stats.failclosed_violations += 1;
+        }
 
         Ok(Some(EpochReport {
             epoch,
@@ -411,6 +614,9 @@ impl Controller {
             installed: report.installed,
             removed: report.removed,
             peak_occupancy: report.peak_occupancy,
+            quarantined,
+            safe_mode: self.faults.safe_mode.iter().copied().collect(),
+            injected: (self.stats.faults_injected - faults_before) as usize,
         }))
     }
 
@@ -603,7 +809,10 @@ impl Controller {
                 let solved = self.full_solve(instance)?;
                 Ok((instance.clone(), solved, Tier::Full))
             }
-            Event::Checkpoint | Event::Rollback => {
+            Event::Checkpoint
+            | Event::Rollback
+            | Event::SwitchFail { .. }
+            | Event::SwitchRecover { .. } => {
                 unreachable!("handled in run_epoch")
             }
         }
@@ -667,6 +876,497 @@ impl Controller {
         outcome
             .placement
             .ok_or_else(|| format!("full re-solve failed: {}", outcome.status))
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    /// Pulls the faults due at `epoch`'s start: scripted rejects are
+    /// armed inside the injector, crash/recover/capacity faults become
+    /// synthesized events at the head of the batch.
+    fn inject_due_faults(&mut self, epoch: u64) -> Vec<Event> {
+        if !self.faults.injector.plan().is_active() {
+            return Vec::new();
+        }
+        let switch_count = self.instance.topology().switch_count();
+        let runtime = &mut self.faults;
+        let unmanageable = &runtime.unmanageable;
+        let due = runtime
+            .injector
+            .due_at_epoch(epoch, switch_count, |s| unmanageable.contains_key(&s));
+        let mut events = Vec::new();
+        for kind in due {
+            self.stats.faults_injected += 1;
+            match kind {
+                FaultKind::Crash { switch } => events.push(Event::SwitchFail { switch }),
+                FaultKind::Recover { switch } => events.push(Event::SwitchRecover { switch }),
+                FaultKind::CapacityRevoke { switch, capacity } => {
+                    if switch.0 < self.dataplane.switch_count() {
+                        // The hardware loses the excess entries now; the
+                        // synthesized event updates the instance model.
+                        self.dataplane.revoke_capacity(switch, capacity);
+                        events.push(Event::CapacityChange { switch, capacity });
+                    }
+                }
+                FaultKind::InstallReject { .. } => {
+                    unreachable!("install-rejects are armed inside the injector")
+                }
+            }
+        }
+        events
+    }
+
+    /// Handles [`Event::SwitchFail`]: the switch goes down, its TCAM is
+    /// lost, and its capacity is zeroed in the working instance so every
+    /// solver tier avoids it.
+    fn on_switch_fail(&mut self, switch: SwitchId, instance: &mut Instance) -> EventOutcome {
+        if switch.0 >= instance.topology().switch_count() {
+            self.stats.events_failed += 1;
+            return EventOutcome::Rejected {
+                reason: format!("unknown switch {switch}"),
+            };
+        }
+        self.stats.switch_crashes += 1;
+        self.dataplane.crash(switch);
+        let saved_capacity = match self.faults.unmanageable.get(&switch) {
+            Some(outage) => outage.saved_capacity,
+            None => instance.topology().capacities()[switch.0],
+        };
+        self.faults.unmanageable.insert(
+            switch,
+            Outage {
+                kind: OutageKind::Crashed,
+                saved_capacity,
+            },
+        );
+        self.faults.breakers.entry(switch).or_default().reset();
+        *instance = with_capacity(instance, switch, 0);
+        EventOutcome::SwitchFailed { switch }
+    }
+
+    /// Handles [`Event::SwitchRecover`]: the switch comes back under
+    /// control (blank TCAM if it crashed; stale-but-reconciled TCAM if
+    /// it was quarantined) and its saved capacity is restored.
+    fn on_switch_recover(&mut self, switch: SwitchId, instance: &mut Instance) -> EventOutcome {
+        match self.faults.unmanageable.remove(&switch) {
+            None => {
+                self.stats.events_failed += 1;
+                EventOutcome::Rejected {
+                    reason: format!("{switch} is not out of service"),
+                }
+            }
+            Some(outage) => {
+                self.stats.switch_recoveries += 1;
+                self.dataplane.restore(switch);
+                self.faults.breakers.entry(switch).or_default().reset();
+                *instance = with_capacity(instance, switch, outage.saved_capacity);
+                EventOutcome::SwitchRecovered { switch }
+            }
+        }
+    }
+
+    /// Marks a switch unmanageable with the breaker-tripped outage kind.
+    fn quarantine(&mut self, switch: SwitchId) {
+        if self.faults.unmanageable.contains_key(&switch) {
+            return;
+        }
+        self.stats.quarantines += 1;
+        self.faults.unmanageable.insert(
+            switch,
+            Outage {
+                kind: OutageKind::Quarantined,
+                saved_capacity: self.dataplane.switch(switch).capacity(),
+            },
+        );
+    }
+
+    /// Re-zeroes the working instance's capacity for every out-of-service
+    /// switch (a rollback can restore a pre-outage topology).
+    fn enforce_outage_capacities(&self, instance: &mut Instance) {
+        let capacities = instance.topology().capacities();
+        let stale: Vec<SwitchId> = self
+            .faults
+            .unmanageable
+            .keys()
+            .copied()
+            .filter(|s| capacities.get(s.0).is_some_and(|&c| c != 0))
+            .collect();
+        for s in stale {
+            *instance = with_capacity(instance, s, 0);
+        }
+    }
+
+    /// Moves an ingress into safe mode: its placed entries are stripped
+    /// (the drop-all fence replaces them in the dataplane target).
+    fn enter_safe_mode(&mut self, ingress: EntryPortId, placement: &mut Placement) {
+        placement.remove_ingress(ingress);
+        self.faults.safe_mode.insert(ingress);
+    }
+
+    /// Graceful-degradation ladder: re-place every ingress touching an
+    /// out-of-service switch (and, on the first round of an epoch, every
+    /// safe-mode ingress, attempting to lift the fence) via a batched
+    /// restricted re-solve → full re-solve → per-ingress salvage; what
+    /// cannot be placed at all goes (or stays) fail-closed in safe mode.
+    fn degrade(&mut self, instance: &mut Instance, placement: &mut Placement, lift: bool) {
+        let excluded: Vec<SwitchId> = self.faults.unmanageable.keys().copied().collect();
+        let mut affected: BTreeSet<EntryPortId> = BTreeSet::new();
+        for ((ingress, _), switches) in placement.iter() {
+            if switches
+                .iter()
+                .any(|s| self.faults.unmanageable.contains_key(s))
+            {
+                affected.insert(*ingress);
+            }
+        }
+        // Invariant: a safe-mode ingress has no placed entries (a
+        // rollback can resurrect some).
+        for l in &self.faults.safe_mode {
+            placement.remove_ingress(*l);
+        }
+        if lift {
+            affected.extend(self.faults.safe_mode.iter().copied());
+        }
+        if affected.is_empty() {
+            return;
+        }
+        // Strip every affected ingress up front so no frozen entry sits
+        // on a zero-capacity switch during the restricted sub-solves.
+        for l in &affected {
+            placement.remove_ingress(*l);
+        }
+        let targets: Vec<EntryPortId> = affected.iter().copied().collect();
+        // Tier 1: one batched restricted re-solve of the affected set.
+        if let Ok(out) = incremental::replace_ingresses(
+            instance,
+            placement,
+            &targets,
+            &excluded,
+            &self.options.placement,
+            self.options.objective.clone(),
+        ) {
+            if let Some(p) = out.placement {
+                *instance = out.instance;
+                *placement = p;
+                for l in &targets {
+                    self.faults.safe_mode.remove(l);
+                }
+                return;
+            }
+        }
+        // Tier 2: full re-solve (outaged capacities are already zero).
+        if let Ok(solved) = self.full_solve(instance) {
+            *placement = solved;
+            self.faults.safe_mode.clear();
+            return;
+        }
+        // Tier 3: salvage ingress-by-ingress; the rest go fail-closed.
+        for l in targets {
+            let mut salvaged = false;
+            if let Ok(out) = incremental::replace_ingresses(
+                instance,
+                placement,
+                &[l],
+                &excluded,
+                &self.options.placement,
+                self.options.objective.clone(),
+            ) {
+                if let Some(p) = out.placement {
+                    *instance = out.instance;
+                    *placement = p;
+                    self.faults.safe_mode.remove(&l);
+                    salvaged = true;
+                }
+            }
+            if !salvaged {
+                self.enter_safe_mode(l, placement);
+            }
+        }
+    }
+
+    /// Builds the dataplane target for the working placement under the
+    /// current outages: out-of-service switches keep their actual
+    /// contents (no ops can reach them) and every safe-mode ingress gets
+    /// a maximum-priority drop-all fence at the first manageable switch
+    /// of each of its routes. A route with no manageable switch is
+    /// fenced at the controller-owned entry port instead (no TCAM
+    /// entry).
+    fn build_target(
+        &self,
+        instance: &Instance,
+        placement: &Placement,
+    ) -> Result<Vec<Vec<TcamEntry>>, CtrlError> {
+        let tables =
+            emit_tables(instance, placement).map_err(|e| CtrlError::Table(e.to_string()))?;
+        let mut target = DataPlane::target_from_tables(&tables);
+        target.resize(self.dataplane.switch_count(), Vec::new());
+        for s in self.faults.unmanageable.keys() {
+            target[s.0] = self.dataplane.switch(*s).entries().to_vec();
+        }
+        let mut fenced: BTreeSet<(SwitchId, EntryPortId)> = BTreeSet::new();
+        for route in instance.routes().iter() {
+            if !self.faults.safe_mode.contains(&route.ingress) {
+                continue;
+            }
+            let Some(&s) = route
+                .switches
+                .iter()
+                .find(|s| !self.faults.unmanageable.contains_key(s))
+            else {
+                continue; // fenced at the entry port
+            };
+            if !fenced.insert((s, route.ingress)) {
+                continue;
+            }
+            let width = instance
+                .policy(route.ingress)
+                .map(|p| p.width())
+                .unwrap_or(1)
+                .max(1);
+            target[s.0].push(TcamEntry {
+                priority: u32::MAX,
+                tags: BTreeSet::from([route.ingress]),
+                match_field: Ternary::new(width, 0, 0),
+                action: Action::Drop,
+            });
+        }
+        Ok(target)
+    }
+
+    /// The resilient commit pipeline: degrade → verify (escalating
+    /// un-verifiable ingresses to safe mode instead of discarding the
+    /// epoch) → fault-aware op-by-op apply → anti-entropy reconcile,
+    /// looping until desired and actual state converge. Termination is
+    /// guaranteed: every round either converges, quarantines a switch
+    /// (bounded by the switch count), or burns bounded patience before
+    /// force-quarantining whatever still fails.
+    fn commit_resilient(
+        &mut self,
+        epoch: u64,
+        instance: &mut Instance,
+        placement: &mut Placement,
+    ) -> Result<(ApplyReport, Vec<SwitchId>), CtrlError> {
+        let mut total = ApplyReport::default();
+        let mut newly_quarantined: Vec<SwitchId> = Vec::new();
+        let mut patience = self.options.reconcile_rounds.max(1);
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            self.enforce_outage_capacities(instance);
+            self.degrade(instance, placement, rounds == 1);
+            loop {
+                match verify::verify_placement_excluding(
+                    instance,
+                    placement,
+                    self.options.verify_packets,
+                    epoch,
+                    &self.faults.safe_mode,
+                ) {
+                    Ok(()) => break,
+                    Err(verify::VerifyError::Violation(v)) => {
+                        self.stats.verify_failures += 1;
+                        self.enter_safe_mode(v.ingress, placement);
+                    }
+                    Err(e) => {
+                        self.stats.verify_failures += 1;
+                        return Err(CtrlError::VerifyFailed {
+                            epoch,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
+            }
+            let target = self.build_target(instance, placement)?;
+            let mut capacities = instance.topology().capacities();
+            for (s, outage) in &self.faults.unmanageable {
+                // A switch that froze mid-transaction may hold
+                // make-before-break overshoot we cannot clean up until
+                // it is manageable again; tolerate the frozen
+                // occupancy. `saved_capacity` keeps the true hardware
+                // number for restore-on-recover.
+                capacities[s.0] = outage
+                    .saved_capacity
+                    .max(self.dataplane.switch(*s).billable_occupancy());
+            }
+            self.dataplane.set_capacities(&capacities);
+            let diff = self.dataplane.diff_to(&target)?;
+            if diff.is_empty() {
+                self.dataplane.validate_capacities()?;
+                return Ok((total, newly_quarantined));
+            }
+            if rounds == 1 {
+                self.stats.diffs_applied += 1;
+            } else {
+                self.stats.reconcile_runs += 1;
+                self.stats.reconcile_churn += diff.churn() as u64;
+            }
+            let (applied, tripped, failing) = self.apply_with_faults(&diff);
+            total.installed += applied.installed;
+            total.removed += applied.removed;
+            total.peak_occupancy = total.peak_occupancy.max(applied.peak_occupancy);
+            if !tripped.is_empty() {
+                newly_quarantined.extend(tripped);
+                patience = self.options.reconcile_rounds.max(1);
+            } else if !failing.is_empty() {
+                patience -= 1;
+                if patience == 0 {
+                    for s in failing {
+                        self.quarantine(s);
+                        newly_quarantined.push(s);
+                    }
+                    patience = self.options.reconcile_rounds.max(1);
+                }
+            }
+        }
+    }
+
+    /// Applies a diff op-by-op with retry/backoff and circuit breaking.
+    /// Returns what was applied, the switches quarantined mid-apply, and
+    /// the switches that failed ops without (yet) tripping the breaker.
+    fn apply_with_faults(
+        &mut self,
+        diff: &RuleDiff,
+    ) -> (ApplyReport, Vec<SwitchId>, Vec<SwitchId>) {
+        let mut report = ApplyReport {
+            installed: 0,
+            removed: 0,
+            peak_occupancy: (0..self.dataplane.switch_count())
+                .map(|i| self.dataplane.switch(SwitchId(i)).occupancy())
+                .max()
+                .unwrap_or(0),
+        };
+        let mut tripped: Vec<SwitchId> = Vec::new();
+        let mut failing: BTreeSet<SwitchId> = BTreeSet::new();
+        for (s, e) in &diff.install {
+            if self.faults.unmanageable.contains_key(s) {
+                continue; // quarantined mid-apply: reconcile later
+            }
+            if self.install_with_retry(*s, e) {
+                report.installed += 1;
+                report.peak_occupancy = report
+                    .peak_occupancy
+                    .max(self.dataplane.switch(*s).occupancy());
+                if e.is_safe_mode() {
+                    self.stats.safe_mode_entries += 1;
+                }
+                self.faults.breakers.entry(*s).or_default().record_success();
+            } else {
+                failing.insert(*s);
+                let trips = self
+                    .faults
+                    .breakers
+                    .entry(*s)
+                    .or_default()
+                    .record_failure(self.options.quarantine_after);
+                if trips {
+                    self.quarantine(*s);
+                    tripped.push(*s);
+                }
+            }
+        }
+        for (s, e) in &diff.remove {
+            if self.faults.unmanageable.contains_key(s) {
+                continue;
+            }
+            match self.dataplane.remove(*s, e) {
+                Ok(()) => {
+                    report.removed += 1;
+                    self.faults.breakers.entry(*s).or_default().record_success();
+                }
+                Err(_) => {
+                    failing.insert(*s);
+                    let trips = self
+                        .faults
+                        .breakers
+                        .entry(*s)
+                        .or_default()
+                        .record_failure(self.options.quarantine_after);
+                    if trips {
+                        self.quarantine(*s);
+                        tripped.push(*s);
+                    }
+                }
+            }
+        }
+        let failing: Vec<SwitchId> = failing
+            .into_iter()
+            .filter(|s| !self.faults.unmanageable.contains_key(s))
+            .collect();
+        (report, tripped, failing)
+    }
+
+    /// One TCAM install with bounded-exponential-backoff retries on a
+    /// virtual clock. Returns whether the entry landed.
+    fn install_with_retry(&mut self, s: SwitchId, e: &TcamEntry) -> bool {
+        let retry = self.options.retry;
+        for attempt in 0..retry.max_attempts.max(1) {
+            if attempt > 0 {
+                let delay = retry.delay_ms(attempt - 1);
+                self.faults.clock.advance(delay);
+                self.stats.backoff_ms += delay;
+                self.stats.install_retries += 1;
+            }
+            if !self.faults.injector.install_allowed(s) {
+                self.stats.faults_injected += 1;
+                continue;
+            }
+            return self.dataplane.install(s, e).is_ok();
+        }
+        false
+    }
+
+    /// Audits the deployed dataplane against the fail-closed invariant:
+    /// on every live route, any packet the ingress policy drops is also
+    /// dropped by the *actual* TCAM contents — stale entries on
+    /// quarantined switches included, since those still forward. Routes
+    /// through crashed switches carry no traffic, and a safe-mode route
+    /// with no manageable switch is fenced at the controller-owned entry
+    /// port; both are exempt. Extra drops are fine (degraded, never
+    /// permissive); only a drop that leaks as a permit is a violation.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first leaking packet.
+    pub fn fail_closed_audit(&self) -> Result<(), String> {
+        let mut tables = Vec::with_capacity(self.dataplane.switch_count());
+        for i in 0..self.dataplane.switch_count() {
+            let entries = self
+                .dataplane
+                .switch(SwitchId(i))
+                .entries()
+                .iter()
+                .map(|e| TableEntry {
+                    tags: e.tags.clone(),
+                    match_field: e.match_field,
+                    action: e.action,
+                    priority: e.priority,
+                    contributors: Vec::new(),
+                })
+                .collect();
+            tables.push(SwitchTable::from_entries(entries));
+        }
+        let dataplane = &self.dataplane;
+        let unmanageable = &self.faults.unmanageable;
+        let safe_mode = &self.faults.safe_mode;
+        let live = |route: &Route| {
+            if !route.switches.iter().all(|&s| dataplane.is_online(s)) {
+                return false; // traffic-dead: a crashed switch on path
+            }
+            if safe_mode.contains(&route.ingress)
+                && route.switches.iter().all(|s| unmanageable.contains_key(s))
+            {
+                return false; // fenced at the entry port
+            }
+            true
+        };
+        verify::verify_tables(
+            &self.instance,
+            &tables,
+            self.options.verify_packets,
+            self.epochs.current(),
+            VerifyMode::NoFalseNegatives,
+            live,
+        )
+        .map_err(|e| e.to_string())
     }
 }
 
@@ -837,6 +1537,211 @@ mod tests {
         ));
         assert_eq!(ctrl.stats().events_failed, 1);
         assert_eq!(ctrl.dataplane().total_occupancy(), 0);
+    }
+
+    fn fault_options(schedule: &str) -> CtrlOptions {
+        CtrlOptions {
+            faults: FaultPlan {
+                schedule: parse_fault_schedule(schedule).unwrap(),
+                ..FaultPlan::default()
+            },
+            ..CtrlOptions::default()
+        }
+    }
+
+    #[test]
+    fn switch_crash_degrades_and_recovers() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut ctrl = Controller::new(topo, fault_options("@2 fault crash s1"));
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+
+        // Epoch 2: s1 crashes; the placement is rebuilt around it.
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("01**"), Action::Drop, 3),
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert!(reports[0]
+            .outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, EventOutcome::SwitchFailed { switch } if switch.0 == 1)));
+        assert_eq!(ctrl.stats().switch_crashes, 1);
+        assert!(!ctrl.dataplane().is_online(SwitchId(1)));
+        assert_eq!(ctrl.out_of_service(), vec![SwitchId(1)]);
+        // Nothing may live on the dead switch; the invariant holds.
+        assert_eq!(ctrl.dataplane().switch(SwitchId(1)).occupancy(), 0);
+        ctrl.fail_closed_audit().expect("fail-closed after crash");
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+
+        // Recovery brings the switch back and the controller re-uses it.
+        ctrl.submit(Event::SwitchRecover {
+            switch: SwitchId(1),
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert!(reports[0]
+            .outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, EventOutcome::SwitchRecovered { .. })));
+        assert!(ctrl.out_of_service().is_empty());
+        assert_eq!(ctrl.stats().switch_recoveries, 1);
+        ctrl.fail_closed_audit()
+            .expect("fail-closed after recovery");
+    }
+
+    #[test]
+    fn transient_rejects_are_retried_through() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut ctrl = Controller::new(topo, fault_options("fault install-reject s0 2"));
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        // Two rejects fit inside one op's retry budget (4 attempts).
+        assert_eq!(ctrl.stats().faults_injected, 2);
+        assert!(ctrl.stats().install_retries >= 2);
+        assert!(ctrl.stats().backoff_ms > 0);
+        assert!(ctrl.virtual_time_ms() > 0);
+        assert_eq!(ctrl.stats().quarantines, 0);
+        assert!(ctrl.dataplane().total_occupancy() >= 1);
+        ctrl.fail_closed_audit().expect("fail-closed after retries");
+    }
+
+    #[test]
+    fn persistent_rejects_quarantine_and_replace() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let options = CtrlOptions {
+            quarantine_after: 2,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            ..fault_options("fault install-reject s0 10000")
+        };
+        let mut ctrl = Controller::new(topo, options);
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert_eq!(ctrl.stats().quarantines, 1);
+        assert_eq!(ctrl.quarantined_switches(), vec![SwitchId(0)]);
+        assert!(reports[0].quarantined.contains(&SwitchId(0)));
+        // s0 still forwards but holds nothing; rules live on s1/s2.
+        assert!(ctrl.dataplane().is_online(SwitchId(0)));
+        assert_eq!(ctrl.dataplane().switch(SwitchId(0)).occupancy(), 0);
+        assert!(ctrl.dataplane().total_occupancy() >= 1);
+        assert!(ctrl.safe_mode_ingresses().is_empty());
+        ctrl.fail_closed_audit()
+            .expect("fail-closed after quarantine");
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+    }
+
+    #[test]
+    fn unplaceable_ingress_goes_safe_mode_and_lifts() {
+        // Single-switch network: once s0 is quarantined nothing can be
+        // placed, so the ingress must go fail-closed, fenced at the
+        // entry port (no manageable switch can hold the drop-all). One
+        // armed reject + a hair-trigger breaker quarantines immediately,
+        // and the fault is spent by the time the switch recovers.
+        let mut topo = Topology::linear(1);
+        topo.set_uniform_capacity(10);
+        let options = CtrlOptions {
+            quarantine_after: 1,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..fault_options("fault install-reject s0 1")
+        };
+        let mut ctrl = Controller::new(topo, options);
+        ctrl.submit(install(0, 1, &[0])).unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        assert_eq!(ctrl.quarantined_switches(), vec![SwitchId(0)]);
+        assert_eq!(ctrl.safe_mode_ingresses(), vec![EntryPortId(0)]);
+        assert_eq!(reports[0].safe_mode, vec![EntryPortId(0)]);
+        ctrl.fail_closed_audit().expect("fenced route is exempt");
+
+        // Events against a safe-mode ingress are refused.
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("01**"), Action::Drop, 3),
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        match &reports[0].outcomes[0].1 {
+            EventOutcome::Rejected { reason } => assert!(reason.contains("safe mode")),
+            other => panic!("expected safe-mode rejection, got {other:?}"),
+        }
+
+        // Recovery lifts the fence: the policy is re-placed for real.
+        ctrl.submit(Event::SwitchRecover {
+            switch: SwitchId(0),
+        })
+        .unwrap();
+        ctrl.run_to_idle().unwrap();
+        assert!(ctrl.safe_mode_ingresses().is_empty());
+        assert!(ctrl.dataplane().total_occupancy() >= 1);
+        ctrl.fail_closed_audit().expect("fail-closed after lift");
+    }
+
+    #[test]
+    fn capacity_revoke_fault_evicts_and_reconciles() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut ctrl = Controller::new(topo, fault_options("@2 fault capacity s1 1"));
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("01**"), Action::Drop, 3),
+        })
+        .unwrap();
+        let reports = ctrl.run_to_idle().unwrap();
+        // The fault surfaced as a synthesized capacity event.
+        assert!(reports[0].outcomes.iter().any(
+            |(e, _)| matches!(e, Event::CapacityChange { switch, capacity }
+                if switch.0 == 1 && *capacity == 1)
+        ));
+        assert!(reports[0].injected >= 1);
+        assert!(ctrl.dataplane().switch(SwitchId(1)).occupancy() <= 1);
+        ctrl.fail_closed_audit().expect("fail-closed after revoke");
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+    }
+
+    #[test]
+    fn faulty_replay_is_deterministic() {
+        let trace = "\
+install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
+add-rule l0 01** drop 3
+add-rule l0 11** drop 4
+solve
+add-rule l0 00** drop 5
+";
+        let run = || {
+            let mut topo = Topology::linear(3);
+            topo.set_uniform_capacity(8);
+            let options = CtrlOptions {
+                batch_size: 2,
+                faults: FaultPlan {
+                    seed: 7,
+                    install_reject_rate: 0.3,
+                    crash_rate: 0.1,
+                    recover_rate: 0.5,
+                    schedule: parse_fault_schedule("@2 fault install-reject s1 2").unwrap(),
+                },
+                ..CtrlOptions::default()
+            };
+            let mut ctrl = Controller::new(topo, options);
+            let reports = ctrl.replay_trace(trace).unwrap();
+            (
+                format!("{reports:?}"),
+                ctrl.dataplane().dump(),
+                ctrl.stats().clone(),
+                ctrl.virtual_time_ms(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

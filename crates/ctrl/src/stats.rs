@@ -38,6 +38,28 @@ pub struct CtrlStats {
     pub peak_tcam_occupancy: usize,
     /// Deepest the event queue ever got.
     pub max_queue_depth: usize,
+    /// Dataplane faults injected (scripted + probabilistic).
+    pub faults_injected: u64,
+    /// TCAM installs retried after a rejection.
+    pub install_retries: u64,
+    /// Virtual milliseconds spent in retry backoff.
+    pub backoff_ms: u64,
+    /// Switches quarantined by a tripped circuit breaker.
+    pub quarantines: u64,
+    /// Switch crashes observed (events + injected faults).
+    pub switch_crashes: u64,
+    /// Switch recoveries observed.
+    pub switch_recoveries: u64,
+    /// Safe-mode drop-all entries installed, cumulative.
+    pub safe_mode_entries: u64,
+    /// Anti-entropy reconciliation passes that applied repairs.
+    pub reconcile_runs: u64,
+    /// TCAM entries churned by reconciliation repairs.
+    pub reconcile_churn: u64,
+    /// Fail-closed audit violations ever observed after a commit. Must
+    /// stay zero: a nonzero value means a packet that the policy drops
+    /// could traverse a live route un-dropped.
+    pub failclosed_violations: u64,
 }
 
 impl CtrlStats {
@@ -78,10 +100,28 @@ impl fmt::Display for CtrlStats {
             "safety: {} verify failures, {} checkpoints, {} rollbacks",
             self.verify_failures, self.checkpoints, self.rollbacks
         )?;
-        write!(
+        writeln!(
             f,
             "pressure: peak tcam occupancy {}, max queue depth {}",
             self.peak_tcam_occupancy, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "faults: {} injected, {} retries, {}ms backoff, {} quarantines, {} crashes, {} recoveries",
+            self.faults_injected,
+            self.install_retries,
+            self.backoff_ms,
+            self.quarantines,
+            self.switch_crashes,
+            self.switch_recoveries
+        )?;
+        write!(
+            f,
+            "degradation: {} safe-mode entries, {} reconcile runs ({} churned), {} fail-closed violations",
+            self.safe_mode_entries,
+            self.reconcile_runs,
+            self.reconcile_churn,
+            self.failclosed_violations
         )
     }
 }
@@ -104,5 +144,22 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("2 restricted"));
         assert!(text.contains("10 churned"));
+    }
+
+    #[test]
+    fn fault_counters_render() {
+        let stats = CtrlStats {
+            faults_injected: 5,
+            install_retries: 3,
+            quarantines: 1,
+            safe_mode_entries: 2,
+            ..CtrlStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("5 injected"));
+        assert!(text.contains("3 retries"));
+        assert!(text.contains("1 quarantines"));
+        assert!(text.contains("2 safe-mode entries"));
+        assert!(text.contains("0 fail-closed violations"));
     }
 }

@@ -59,12 +59,26 @@ ctrl replay flags:
   --capacity N         TCAM slots per switch                     [16]
   --batch N            events coalesced per epoch                [8]
   --verbose            print every event outcome, not just epochs
+  --faults FILE        scripted fault schedule (grammar below)
+  --fault-seed N       seed for probabilistic fault draws        [0]
+  --reject-rate P      per-install rejection probability (0..1)  [0]
+  --crash-rate P       per-switch, per-epoch crash probability   [0]
+  --recover-rate P     per-crashed-switch recovery probability   [0]
+  --retries N          install attempts per op, first included   [4]
+  --quarantine-after N consecutive failures before quarantine    [3]
 
 Trace files hold one event per line (# comments, blank lines ignored):
   install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
   add-rule l0 01** drop 3 | modify-rule l0 r1 11** permit 4
   remove-rule l0 r0 | reroute l0 via l2:s0-s2 | capacity s1 4
-  solve | checkpoint | rollback
+  solve | checkpoint | rollback | switch-fail s1 | switch-recover s1
+
+Fault schedules hold one fault per line (optional @EPOCH prefix, default 1):
+  @2 fault install-reject s1 3 | @4 fault crash s1
+  @6 fault recover s1 | @8 fault capacity s2 4
+
+With any fault source active the replay exits 0 iff the fail-closed audit
+passes; degraded event rejections are expected and do not fail the run.
 ";
 
 fn main() -> ExitCode {
@@ -110,6 +124,16 @@ fn get_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Res
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+    }
+}
+
+fn get_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
+            _ => Err(format!("--{key}: bad probability {v:?} (want 0..=1)")),
+        },
     }
 }
 
@@ -344,7 +368,7 @@ fn ctrl(args: &[String]) -> ExitCode {
 }
 
 fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
-    use flowplace::ctrl::{Controller, CtrlOptions};
+    use flowplace::ctrl::{parse_fault_schedule, Controller, CtrlOptions, FaultPlan, RetryPolicy};
 
     let (flags, positional) = parse_flags(args)?;
     let [path] = positional.as_slice() else {
@@ -354,8 +378,29 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
 
     let mut topo = build_topology(flags.get("topo").map(String::as_str).unwrap_or("linear:4"))?;
     topo.set_uniform_capacity(get_usize(&flags, "capacity", 16)?);
+
+    let mut faults = FaultPlan {
+        seed: get_usize(&flags, "fault-seed", 0)? as u64,
+        install_reject_rate: get_f64(&flags, "reject-rate", 0.0)?,
+        crash_rate: get_f64(&flags, "crash-rate", 0.0)?,
+        recover_rate: get_f64(&flags, "recover-rate", 0.0)?,
+        ..FaultPlan::default()
+    };
+    if let Some(fpath) = flags.get("faults") {
+        let ftext =
+            std::fs::read_to_string(fpath).map_err(|e| format!("cannot read {fpath}: {e}"))?;
+        faults.schedule = parse_fault_schedule(&ftext).map_err(|e| format!("{fpath}: {e}"))?;
+    }
+    let faulty = faults.is_active();
+
     let options = CtrlOptions {
         batch_size: get_usize(&flags, "batch", 8)?,
+        faults,
+        retry: RetryPolicy {
+            max_attempts: get_usize(&flags, "retries", 4)? as u32,
+            ..RetryPolicy::default()
+        },
+        quarantine_after: get_usize(&flags, "quarantine-after", 3)? as u32,
         ..CtrlOptions::default()
     };
     let verbose = flags.contains_key("verbose");
@@ -364,7 +409,7 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     let reports = ctrl.replay_trace(&text).map_err(|e| e.to_string())?;
 
     for r in &reports {
-        println!(
+        print!(
             "epoch {}: {} events, +{} -{} entries (peak {})",
             r.epoch,
             r.outcomes.len(),
@@ -372,6 +417,16 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
             r.removed,
             r.peak_occupancy
         );
+        if r.injected > 0 {
+            print!(", {} faults", r.injected);
+        }
+        if !r.quarantined.is_empty() {
+            print!(", out of service {:?}", r.quarantined);
+        }
+        if !r.safe_mode.is_empty() {
+            print!(", safe mode {:?}", r.safe_mode);
+        }
+        println!();
         if verbose {
             for (event, outcome) in &r.outcomes {
                 println!("  {event}  =>  {outcome:?}");
@@ -380,7 +435,22 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     }
     println!("{}", ctrl.stats());
     print!("{}", ctrl.dataplane().dump());
-    if ctrl.stats().verify_failures > 0 || ctrl.stats().events_failed > 0 {
+
+    if faulty {
+        // Under injected faults, individual events may legitimately be
+        // rejected (degraded service); the pass/fail bar is the no-
+        // false-negative invariant, checked by the fail-closed audit.
+        match ctrl.fail_closed_audit() {
+            Ok(()) => println!("fail-closed audit: ok"),
+            Err(e) => {
+                eprintln!("fail-closed audit FAILED: {e}");
+                return Ok(ExitCode::from(1));
+            }
+        }
+        if ctrl.stats().failclosed_violations > 0 {
+            return Ok(ExitCode::from(1));
+        }
+    } else if ctrl.stats().verify_failures > 0 || ctrl.stats().events_failed > 0 {
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)

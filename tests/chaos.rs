@@ -1,0 +1,251 @@
+//! Chaos tests for the fault-tolerant controller.
+//!
+//! Three layers of assurance, all fully deterministic:
+//!
+//! * a seeded property test: hundreds of randomized event streams, each
+//!   under a randomized fault plan (install rejects, crashes,
+//!   recoveries, capacity revocations), must end with the fail-closed
+//!   audit green — no packet a policy drops may cross a live route
+//!   un-dropped, no matter what the dataplane did;
+//! * byte-identical replay of the committed chaos trace + fault
+//!   schedule (`traces/chaos.trace` / `traces/chaos.faults`), pinning
+//!   the same seed the CI `make chaos` target uses;
+//! * queue-overflow backpressure stays observable and recoverable under
+//!   load.
+
+use flowplace::acl::{Action, Policy, Rule, Ternary};
+use flowplace::ctrl::{
+    parse_fault_schedule, Controller, CtrlOptions, Event, FaultKind, FaultPlan, RetryPolicy,
+    ScheduledFault,
+};
+use flowplace::prelude::*;
+use flowplace::rng::{Rng, StdRng};
+
+const WIDTH: u32 = 4;
+
+fn rand_rule(rng: &mut StdRng, priority: u32) -> Rule {
+    let care = rng.gen_range(0u128..(1 << WIDTH));
+    let value = rng.gen_range(0u128..(1 << WIDTH));
+    let action = if rng.gen_bool(0.7) {
+        Action::Drop
+    } else {
+        Action::Permit
+    };
+    Rule::new(Ternary::new(WIDTH, care, value), action, priority)
+}
+
+fn install(rng: &mut StdRng, ingress: usize, switches: Vec<usize>) -> Event {
+    let egress = if ingress == 0 { 2 } else { 0 };
+    let n = rng.gen_range(1..=4usize);
+    let mut rules: Vec<Rule> = (0..n).map(|p| rand_rule(rng, p as u32 + 2)).collect();
+    rules.push(Rule::new(Ternary::new(WIDTH, 0, 0), Action::Permit, 1));
+    Event::InstallPolicy {
+        ingress: EntryPortId(ingress),
+        policy: Policy::from_rules(rules).expect("distinct priorities"),
+        routes: vec![Route::new(
+            EntryPortId(ingress),
+            EntryPortId(egress),
+            switches.into_iter().map(SwitchId).collect(),
+        )],
+    }
+}
+
+fn rand_event(rng: &mut StdRng, priority: &mut u32) -> Event {
+    *priority += 1;
+    let ingress = EntryPortId(rng.gen_range(0..2usize));
+    let switch = SwitchId(rng.gen_range(0..3usize));
+    match rng.gen_range(0..10u32) {
+        0..=3 => Event::AddRule {
+            ingress,
+            rule: rand_rule(rng, *priority),
+        },
+        4 => Event::RemoveRule {
+            ingress,
+            rule: flowplace::acl::RuleId(rng.gen_range(0..4usize)),
+        },
+        5 => Event::CapacityChange {
+            switch,
+            capacity: rng.gen_range(2..10usize),
+        },
+        6 => Event::SwitchFail { switch },
+        7 => Event::SwitchRecover { switch },
+        8 => Event::Solve,
+        _ => Event::Checkpoint,
+    }
+}
+
+fn rand_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
+    let mut schedule = Vec::new();
+    for _ in 0..rng.gen_range(0..4usize) {
+        let switch = SwitchId(rng.gen_range(0..3usize));
+        let kind = match rng.gen_range(0..4u32) {
+            0 => FaultKind::Crash { switch },
+            1 => FaultKind::Recover { switch },
+            2 => FaultKind::InstallReject {
+                switch,
+                count: rng.gen_range(1..6u64),
+            },
+            _ => FaultKind::CapacityRevoke {
+                switch,
+                capacity: rng.gen_range(0..6usize),
+            },
+        };
+        schedule.push(ScheduledFault {
+            epoch: rng.gen_range(1..5u64),
+            kind,
+        });
+    }
+    FaultPlan {
+        seed,
+        install_reject_rate: rng.gen_range(0..40u32) as f64 / 100.0,
+        crash_rate: rng.gen_range(0..15u32) as f64 / 100.0,
+        recover_rate: rng.gen_range(30..90u32) as f64 / 100.0,
+        schedule,
+    }
+}
+
+/// The tentpole property: whatever the dataplane does, a completed run
+/// leaves zero DROP-coverage violations on every live route (safe-mode
+/// drop-alls count as coverage).
+#[test]
+fn chaos_never_breaks_fail_closed() {
+    for seed in 0..224u64 {
+        let mut rng = StdRng::seed_from_u64(0xC4A0_5000 ^ seed);
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(rng.gen_range(4..10usize));
+        let options = CtrlOptions {
+            batch_size: 4,
+            verify_packets: 4,
+            faults: rand_plan(&mut rng, seed),
+            retry: RetryPolicy {
+                max_attempts: rng.gen_range(1..4u32),
+                ..RetryPolicy::default()
+            },
+            quarantine_after: rng.gen_range(1..4u32),
+            ..CtrlOptions::default()
+        };
+        let mut ctrl = Controller::new(topo, options);
+
+        ctrl.submit(install(&mut rng, 0, vec![0, 1, 2]))
+            .expect("queue has room");
+        ctrl.submit(install(&mut rng, 1, vec![2, 1, 0]))
+            .expect("queue has room");
+        let mut priority = 10;
+        for _ in 0..rng.gen_range(4..9usize) {
+            ctrl.submit(rand_event(&mut rng, &mut priority))
+                .expect("queue has room");
+        }
+
+        let reports = ctrl
+            .run_to_idle()
+            .unwrap_or_else(|e| panic!("seed {seed}: run failed: {e}"));
+        assert!(!reports.is_empty(), "seed {seed}: no epochs ran");
+        assert_eq!(
+            ctrl.stats().failclosed_violations,
+            0,
+            "seed {seed}: a commit left a fail-closed violation"
+        );
+        ctrl.fail_closed_audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: final audit failed: {e}"));
+    }
+}
+
+const TRACE: &str = include_str!("../traces/chaos.trace");
+const FAULTS: &str = include_str!("../traces/chaos.faults");
+
+/// Mirrors the `make chaos` CLI invocation documented in the trace
+/// header.
+fn chaos_controller() -> Controller {
+    let mut topo = Topology::linear(4);
+    topo.set_uniform_capacity(16);
+    let options = CtrlOptions {
+        batch_size: 4,
+        faults: FaultPlan {
+            seed: 42,
+            install_reject_rate: 0.1,
+            crash_rate: 0.02,
+            recover_rate: 0.5,
+            schedule: parse_fault_schedule(FAULTS).expect("committed schedule parses"),
+        },
+        ..CtrlOptions::default()
+    };
+    Controller::new(topo, options)
+}
+
+fn replay_chaos() -> (String, String, String, u64) {
+    let mut ctrl = chaos_controller();
+    let reports = ctrl.replay_trace(TRACE).expect("chaos trace replays");
+    ctrl.fail_closed_audit().expect("audit green after chaos");
+    assert_eq!(ctrl.stats().failclosed_violations, 0);
+    (
+        format!("{reports:?}"),
+        ctrl.dataplane().dump(),
+        ctrl.stats().to_string(),
+        ctrl.virtual_time_ms(),
+    )
+}
+
+/// The committed chaos replay is byte-for-byte deterministic: same
+/// trace, same schedule, same seed — identical epoch reports, dataplane
+/// dump, counters, and virtual clock.
+#[test]
+fn chaos_trace_replay_is_byte_identical() {
+    let first = replay_chaos();
+    let second = replay_chaos();
+    assert_eq!(first.0, second.0, "epoch report sequences diverged");
+    assert_eq!(first.1, second.1, "dataplane dumps diverged");
+    assert_eq!(first.2, second.2, "stats diverged");
+    assert_eq!(first.3, second.3, "virtual clocks diverged");
+}
+
+/// The committed chaos run actually exercises the machinery it claims
+/// to: faults fire, installs retry, a breaker trips, and reconciliation
+/// repairs the dataplane.
+#[test]
+fn chaos_trace_is_a_real_workout() {
+    let mut ctrl = chaos_controller();
+    ctrl.replay_trace(TRACE).expect("chaos trace replays");
+    let stats = ctrl.stats();
+    assert!(stats.faults_injected >= 10, "too tame: {stats:?}");
+    assert!(stats.install_retries >= 1, "no retries fired: {stats:?}");
+    assert!(stats.quarantines >= 1, "no breaker tripped: {stats:?}");
+    assert!(stats.switch_crashes >= 1, "no crash seen: {stats:?}");
+    assert!(stats.switch_recoveries >= 1, "no recovery seen: {stats:?}");
+    assert!(stats.reconcile_runs >= 1, "nothing reconciled: {stats:?}");
+}
+
+/// Backpressure under overload stays observable (counted, reported) and
+/// recoverable: once the queue drains, new submissions are accepted
+/// again and the run still ends fail-closed.
+#[test]
+fn backpressure_is_observable_and_recoverable() {
+    let mut topo = Topology::linear(3);
+    topo.set_uniform_capacity(8);
+    let mut ctrl = Controller::new(
+        topo,
+        CtrlOptions {
+            queue_capacity: 3,
+            batch_size: 2,
+            ..CtrlOptions::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    ctrl.submit(install(&mut rng, 0, vec![0, 1, 2])).unwrap();
+    ctrl.submit(Event::Solve).unwrap();
+    ctrl.submit(Event::Checkpoint).unwrap();
+    // Queue full: the next submissions bounce, visibly.
+    for expected in 1..=3u64 {
+        assert!(ctrl.submit(Event::Solve).is_err(), "overflow accepted");
+        assert_eq!(ctrl.stats().events_rejected, expected);
+    }
+    assert_eq!(ctrl.pending(), 3, "rejected events must not enqueue");
+
+    // Draining restores service; rejects are a counter, not a latch.
+    ctrl.run_to_idle().unwrap();
+    assert_eq!(ctrl.pending(), 0);
+    ctrl.submit(Event::Solve)
+        .expect("queue drained, room again");
+    ctrl.run_to_idle().unwrap();
+    assert_eq!(ctrl.stats().events_rejected, 3);
+    assert_eq!(ctrl.stats().failclosed_violations, 0);
+}

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy build test test-all replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy build test test-all timing-guard bench-json bench-json-smoke replay-demo chaos clean
 
 all: ci
 
@@ -29,6 +29,20 @@ test: build
 ## test-all: every crate in the workspace.
 test-all:
 	$(CARGO) test -q --offline --workspace
+
+## timing-guard: tier-1 tests under the 2x wall-clock budget
+## (scripts/test_timing_baseline.txt) — what CI runs.
+timing-guard: build
+	./scripts/test_timing_guard.sh
+
+## bench-json: machine-readable pipeline benchmark (BENCH_pipeline.json),
+## serial vs parallel+portfolio on the 256/1k/4k ClassBench scenarios.
+bench-json:
+	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --threads 4
+
+## bench-json-smoke: single-sample schema-validation run (CI).
+bench-json-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

@@ -1,0 +1,93 @@
+//! Emits `BENCH_pipeline.json`: serial vs parallel-pipeline solve times.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin pipeline -- \
+//!     [--out PATH] [--threads N] [--samples N] [--time-limit SECS] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a single sample of the smallest scenario under a short
+//! budget — CI uses it to validate the JSON schema without paying for
+//! the full sweep. The document is validated against
+//! `flowplace.bench.pipeline.v1` before it is written; a schema bug
+//! fails the run instead of producing a corrupt artifact.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use flowplace_bench::pipeline::{self, PipelineConfig};
+use flowplace_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = PipelineConfig::default();
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--threads" => {
+                cfg.threads = parse_num(&take_value(&args, &mut i, "--threads"), "--threads");
+            }
+            "--samples" => {
+                cfg.samples = parse_num(&take_value(&args, &mut i, "--samples"), "--samples");
+            }
+            "--time-limit" => {
+                let secs: usize =
+                    parse_num(&take_value(&args, &mut i, "--time-limit"), "--time-limit");
+                cfg.time_limit = Duration::from_secs(secs as u64);
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.samples = 1;
+                cfg.time_limit = Duration::from_secs(2);
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if cfg.samples == 0 {
+        eprintln!("--samples must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "pipeline bench: threads={} samples={} time_limit={:?} smoke={}",
+        cfg.threads, cfg.samples, cfg.time_limit, cfg.smoke
+    );
+    let rows = pipeline::run(&cfg);
+    print!("{}", pipeline::rows_table(&rows));
+
+    let doc = pipeline::to_json(&cfg, &rows);
+    if let Err(reason) = report::validate_pipeline_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got {text:?}");
+        std::process::exit(2);
+    })
+}

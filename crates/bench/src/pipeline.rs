@@ -1,0 +1,372 @@
+//! Machine-readable pipeline benchmark (`BENCH_pipeline.json`).
+//!
+//! Times the three-stage parallel pipeline ([`flowplace_core::par`]) —
+//! dependency graphs, candidate generation, portfolio solve — against the
+//! serial single-engine path on ClassBench scenarios of 256 / 1k / 4k
+//! total rules, and emits the per-stage wall times plus the end-to-end
+//! speedup as a small hand-rolled JSON document (the workspace is
+//! dependency-free, so no serde).
+//!
+//! The serial baseline is the default configuration a user gets without
+//! `--threads`/`--portfolio`: the optimizing ILP engine with a greedy
+//! warm start under a wall-clock budget. The parallel run races ILP
+//! against PB-SAT feasibility (paper §IV-D) on top of the threaded
+//! pipeline, so on hard instances the speedup comes from whichever
+//! engine concludes first — the honest win on a box with few cores.
+//!
+//! Schema stability is enforced by
+//! [`crate::report::validate_pipeline_json`]; bump [`SCHEMA`] when the
+//! shape changes.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use flowplace_core::par::ParallelConfig;
+use flowplace_core::{Objective, PlacementOptions, RulePlacer, SolveStatus};
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.pipeline.v1";
+
+/// Runner parameters (CLI flags of the `pipeline` binary).
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Worker threads for the parallel pipeline (also the portfolio
+    /// degree cap; `0` = auto).
+    pub threads: usize,
+    /// Samples per measurement; the minimum is reported.
+    pub samples: usize,
+    /// Wall-clock budget per solve (both serial and parallel).
+    pub time_limit: Duration,
+    /// Smoke mode: single sample, short budget, smallest scenario first —
+    /// used by CI to validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            threads: 4,
+            samples: 3,
+            time_limit: Duration::from_secs(10),
+            smoke: false,
+        }
+    }
+}
+
+/// One benchmark scenario × configuration measurement.
+#[derive(Clone, Debug)]
+pub struct PipelineRow {
+    /// Scenario label (`classbench-256` …).
+    pub scenario: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Threads used by the parallel run.
+    pub threads: usize,
+    /// Serial end-to-end wall time (min over samples), milliseconds.
+    pub serial_ms: f64,
+    /// Serial solve status.
+    pub serial_status: SolveStatus,
+    /// Parallel (pipeline + portfolio) end-to-end wall time, ms.
+    pub parallel_ms: f64,
+    /// Parallel solve status.
+    pub parallel_status: SolveStatus,
+    /// Which engine produced the parallel result (`portfolio:sat` …).
+    pub engine: String,
+    /// Stage 1 (dependency graphs) wall time, ms.
+    pub stage_depgraphs_ms: f64,
+    /// Stage 2 (candidate generation) wall time, ms.
+    pub stage_candidates_ms: f64,
+    /// Stage 3 (solve) wall time, ms.
+    pub stage_solve_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The benchmark scenarios: ClassBench firewall policies at 256 / 1k /
+/// 4k total rules on a k=4 fat-tree, capacities calibrated so every
+/// instance is feasible. Smoke mode keeps only the smallest.
+pub fn scenarios(smoke: bool) -> Vec<(String, ScenarioConfig)> {
+    let mk = |ingresses, rules_per_policy, capacity| ScenarioConfig {
+        k: 4,
+        ingresses,
+        paths_per_ingress: 2,
+        rules_per_policy,
+        shared_rules: 0,
+        capacity,
+        seed: 7,
+    };
+    let mut out = vec![("classbench-256".to_string(), mk(8, 32, 100))];
+    if !smoke {
+        out.push(("classbench-1k".to_string(), mk(16, 64, 150)));
+        out.push(("classbench-4k".to_string(), mk(16, 256, 500)));
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+/// Runs the full benchmark and returns one row per scenario.
+pub fn run(cfg: &PipelineConfig) -> Vec<PipelineRow> {
+    scenarios(cfg.smoke)
+        .into_iter()
+        .map(|(name, scenario)| run_one(cfg, &name, &scenario))
+        .collect()
+}
+
+fn run_one(cfg: &PipelineConfig, name: &str, scenario: &ScenarioConfig) -> PipelineRow {
+    let instance = build_instance(scenario);
+
+    let mut serial_options = PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    };
+    serial_options.mip.time_limit = Some(cfg.time_limit);
+
+    let mut parallel_options = serial_options.clone();
+    parallel_options.parallel = ParallelConfig {
+        threads: cfg.threads,
+        portfolio: true,
+    };
+
+    // Serial baseline: the default single-engine path, end to end.
+    let serial_placer = RulePlacer::new(serial_options);
+    let mut serial_ms_best = f64::INFINITY;
+    let mut serial_status = SolveStatus::Unknown;
+    for _ in 0..cfg.samples.max(1) {
+        let t0 = Instant::now();
+        let outcome = serial_placer
+            .place(&instance, Objective::TotalRules)
+            .expect("placement never errors");
+        let elapsed = ms(t0.elapsed());
+        if elapsed < serial_ms_best {
+            serial_ms_best = elapsed;
+            serial_status = outcome.status;
+        }
+    }
+
+    // Parallel pipeline + portfolio, keeping the stage split of the
+    // fastest sample.
+    let parallel_placer = RulePlacer::new(parallel_options);
+    let mut parallel_ms_best = f64::INFINITY;
+    let mut parallel_status = SolveStatus::Unknown;
+    let mut engine = String::new();
+    let mut stage_ms = [0.0f64; 3];
+    for _ in 0..cfg.samples.max(1) {
+        let t0 = Instant::now();
+        let par = parallel_placer.place_par(&instance, Objective::TotalRules);
+        let elapsed = ms(t0.elapsed());
+        if elapsed < parallel_ms_best {
+            parallel_ms_best = elapsed;
+            parallel_status = par.outcome.status;
+            engine = par.provenance.to_string();
+            stage_ms = [
+                ms(par.stages.depgraphs),
+                ms(par.stages.candidates),
+                ms(par.stages.solve),
+            ];
+        }
+    }
+
+    PipelineRow {
+        scenario: name.to_string(),
+        rules: instance.total_policy_rules(),
+        threads: cfg.threads,
+        serial_ms: serial_ms_best,
+        serial_status,
+        parallel_ms: parallel_ms_best,
+        parallel_status,
+        engine,
+        stage_depgraphs_ms: stage_ms[0],
+        stage_candidates_ms: stage_ms[1],
+        stage_solve_ms: stage_ms[2],
+        speedup: serial_ms_best / parallel_ms_best,
+    }
+}
+
+fn status_str(s: SolveStatus) -> &'static str {
+    match s {
+        SolveStatus::Optimal => "optimal",
+        SolveStatus::Feasible => "feasible",
+        SolveStatus::Infeasible => "infeasible",
+        SolveStatus::Unknown => "timeout",
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        // Infinity is not valid JSON; an unmeasured division degrades
+        // to 0 rather than corrupting the document.
+        "0.000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_pipeline.json` document.
+pub fn to_json(cfg: &PipelineConfig, rows: &[PipelineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(out, "  \"threads\": {},", cfg.threads);
+    let _ = writeln!(out, "  \"samples\": {},", cfg.samples);
+    let _ = writeln!(
+        out,
+        "  \"time_limit_ms\": {},",
+        json_num(cfg.time_limit.as_secs_f64() * 1000.0)
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(out, "      \"threads\": {},", r.threads);
+        let _ = writeln!(out, "      \"serial_ms\": {},", json_num(r.serial_ms));
+        let _ = writeln!(
+            out,
+            "      \"serial_status\": {},",
+            json_string(status_str(r.serial_status))
+        );
+        let _ = writeln!(out, "      \"parallel_ms\": {},", json_num(r.parallel_ms));
+        let _ = writeln!(
+            out,
+            "      \"parallel_status\": {},",
+            json_string(status_str(r.parallel_status))
+        );
+        let _ = writeln!(out, "      \"engine\": {},", json_string(&r.engine));
+        let _ = writeln!(
+            out,
+            "      \"stage_depgraphs_ms\": {},",
+            json_num(r.stage_depgraphs_ms)
+        );
+        let _ = writeln!(
+            out,
+            "      \"stage_candidates_ms\": {},",
+            json_num(r.stage_candidates_ms)
+        );
+        let _ = writeln!(
+            out,
+            "      \"stage_solve_ms\": {},",
+            json_num(r.stage_solve_ms)
+        );
+        let _ = writeln!(out, "      \"speedup\": {}", json_num(r.speedup));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[PipelineRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>6} {:>12} {:>12} {:>8} {:<14} {:>9} {:>9} {:>9}\n",
+        "scenario",
+        "rules",
+        "serial ms",
+        "parallel ms",
+        "speedup",
+        "engine",
+        "deps ms",
+        "cands ms",
+        "solve ms"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>12.2} {:>12.2} {:>7.1}x {:<14} {:>9.2} {:>9.2} {:>9.2}",
+            r.scenario,
+            r.rules,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup,
+            r.engine,
+            r.stage_depgraphs_ms,
+            r.stage_candidates_ms,
+            r.stage_solve_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_pipeline_json;
+
+    fn sample_row() -> PipelineRow {
+        PipelineRow {
+            scenario: "classbench-256".into(),
+            rules: 256,
+            threads: 4,
+            serial_ms: 95.0,
+            serial_status: SolveStatus::Optimal,
+            parallel_ms: 5.0,
+            parallel_status: SolveStatus::Optimal,
+            engine: "portfolio:sat".into(),
+            stage_depgraphs_ms: 0.2,
+            stage_candidates_ms: 0.5,
+            stage_solve_ms: 4.0,
+            speedup: 19.0,
+        }
+    }
+
+    #[test]
+    fn json_document_passes_schema_check() {
+        let cfg = PipelineConfig::default();
+        let doc = to_json(&cfg, &[sample_row()]);
+        validate_pipeline_json(&doc).expect("emitted document is schema-valid");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(f64::INFINITY), "0.000");
+    }
+
+    #[test]
+    fn smoke_run_emits_valid_json() {
+        let cfg = PipelineConfig {
+            threads: 2,
+            samples: 1,
+            time_limit: Duration::from_millis(500),
+            smoke: true,
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].rules, 256);
+        let doc = to_json(&cfg, &rows);
+        validate_pipeline_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let t = rows_table(&[sample_row()]);
+        assert!(t.contains("classbench-256"));
+        assert!(t.contains("portfolio:sat"));
+    }
+}

@@ -234,6 +234,317 @@ pub fn sharing_rows_csv(rows: &[SharingRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// BENCH_pipeline.json schema validation
+// ---------------------------------------------------------------------
+//
+// The workspace is dependency-free, so the validator carries its own
+// minimal JSON reader: enough of RFC 8259 to parse the documents the
+// pipeline benchmark emits (objects, arrays, strings with the escapes we
+// produce, numbers, booleans, null). It is a checker, not a general
+// library — unknown escapes and non-UTF-8 input are rejected.
+
+/// Parsed JSON value (internal to the schema validator).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(cp).ok_or("surrogate \\u escape unsupported")?);
+                        }
+                        _ => return Err(format!("unknown escape '\\{}'", esc as char)),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8".to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+/// The schema tag [`validate_pipeline_json`] requires (re-exported from
+/// [`crate::pipeline::SCHEMA`] so the two cannot drift).
+pub const PIPELINE_SCHEMA: &str = crate::pipeline::SCHEMA;
+
+const PIPELINE_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "threads",
+    "serial_ms",
+    "parallel_ms",
+    "stage_depgraphs_ms",
+    "stage_candidates_ms",
+    "stage_solve_ms",
+    "speedup",
+];
+
+const PIPELINE_STATUSES: &[&str] = &["optimal", "feasible", "infeasible", "timeout"];
+
+/// Validates a `BENCH_pipeline.json` document against the
+/// `flowplace.bench.pipeline.v1` schema: the tag itself, the run
+/// parameters, and every row's fields, types, and value ranges. Returns
+/// a human-readable reason on the first violation. CI runs this on the
+/// smoke-mode artifact so schema drift fails the build rather than the
+/// downstream consumers.
+pub fn validate_pipeline_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != PIPELINE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {PIPELINE_SCHEMA:?}"
+        ));
+    }
+    for field in ["threads", "samples", "time_limit_ms"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {field:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("field {field:?} must be positive, got {v}"));
+        }
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        for field in ["scenario", "engine"] {
+            row.get(field)
+                .and_then(Json::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| ctx(format!("missing non-empty string {field:?}")))?;
+        }
+        for field in ["serial_status", "parallel_status"] {
+            let s = row
+                .get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| ctx(format!("missing string {field:?}")))?;
+            if !PIPELINE_STATUSES.contains(&s) {
+                return Err(ctx(format!("{field:?} has unknown status {s:?}")));
+            }
+        }
+        for field in PIPELINE_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +627,85 @@ mod tests {
         }];
         let t = sharing_rows_table(&rows);
         assert!(t.contains("20.0%"));
+    }
+
+    fn valid_pipeline_doc() -> String {
+        format!(
+            r#"{{
+  "schema": "{PIPELINE_SCHEMA}",
+  "threads": 4,
+  "samples": 3,
+  "time_limit_ms": 10000.0,
+  "rows": [
+    {{
+      "scenario": "classbench-256",
+      "rules": 256,
+      "threads": 4,
+      "serial_ms": 95.1,
+      "serial_status": "optimal",
+      "parallel_ms": 5.2,
+      "parallel_status": "optimal",
+      "engine": "portfolio:sat",
+      "stage_depgraphs_ms": 0.2,
+      "stage_candidates_ms": 0.5,
+      "stage_solve_ms": 4.0,
+      "speedup": 18.3
+    }}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn pipeline_validator_accepts_valid_document() {
+        validate_pipeline_json(&valid_pipeline_doc()).expect("valid document accepted");
+    }
+
+    #[test]
+    fn pipeline_validator_rejects_wrong_schema_tag() {
+        let doc = valid_pipeline_doc().replace(".v1", ".v0");
+        let err = validate_pipeline_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_validator_rejects_missing_row_field() {
+        let doc = valid_pipeline_doc().replace("\"speedup\": 18.3", "\"speedup2\": 18.3");
+        let err = validate_pipeline_json(&doc).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_validator_rejects_unknown_status() {
+        let doc = valid_pipeline_doc().replace("\"optimal\"", "\"excellent\"");
+        let err = validate_pipeline_json(&doc).unwrap_err();
+        assert!(err.contains("unknown status"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_validator_rejects_empty_rows_and_garbage() {
+        assert!(validate_pipeline_json("{}").is_err());
+        assert!(validate_pipeline_json("not json").is_err());
+        let doc = format!(
+            r#"{{"schema": "{PIPELINE_SCHEMA}", "threads": 4, "samples": 1, "time_limit_ms": 1, "rows": []}}"#
+        );
+        let err = validate_pipeline_json(&doc).unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = JsonParser::parse(r#"{"a": [1, -2.5e1, "x\nA", true, null]}"#).unwrap();
+        let arr = match v.get("a") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-25.0));
+        assert_eq!(arr[2], Json::Str("x\nA".into()));
+        assert_eq!(arr[3], Json::Bool(true));
+        assert_eq!(arr[4], Json::Null);
+        assert!(JsonParser::parse("{\"a\": 1} extra").is_err());
     }
 }

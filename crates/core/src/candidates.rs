@@ -20,27 +20,66 @@ pub type CandidateMap = BTreeMap<(EntryPortId, RuleId), BTreeSet<SwitchId>>;
 
 /// Builds the candidate map for an instance, honoring path slicing.
 pub fn build_candidates(instance: &Instance) -> CandidateMap {
+    let graphs: BTreeMap<EntryPortId, DependencyGraph> = instance
+        .policies()
+        .map(|(ingress, policy)| (ingress, DependencyGraph::build(policy)))
+        .collect();
+    build_candidates_with_graphs(instance, &graphs)
+}
+
+/// Like [`build_candidates`], but reuses dependency graphs built
+/// elsewhere (the parallel pipeline builds them per-ingress across
+/// threads, then feeds them here).
+///
+/// # Panics
+///
+/// Panics if `graphs` is missing an ingress that `instance` has a policy
+/// for.
+pub fn build_candidates_with_graphs(
+    instance: &Instance,
+    graphs: &BTreeMap<EntryPortId, DependencyGraph>,
+) -> CandidateMap {
     let mut map: CandidateMap = BTreeMap::new();
-    for (ingress, policy) in instance.policies() {
-        let graph = DependencyGraph::build(policy);
-        // DROP rules: switches of every route the rule is sliced into.
-        for rid in instance.routes().paths_from(ingress) {
-            let route = instance.routes().route(rid);
-            for w in slicing::sliced_drop_rules(policy, route) {
-                map.entry((ingress, w))
-                    .or_default()
-                    .extend(route.switches.iter().copied());
-            }
+    for (ingress, _policy) in instance.policies() {
+        let graph = graphs
+            .get(&ingress)
+            .expect("dependency graph missing for ingress");
+        for (rule, switches) in candidates_for_ingress(instance, ingress, graph) {
+            map.insert((ingress, rule), switches);
         }
-        // PERMIT rules: union of their dependents' candidate switches.
-        let drops: Vec<RuleId> = policy.drop_rules().collect();
-        for w in drops {
-            let Some(w_switches) = map.get(&(ingress, w)).cloned() else {
-                continue; // drop rule sliced out of every route
-            };
-            for &u in graph.permits_required_by(w) {
-                map.entry((ingress, u)).or_default().extend(&w_switches);
-            }
+    }
+    map
+}
+
+/// Candidate switches for the rules of one ingress policy — the
+/// per-ingress unit of work the parallel pipeline distributes. Output is
+/// keyed by rule id only; the caller re-keys under `(ingress, rule)`.
+pub(crate) fn candidates_for_ingress(
+    instance: &Instance,
+    ingress: EntryPortId,
+    graph: &DependencyGraph,
+) -> BTreeMap<RuleId, BTreeSet<SwitchId>> {
+    let policy = instance
+        .policy(ingress)
+        .expect("ingress must carry a policy");
+    let mut map: BTreeMap<RuleId, BTreeSet<SwitchId>> = BTreeMap::new();
+    // DROP rules: switches of every route the rule is sliced into.
+    for rid in instance.routes().paths_from(ingress) {
+        let route = instance.routes().route(rid);
+        for w in slicing::sliced_drop_rules(policy, route) {
+            map.entry(w)
+                .or_default()
+                .extend(route.switches.iter().copied());
+        }
+    }
+    // PERMIT rules: union of their dependents' candidate switches.
+    let drops: Vec<RuleId> = policy.drop_rules().collect();
+    for w in drops {
+        let Some(w_switches) = map.get(&w).cloned() else {
+            continue; // drop rule sliced out of every route
+        };
+        for &u in graph.permits_required_by(w) {
+            map.entry(u).or_default().extend(&w_switches);
         }
     }
     map

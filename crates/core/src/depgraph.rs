@@ -44,8 +44,66 @@ pub struct DependencyGraph {
 }
 
 impl DependencyGraph {
-    /// Builds the graph for `policy` in `O(n²)` overlap checks.
+    /// Builds the graph for `policy` using an interval-sort prune.
+    ///
+    /// Every packet matched by a ternary lies numerically between the
+    /// field with all wildcards set to 0 (`sample_packet`) and all
+    /// wildcards set to 1 (`max_packet`) — each wildcard bit contributes
+    /// either 0 or its positional weight, independently. Two ternaries can
+    /// therefore only intersect if their `[lo, hi]` intervals do, so the
+    /// PERMIT rules are sorted by `lo` once and each DROP rule only runs
+    /// the exact [`Rule::overlaps`](flowplace_acl::Rule::overlaps) check
+    /// against the sorted prefix with `lo ≤ hi_drop` that also satisfies
+    /// `hi ≥ lo_drop`. The interval test is necessary (never sufficient)
+    /// for intersection, so pruned pairs are guaranteed non-edges; see
+    /// [`build_naive`](Self::build_naive) for the exhaustive reference
+    /// oracle the differential tests compare against. Worst case (all
+    /// intervals overlapping, e.g. every rule starting with a wildcard)
+    /// degrades to the same `O(n²)` exact checks as the naive scan;
+    /// classbench-style prefix-heavy policies prune most pairs.
     pub fn build(policy: &Policy) -> DependencyGraph {
+        let rules = policy.rules();
+        let mut deps = vec![Vec::new(); rules.len()];
+        // (lo, hi, index) per PERMIT rule, sorted by lo.
+        let mut permits: Vec<(u128, u128, usize)> = rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.action().is_permit())
+            .map(|(u, r)| {
+                let f = r.match_field();
+                (f.sample_packet().bits(), f.max_packet().bits(), u)
+            })
+            .collect();
+        permits.sort_unstable();
+        for (w, drop_rule) in rules.iter().enumerate() {
+            if !drop_rule.action().is_drop() {
+                continue;
+            }
+            let lo_w = drop_rule.match_field().sample_packet().bits();
+            let hi_w = drop_rule.match_field().max_packet().bits();
+            // Candidates: the sorted prefix with lo_u ≤ hi_w.
+            let end = permits.partition_point(|&(lo_u, _, _)| lo_u <= hi_w);
+            for &(_, hi_u, u) in &permits[..end] {
+                // Rules are stored in descending priority order, so only
+                // smaller indices (higher priority) can shield the drop.
+                if u < w && hi_u >= lo_w && rules[u].overlaps(drop_rule) {
+                    deps[w].push(RuleId(u));
+                }
+            }
+            // The prune visits permits in lo-order; restore ascending id.
+            deps[w].sort_unstable_by_key(|r| r.0);
+        }
+        DependencyGraph { deps }
+    }
+
+    /// Builds the graph with the exhaustive `O(n²)` pairwise overlap scan.
+    ///
+    /// This is the reference oracle for [`build`](Self::build): it checks
+    /// every (PERMIT, DROP) pair directly, with no pruning that could
+    /// conceivably drop an edge. The differential and property tests
+    /// assert `build == build_naive`; production code should call
+    /// [`build`](Self::build).
+    pub fn build_naive(policy: &Policy) -> DependencyGraph {
         let rules = policy.rules();
         let mut deps = vec![Vec::new(); rules.len()];
         for (w, drop_rule) in rules.iter().enumerate() {
@@ -195,6 +253,64 @@ mod tests {
         let g = DependencyGraph::build(&p);
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(RuleId(0), RuleId(1)), (RuleId(0), RuleId(2))]);
+    }
+
+    /// The paper's Fig. 2 worked example: two specific permits shielded by
+    /// a narrow drop, a second permit/drop cluster on the other half of
+    /// the header space, and a catch-all drop that depends on every
+    /// permit. Hand-computed edge set:
+    /// r2 ← {r0, r1}, r4 ← {r3}, r5 ← {r0, r1, r3} — 6 edges.
+    fn fig2_policy() -> Policy {
+        pol(vec![
+            ("01**", Action::Permit), // r0
+            ("0*1*", Action::Permit), // r1
+            ("011*", Action::Drop),   // r2: shielded by r0 and r1
+            ("10**", Action::Permit), // r3
+            ("1***", Action::Drop),   // r4: shielded by r3 only
+            ("****", Action::Drop),   // r5: shielded by every permit
+        ])
+    }
+
+    #[test]
+    fn fig2_edge_count_regression() {
+        let p = fig2_policy();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.edge_count(), 6, "prune dropped or invented edges");
+        assert_eq!(g.permits_required_by(RuleId(2)), &[RuleId(0), RuleId(1)]);
+        assert_eq!(g.permits_required_by(RuleId(4)), &[RuleId(3)]);
+        assert_eq!(
+            g.permits_required_by(RuleId(5)),
+            &[RuleId(0), RuleId(1), RuleId(3)]
+        );
+        assert_eq!(g, DependencyGraph::build_naive(&p));
+    }
+
+    #[test]
+    fn pruned_build_matches_naive_on_random_policies() {
+        use flowplace_rng::{Rng, StdRng};
+        const WIDTH: u32 = 8;
+        let mut rng = StdRng::seed_from_u64(0xDE96_2026);
+        for case in 0..128 {
+            let n = rng.gen_range(1..40usize);
+            let specs: Vec<(Ternary, Action)> = (0..n)
+                .map(|_| {
+                    let care = rng.gen_range(0..(1u128 << WIDTH));
+                    let value = rng.gen_range(0..(1u128 << WIDTH));
+                    let action = if rng.gen_bool(0.5) {
+                        Action::Permit
+                    } else {
+                        Action::Drop
+                    };
+                    (Ternary::new(WIDTH, care, value), action)
+                })
+                .collect();
+            let p = Policy::from_ordered(specs).unwrap();
+            assert_eq!(
+                DependencyGraph::build(&p),
+                DependencyGraph::build_naive(&p),
+                "case {case}: pruned build diverged from naive oracle"
+            );
+        }
     }
 
     #[test]

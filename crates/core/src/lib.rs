@@ -79,6 +79,7 @@ mod instance;
 pub mod merge;
 pub mod monitor;
 mod objective;
+pub mod par;
 mod placement;
 pub mod slicing;
 pub mod tables;
@@ -90,6 +91,7 @@ pub use encode_ilp::MergeLinking;
 pub use instance::{Instance, InstanceError};
 pub use monitor::MonitorRequirement;
 pub use objective::Objective;
+pub use par::{ParOutcome, ParallelConfig, Provenance, StageTimes};
 pub use placement::{
     DependencyEncoding, PlaceError, Placement, PlacementOptions, PlacementOutcome, PlacementStats,
     PlacerEngine, RulePlacer, SolveStatus,

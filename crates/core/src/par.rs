@@ -1,0 +1,471 @@
+//! Deterministic parallel solve pipeline and portfolio solver.
+//!
+//! The optimize path splits into three stages, each parallelized with std
+//! scoped threads (no external dependencies):
+//!
+//! 1. **Dependency graphs** — one [`DependencyGraph`] per ingress policy,
+//!    built across worker threads ([`build_depgraphs`]).
+//! 2. **Candidates** — per-ingress candidate switch sets, built across
+//!    worker threads and merged into one [`CandidateMap`]
+//!    ([`build_candidates_par`]).
+//! 3. **Solve** — either the configured single engine, or a *portfolio*
+//!    race of ILP branch-and-bound against the PB-SAT feasibility
+//!    encoding with cooperative cancellation ([`solve`]).
+//!
+//! # Determinism contract
+//!
+//! With `portfolio: false`, the pipeline's output is byte-identical to
+//! the serial path for any thread count. Two rules make this hold:
+//!
+//! - **Merge-order rule.** Per-ingress partial results are merged by
+//!   *ingress id* (into ordered `BTreeMap`s keyed by ingress), never by
+//!   thread completion order. Worker scheduling can vary freely; the
+//!   merged maps cannot.
+//! - **One code path.** The parallel stages call the same pure
+//!   per-ingress functions the serial path calls, and stage 3 runs the
+//!   same encode/solve code the serial path runs, fed the (identical)
+//!   merged candidates.
+//!
+//! With `portfolio: true`, the *engine that answers* depends on wall
+//! clock, so only the weaker guarantee holds: the returned placement is
+//! feasible (both engines encode the same feasibility space) and the
+//! [`Provenance`] tag records which engine produced it. Portfolio mode is
+//! therefore opt-in and the differential oracle asserts byte-identity
+//! only for `portfolio: false`.
+//!
+//! # Cancellation protocol
+//!
+//! The portfolio gives each engine a private `AtomicBool`. The first
+//! engine to reach a *conclusive* outcome (a placement, or a proven
+//! infeasibility) claims victory with a `compare_exchange` on a shared
+//! winner slot and then sets the other engine's flag. Both solvers poll
+//! their flag cooperatively — the MIP at every branch-and-bound node, the
+//! CDCL solver every [`flowplace_pbsat::Solver::CANCEL_CHECK_INTERVAL`]
+//! search steps — back off to a clean state, and report
+//! [`SolveStatus::Unknown`]. The loser's partial work is discarded; only
+//! the winner's outcome is returned.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flowplace_topo::EntryPortId;
+
+use crate::candidates::{candidates_for_ingress, CandidateMap};
+use crate::depgraph::DependencyGraph;
+use crate::monitor::restrict_candidates;
+use crate::placement::{place_ilp_with, place_sat_with};
+use crate::{Instance, Objective, PlacementOptions, PlacementOutcome, PlacerEngine, SolveStatus};
+
+/// Parallel-pipeline configuration, carried in
+/// [`PlacementOptions::parallel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for the construction stages. `0` means auto-detect
+    /// ([`std::thread::available_parallelism`]); `1` (the default) is the
+    /// serial path.
+    pub threads: usize,
+    /// Race ILP branch-and-bound against the PB-SAT feasibility encoding
+    /// and return whichever concludes first (see the module docs for the
+    /// determinism caveat).
+    pub portfolio: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            portfolio: false,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The concrete worker count (`0` resolved to the machine's
+    /// available parallelism, min 1).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// True if this configuration departs from the plain serial path.
+    pub fn is_parallel(&self) -> bool {
+        self.portfolio || self.effective_threads() > 1
+    }
+}
+
+/// Which engine produced the returned outcome, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Single-engine solve (no race): the configured engine ran alone.
+    Single(PlacerEngine),
+    /// Portfolio race, won by this engine (it concluded first; the other
+    /// engine was cancelled).
+    Portfolio(PlacerEngine),
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = |e: &PlacerEngine| match e {
+            PlacerEngine::Ilp => "ilp",
+            PlacerEngine::Sat => "sat",
+        };
+        match self {
+            Provenance::Single(e) => write!(f, "single:{}", name(e)),
+            Provenance::Portfolio(e) => write!(f, "portfolio:{}", name(e)),
+        }
+    }
+}
+
+/// Wall time of each pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// Stage 1: per-ingress dependency-graph construction.
+    pub depgraphs: Duration,
+    /// Stage 2: candidate generation (including monitor restriction).
+    pub candidates: Duration,
+    /// Stage 3: the solve (single engine or portfolio race).
+    pub solve: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.depgraphs + self.candidates + self.solve
+    }
+}
+
+/// Result of the staged pipeline: the placement outcome plus provenance
+/// and per-stage timings.
+#[derive(Clone, Debug)]
+pub struct ParOutcome {
+    /// The placement outcome (same type the serial facade returns).
+    pub outcome: PlacementOutcome,
+    /// Which engine answered, and whether it won a race.
+    pub provenance: Provenance,
+    /// Per-stage wall times.
+    pub stages: StageTimes,
+}
+
+/// Splits `items` into at most `threads` contiguous chunks, maps each
+/// chunk on its own scoped thread, and returns the per-item results
+/// flattened back into *input order* — the merge-order rule: output
+/// position is decided by input position, never by completion order.
+fn map_chunked<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut results: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        // Joining in spawn order reassembles input order regardless of
+        // which worker finished first.
+        for h in handles {
+            results.extend(h.join().expect("pipeline worker panicked"));
+        }
+    });
+    results
+}
+
+/// Stage 1: builds the dependency graph of every ingress policy across
+/// `threads` workers. Keyed by ingress id, so the merged map is
+/// independent of scheduling.
+pub fn build_depgraphs(
+    instance: &Instance,
+    threads: usize,
+) -> BTreeMap<EntryPortId, DependencyGraph> {
+    let policies: Vec<_> = instance.policies().collect();
+    let graphs = map_chunked(policies, threads, |&(ingress, policy)| {
+        (ingress, DependencyGraph::build(policy))
+    });
+    graphs.into_iter().collect()
+}
+
+/// Stage 2: builds the candidate map from precomputed dependency graphs
+/// across `threads` workers, merged in ingress-id order.
+pub fn build_candidates_par(
+    instance: &Instance,
+    graphs: &BTreeMap<EntryPortId, DependencyGraph>,
+    threads: usize,
+) -> CandidateMap {
+    let work: Vec<(EntryPortId, &DependencyGraph)> =
+        graphs.iter().map(|(&ingress, g)| (ingress, g)).collect();
+    let per_ingress = map_chunked(work, threads, |&(ingress, graph)| {
+        (ingress, candidates_for_ingress(instance, ingress, graph))
+    });
+    let mut map = CandidateMap::new();
+    for (ingress, rules) in per_ingress {
+        for (rule, switches) in rules {
+            map.insert((ingress, rule), switches);
+        }
+    }
+    map
+}
+
+/// True if the outcome settles the instance: a placement was produced,
+/// or infeasibility was proven. Limit/cancellation outcomes are not
+/// conclusive and cannot win the portfolio race.
+fn conclusive(outcome: &PlacementOutcome) -> bool {
+    outcome.placement.is_some() || outcome.status == SolveStatus::Infeasible
+}
+
+const NO_WINNER: usize = 0;
+const ILP_WON: usize = 1;
+const SAT_WON: usize = 2;
+
+/// Stage 3 (portfolio): races the ILP and SAT engines over the same
+/// candidates; first conclusive engine wins and cancels the other.
+fn solve_portfolio(
+    options: &PlacementOptions,
+    instance: &Instance,
+    objective: &Objective,
+    candidates: &CandidateMap,
+) -> (PlacementOutcome, Provenance) {
+    let cancel_ilp = Arc::new(AtomicBool::new(false));
+    let cancel_sat = AtomicBool::new(false);
+    let winner = AtomicUsize::new(NO_WINNER);
+
+    let mut ilp_options = options.clone();
+    ilp_options.mip.cancel = Some(cancel_ilp.clone());
+
+    let (ilp_out, sat_out) = std::thread::scope(|s| {
+        let ilp = s.spawn(|| {
+            let out = place_ilp_with(&ilp_options, instance, objective, candidates);
+            if conclusive(&out)
+                && winner
+                    .compare_exchange(NO_WINNER, ILP_WON, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                cancel_sat.store(true, Ordering::Release);
+            }
+            out
+        });
+        let sat = s.spawn(|| {
+            let out = place_sat_with(options, instance, candidates, Some(&cancel_sat));
+            if conclusive(&out)
+                && winner
+                    .compare_exchange(NO_WINNER, SAT_WON, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                cancel_ilp.store(true, Ordering::Release);
+            }
+            out
+        });
+        (
+            ilp.join().expect("ILP portfolio thread panicked"),
+            sat.join().expect("SAT portfolio thread panicked"),
+        )
+    });
+
+    match winner.load(Ordering::Acquire) {
+        ILP_WON => (ilp_out, Provenance::Portfolio(PlacerEngine::Ilp)),
+        SAT_WON => (sat_out, Provenance::Portfolio(PlacerEngine::Sat)),
+        // Neither concluded (both hit limits / were inconclusive): fall
+        // back to the configured engine's report.
+        _ => match options.engine {
+            PlacerEngine::Ilp => (ilp_out, Provenance::Portfolio(PlacerEngine::Ilp)),
+            PlacerEngine::Sat => (sat_out, Provenance::Portfolio(PlacerEngine::Sat)),
+        },
+    }
+}
+
+/// Runs the full staged pipeline: parallel dependency graphs, parallel
+/// candidates, then the single-engine or portfolio solve, per
+/// `options.parallel`.
+///
+/// This is the engine behind [`crate::RulePlacer::place`] whenever
+/// [`ParallelConfig::is_parallel`] holds, and behind
+/// [`crate::RulePlacer::place_par`] always.
+pub fn solve(instance: &Instance, objective: Objective, options: &PlacementOptions) -> ParOutcome {
+    let threads = options.parallel.effective_threads();
+
+    let t = Instant::now();
+    let graphs = build_depgraphs(instance, threads);
+    let depgraphs = t.elapsed();
+
+    let t = Instant::now();
+    let mut candidates = build_candidates_par(instance, &graphs, threads);
+    restrict_candidates(instance, &mut candidates, &options.monitors);
+    let candidates_time = t.elapsed();
+
+    let t = Instant::now();
+    let (outcome, provenance) = if options.parallel.portfolio {
+        solve_portfolio(options, instance, &objective, &candidates)
+    } else {
+        let out = match options.engine {
+            PlacerEngine::Ilp => place_ilp_with(options, instance, &objective, &candidates),
+            PlacerEngine::Sat => place_sat_with(options, instance, &candidates, None),
+        };
+        (out, Provenance::Single(options.engine))
+    };
+    let solve_time = t.elapsed();
+
+    ParOutcome {
+        outcome,
+        provenance,
+        stages: StageTimes {
+            depgraphs,
+            candidates: candidates_time,
+            solve: solve_time,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::build_candidates;
+    use flowplace_acl::{Action, Policy, Ternary};
+    use flowplace_routing::{Route, RouteSet};
+    use flowplace_topo::{SwitchId, Topology};
+
+    fn t(s: &str) -> Ternary {
+        Ternary::parse(s).unwrap()
+    }
+
+    /// A small instance with several ingresses so the chunked stages
+    /// actually split work.
+    fn multi_ingress_instance() -> Instance {
+        let mut topo = Topology::star(4);
+        topo.set_uniform_capacity(16);
+        let mut routes = RouteSet::new();
+        let mut policies = Vec::new();
+        for i in 0..4usize {
+            let ingress = EntryPortId(i);
+            let egress = EntryPortId((i + 1) % 4);
+            routes.push(Route::new(
+                ingress,
+                egress,
+                vec![SwitchId(i + 1), SwitchId(0), SwitchId((i + 1) % 4 + 1)],
+            ));
+            let policy = Policy::from_ordered(vec![
+                (t("11**"), Action::Permit),
+                (t("1***"), Action::Drop),
+                (t("0101"), Action::Drop),
+            ])
+            .unwrap();
+            policies.push((ingress, policy));
+        }
+        Instance::new(topo, routes, policies).unwrap()
+    }
+
+    #[test]
+    fn parallel_stages_match_serial_construction() {
+        let inst = multi_ingress_instance();
+        for threads in [1, 2, 3, 8] {
+            let graphs = build_depgraphs(&inst, threads);
+            assert_eq!(graphs.len(), 4);
+            for (ingress, policy) in inst.policies() {
+                assert_eq!(graphs[&ingress], DependencyGraph::build(policy));
+            }
+            let cand = build_candidates_par(&inst, &graphs, threads);
+            assert_eq!(cand, build_candidates(&inst), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipeline_without_portfolio_matches_serial_place() {
+        let inst = multi_ingress_instance();
+        let serial = crate::RulePlacer::new(PlacementOptions::default())
+            .place(&inst, Objective::TotalRules)
+            .unwrap();
+        let mut options = PlacementOptions {
+            parallel: ParallelConfig {
+                threads: 4,
+                portfolio: false,
+            },
+            ..PlacementOptions::default()
+        };
+        let par = solve(&inst, Objective::TotalRules, &options);
+        assert_eq!(par.provenance, Provenance::Single(PlacerEngine::Ilp));
+        assert_eq!(par.outcome.placement, serial.placement);
+        assert_eq!(par.outcome.status, serial.status);
+        // The facade routes through the pipeline for parallel configs.
+        options.parallel.threads = 3;
+        let routed = crate::RulePlacer::new(options)
+            .place(&inst, Objective::TotalRules)
+            .unwrap();
+        assert_eq!(routed.placement, serial.placement);
+    }
+
+    #[test]
+    fn portfolio_returns_verified_placement_with_provenance() {
+        let inst = multi_ingress_instance();
+        let options = PlacementOptions {
+            parallel: ParallelConfig {
+                threads: 2,
+                portfolio: true,
+            },
+            ..PlacementOptions::default()
+        };
+        let par = solve(&inst, Objective::TotalRules, &options);
+        assert!(matches!(par.provenance, Provenance::Portfolio(_)));
+        let placement = par.outcome.placement.expect("instance is feasible");
+        let report = crate::verify::verify_placement(&inst, &placement, 64, 0xF01D);
+        assert!(report.is_ok(), "portfolio placement failed verify");
+    }
+
+    #[test]
+    fn portfolio_agrees_on_infeasibility() {
+        // Capacity 0 on every switch with a non-empty policy: infeasible.
+        let mut topo = Topology::linear(2);
+        topo.set_uniform_capacity(0);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(1),
+            vec![SwitchId(0), SwitchId(1)],
+        ));
+        let policy =
+            Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+                .unwrap();
+        let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
+        let options = PlacementOptions {
+            parallel: ParallelConfig {
+                threads: 2,
+                portfolio: true,
+            },
+            ..PlacementOptions::default()
+        };
+        let par = solve(&inst, Objective::TotalRules, &options);
+        assert_eq!(par.outcome.status, SolveStatus::Infeasible);
+        assert!(par.outcome.placement.is_none());
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let auto = ParallelConfig {
+            threads: 0,
+            portfolio: false,
+        };
+        assert!(auto.effective_threads() >= 1);
+        assert!(auto.is_parallel() || auto.effective_threads() == 1);
+        assert!(!ParallelConfig::default().is_parallel());
+    }
+
+    #[test]
+    fn provenance_display() {
+        assert_eq!(
+            Provenance::Single(PlacerEngine::Ilp).to_string(),
+            "single:ilp"
+        );
+        assert_eq!(
+            Provenance::Portfolio(PlacerEngine::Sat).to_string(),
+            "portfolio:sat"
+        );
+    }
+}

@@ -8,12 +8,13 @@ use flowplace_acl::RuleId;
 use flowplace_milp::{solve_mip_lazy, MipOptions, MipStatus};
 use flowplace_topo::{EntryPortId, SwitchId};
 
-use crate::candidates::build_candidates;
+use crate::candidates::{build_candidates, CandidateMap};
 use crate::encode_ilp::{EncodeOptions, IlpEncoding, MergeLinking};
 use crate::encode_sat::SatEncoding;
 use crate::greedy;
 use crate::merge::MergeGroup;
 use crate::monitor::{restrict_candidates, MonitorRequirement};
+use crate::par::ParallelConfig;
 use crate::{Instance, Objective};
 
 pub use crate::encode_ilp::DependencyEncoding;
@@ -214,6 +215,9 @@ pub struct PlacementOptions {
     pub monitors: Vec<MonitorRequirement>,
     /// Branch-and-bound options (time/node limits, tolerances).
     pub mip: MipOptions,
+    /// Parallel-pipeline configuration (threads, portfolio racing). The
+    /// default (`threads: 1`, `portfolio: false`) is the serial path.
+    pub parallel: ParallelConfig,
 }
 
 /// High-level facade: encode, solve, decode.
@@ -262,90 +266,120 @@ impl RulePlacer {
         instance: &Instance,
         objective: Objective,
     ) -> Result<PlacementOutcome, PlaceError> {
+        if self.options.parallel.is_parallel() {
+            return Ok(crate::par::solve(instance, objective, &self.options).outcome);
+        }
+        let mut candidates = build_candidates(instance);
+        restrict_candidates(instance, &mut candidates, &self.options.monitors);
         match self.options.engine {
-            PlacerEngine::Ilp => Ok(self.place_ilp(instance, &objective)),
-            PlacerEngine::Sat => Ok(self.place_sat(instance)),
+            PlacerEngine::Ilp => Ok(place_ilp_with(
+                &self.options,
+                instance,
+                &objective,
+                &candidates,
+            )),
+            PlacerEngine::Sat => Ok(place_sat_with(&self.options, instance, &candidates, None)),
         }
     }
 
-    fn place_ilp(&self, instance: &Instance, objective: &Objective) -> PlacementOutcome {
-        let start = Instant::now();
-        let mut candidates = build_candidates(instance);
-        restrict_candidates(instance, &mut candidates, &self.options.monitors);
-        let enc = IlpEncoding::build_with_candidates(
-            instance,
-            objective,
-            &EncodeOptions {
-                dependency: self.options.dependency,
-                merging: self.options.merging,
-                merge_linking: self.options.merge_linking,
-            },
-            &candidates,
-        );
-        let mut mip = self.options.mip.clone();
-        if self.options.greedy_warm_start && self.options.monitors.is_empty() {
-            // The greedy heuristic is monitor-oblivious; only use it as a
-            // warm start when no monitors constrain placement.
-            if let Some(p) = greedy::greedy_place(instance) {
-                mip.initial_solution = enc.warm_start(&p);
-            }
-        }
-        let lazy = self.options.dependency == DependencyEncoding::Lazy;
-        let out = solve_mip_lazy(&enc.model, &mip, &mut |vals| {
-            if lazy {
-                enc.violated_dependencies(vals)
-            } else {
-                Vec::new()
-            }
-        });
-        let status = match out.status {
-            MipStatus::Optimal => SolveStatus::Optimal,
-            MipStatus::Feasible => SolveStatus::Feasible,
-            MipStatus::Infeasible => SolveStatus::Infeasible,
-            MipStatus::Unknown => SolveStatus::Unknown,
-            // A malformed model / broken solver invariant proves nothing
-            // about feasibility.
-            MipStatus::Error => SolveStatus::Unknown,
-        };
-        let placement = out.best.as_ref().map(|b| enc.decode(&b.values));
-        PlacementOutcome {
-            placement,
-            status,
-            objective: out.best.as_ref().map(|b| b.objective),
-            stats: PlacementStats {
-                variables: enc.num_placement_vars,
-                constraints: enc.model.num_constraints(),
-                nodes: out.nodes,
-                lp_iterations: out.lp_iterations,
-                lazy_rows: out.lazy_rows_added,
-                elapsed: start.elapsed(),
-            },
+    /// Like [`place`](Self::place), but always runs the staged
+    /// [`crate::par`] pipeline and reports its provenance and per-stage
+    /// wall times alongside the outcome.
+    pub fn place_par(&self, instance: &Instance, objective: Objective) -> crate::par::ParOutcome {
+        crate::par::solve(instance, objective, &self.options)
+    }
+}
+
+/// ILP solve over already-built (and already monitor-restricted)
+/// candidates. Shared by the serial path, the parallel pipeline, and the
+/// portfolio racer — keeping them on one code path is what makes the
+/// serial/parallel byte-identity contract hold.
+pub(crate) fn place_ilp_with(
+    options: &PlacementOptions,
+    instance: &Instance,
+    objective: &Objective,
+    candidates: &CandidateMap,
+) -> PlacementOutcome {
+    let start = Instant::now();
+    let enc = IlpEncoding::build_with_candidates(
+        instance,
+        objective,
+        &EncodeOptions {
+            dependency: options.dependency,
+            merging: options.merging,
+            merge_linking: options.merge_linking,
+        },
+        candidates,
+    );
+    let mut mip = options.mip.clone();
+    if options.greedy_warm_start && options.monitors.is_empty() {
+        // The greedy heuristic is monitor-oblivious; only use it as a
+        // warm start when no monitors constrain placement.
+        if let Some(p) = greedy::greedy_place(instance) {
+            mip.initial_solution = enc.warm_start(&p);
         }
     }
-
-    fn place_sat(&self, instance: &Instance) -> PlacementOutcome {
-        let start = Instant::now();
-        let mut candidates = build_candidates(instance);
-        restrict_candidates(instance, &mut candidates, &self.options.monitors);
-        let mut enc =
-            SatEncoding::build_with_candidates(instance, self.options.merging, &candidates);
-        let (placement, status) = match enc.solve() {
-            Some(p) => (Some(p), SolveStatus::Optimal),
-            None => (None, SolveStatus::Infeasible),
-        };
-        PlacementOutcome {
-            placement,
-            status,
-            objective: None,
-            stats: PlacementStats {
-                variables: enc.num_placement_vars(),
-                constraints: enc.constraint_count(),
-                nodes: enc.conflicts() as usize,
-                lp_iterations: 0,
-                lazy_rows: 0,
-                elapsed: start.elapsed(),
-            },
+    let lazy = options.dependency == DependencyEncoding::Lazy;
+    let out = solve_mip_lazy(&enc.model, &mip, &mut |vals| {
+        if lazy {
+            enc.violated_dependencies(vals)
+        } else {
+            Vec::new()
         }
+    });
+    let status = match out.status {
+        MipStatus::Optimal => SolveStatus::Optimal,
+        MipStatus::Feasible => SolveStatus::Feasible,
+        MipStatus::Infeasible => SolveStatus::Infeasible,
+        MipStatus::Unknown => SolveStatus::Unknown,
+        // A malformed model / broken solver invariant proves nothing
+        // about feasibility.
+        MipStatus::Error => SolveStatus::Unknown,
+    };
+    let placement = out.best.as_ref().map(|b| enc.decode(&b.values));
+    PlacementOutcome {
+        placement,
+        status,
+        objective: out.best.as_ref().map(|b| b.objective),
+        stats: PlacementStats {
+            variables: enc.num_placement_vars,
+            constraints: enc.model.num_constraints(),
+            nodes: out.nodes,
+            lp_iterations: out.lp_iterations,
+            lazy_rows: out.lazy_rows_added,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+/// SAT solve over already-built (and already monitor-restricted)
+/// candidates, optionally cancellable (the portfolio racer's loser is
+/// interrupted through `cancel` and reports [`SolveStatus::Unknown`]).
+pub(crate) fn place_sat_with(
+    options: &PlacementOptions,
+    instance: &Instance,
+    candidates: &CandidateMap,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+) -> PlacementOutcome {
+    let start = Instant::now();
+    let mut enc = SatEncoding::build_with_candidates(instance, options.merging, candidates);
+    let (placement, status) = match enc.solve_interruptible(cancel) {
+        Some(Some(p)) => (Some(p), SolveStatus::Optimal),
+        Some(None) => (None, SolveStatus::Infeasible),
+        None => (None, SolveStatus::Unknown), // interrupted before a verdict
+    };
+    PlacementOutcome {
+        placement,
+        status,
+        objective: None,
+        stats: PlacementStats {
+            variables: enc.num_placement_vars(),
+            constraints: enc.constraint_count(),
+            nodes: enc.conflicts() as usize,
+            lp_iterations: 0,
+            lazy_rows: 0,
+            elapsed: start.elapsed(),
+        },
     }
 }
 

@@ -273,6 +273,33 @@ pub fn verify_placement_excluding(
     )
 }
 
+/// One-sided check of a placement: emits its tables and verifies that no
+/// packet any ingress policy DROPs is permitted on any route
+/// ([`VerifyMode::NoFalseNegatives`]). This is the paper's §IV-A
+/// security guarantee in isolation — weaker than [`verify_placement`]
+/// (extra drops are tolerated), so it is the right oracle for engines
+/// that are only required to be fail-closed.
+///
+/// # Errors
+///
+/// The first false negative found, or a table-emission failure.
+pub fn no_false_negatives(
+    instance: &Instance,
+    placement: &Placement,
+    random_per_route: usize,
+    seed: u64,
+) -> Result<(), VerifyError> {
+    let tables = emit_tables(instance, placement)?;
+    verify_tables(
+        instance,
+        &tables,
+        random_per_route,
+        seed,
+        VerifyMode::NoFalseNegatives,
+        |_| true,
+    )
+}
+
 /// Exhaustive variant of [`verify_placement`]: checks *every* packet of
 /// the policies' match width on every route (restricted to the route's
 /// flow when present). Complete — a passing result is a proof of

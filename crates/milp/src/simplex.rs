@@ -8,6 +8,9 @@
 //! step") handling for boxed variables.
 #![allow(clippy::needless_range_loop)] // dense kernels index several arrays at once
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::model::{Cmp, Model, Sense};
 use crate::status::{LpOutcome, LpSolution, SolveError};
 
@@ -18,6 +21,16 @@ pub struct LpOptions {
     pub max_iterations: usize,
     /// Reduced-cost / pivot tolerance.
     pub tolerance: f64,
+    /// Cooperative cancellation flag, polled once per simplex iteration
+    /// (each iteration is `O(m²)` work, so the poll is free). A cancelled
+    /// solve reports [`LpOutcome::IterationLimit`] — large root LPs must
+    /// be interruptible or the portfolio racer would block on them.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Hard wall-clock deadline, checked once per iteration. An expired
+    /// solve reports [`LpOutcome::IterationLimit`]. The MIP driver
+    /// derives this from its own time limit so a single oversized LP
+    /// cannot overshoot the budget by more than one iteration.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for LpOptions {
@@ -25,6 +38,8 @@ impl Default for LpOptions {
         LpOptions {
             max_iterations: 200_000,
             tolerance: 1e-9,
+            cancel: None,
+            deadline: None,
         }
     }
 }
@@ -129,6 +144,10 @@ struct Simplex {
     xb: Vec<f64>,
     iterations: usize,
     max_iterations: usize,
+    /// Cooperative cancellation flag (see [`LpOptions::cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline (see [`LpOptions::deadline`]).
+    deadline: Option<std::time::Instant>,
     tol: f64,
     /// Consecutive (near-)degenerate pivots; triggers Bland's rule.
     degenerate_streak: usize,
@@ -246,6 +265,8 @@ impl Simplex {
             xb,
             iterations: 0,
             max_iterations: options.max_iterations,
+            cancel: options.cancel.clone(),
+            deadline: options.deadline,
             tol: options.tolerance,
             degenerate_streak: 0,
             art_start: art_candidate,
@@ -408,6 +429,16 @@ impl Simplex {
             }
             if self.iterations >= self.max_iterations {
                 return PhaseResult::IterationLimit;
+            }
+            if let Some(cancel) = &self.cancel {
+                if cancel.load(Ordering::Relaxed) {
+                    return PhaseResult::IterationLimit;
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return PhaseResult::IterationLimit;
+                }
             }
             self.iterations += 1;
             let use_bland = self.degenerate_streak > 200;

@@ -1,6 +1,7 @@
 //! The CDCL search engine.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
 use crate::pb::PbConstraint;
 use crate::{Lit, Var};
@@ -624,30 +625,61 @@ impl Solver {
         best.map(|(v, _)| Var(v as u32))
     }
 
+    /// How many search steps (propagate/decide rounds) pass between two
+    /// polls of the cancellation flag in
+    /// [`solve_interruptible`](Self::solve_interruptible). Coarse enough
+    /// that polling is free, fine enough that cancellation latency is
+    /// far below any solve worth cancelling.
+    pub const CANCEL_CHECK_INTERVAL: u64 = 1024;
+
     /// Decides satisfiability of the current database.
     ///
     /// The solver is reusable: more clauses/constraints may be added after
     /// a solve, and `solve` called again.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_interruptible(None)
+            .expect("uninterrupted solve always concludes")
+    }
+
+    /// Like [`solve`](Self::solve), but polls `cancel` every
+    /// [`CANCEL_CHECK_INTERVAL`](Self::CANCEL_CHECK_INTERVAL) search steps
+    /// (decisions + conflicts). Returns `None` if the flag was observed
+    /// set before a verdict was reached; the solver backtracks to decision
+    /// level 0 first, so it stays reusable (clauses learnt so far are
+    /// kept, and a later call resumes from them).
+    pub fn solve_interruptible(&mut self, cancel: Option<&AtomicBool>) -> Option<SatResult> {
         if !self.ok {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.ok = false;
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
 
         let mut restart_idx = 0u64;
         let mut conflicts_until_restart = 100 * luby(restart_idx);
+        // Poll on the very first step (an already-set flag interrupts
+        // deterministically), then every CANCEL_CHECK_INTERVAL steps.
+        let mut steps_until_poll = 1;
 
         loop {
+            if let Some(flag) = cancel {
+                steps_until_poll -= 1;
+                if steps_until_poll == 0 {
+                    steps_until_poll = Self::CANCEL_CHECK_INTERVAL;
+                    if flag.load(AtomicOrdering::Relaxed) {
+                        self.cancel_until(0);
+                        return None;
+                    }
+                }
+            }
             match self.propagate() {
                 Some(conflict) => {
                     self.stats.conflicts += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
-                        return SatResult::Unsat;
+                        return Some(SatResult::Unsat);
                     }
                     let (learnt, blevel) = self.analyze(conflict);
                     self.cancel_until(blevel);
@@ -678,7 +710,7 @@ impl Solver {
                             let model = Model { values };
                             debug_assert!(self.model_consistent(&model));
                             self.cancel_until(0);
-                            return SatResult::Sat(model);
+                            return Some(SatResult::Sat(model));
                         }
                         Some(v) => {
                             self.stats.decisions += 1;
@@ -785,6 +817,39 @@ mod tests {
         for l in &v {
             assert!(m.lit_value(*l));
         }
+    }
+
+    #[test]
+    fn preset_cancel_flag_interrupts_and_solver_stays_reusable() {
+        // The flag is polled before the first search step, so a pre-set
+        // flag always interrupts before any verdict.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| (0..5).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..5 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        let flag = AtomicBool::new(true);
+        assert_eq!(s.solve_interruptible(Some(&flag)), None);
+        // Interruption left the solver at level 0; a plain solve still
+        // reaches the right verdict.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unset_cancel_flag_does_not_change_verdict() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[!v[0], v[2]]);
+        let flag = AtomicBool::new(false);
+        let r = s.solve_interruptible(Some(&flag)).expect("concludes");
+        assert!(r.is_sat());
     }
 
     #[test]

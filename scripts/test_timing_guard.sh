@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 test timing guard.
+#
+# Runs the tier-1 test suite (root-package tests against the release
+# build, same command as `make test`) under a wall-clock budget of 2x
+# the recorded baseline in scripts/test_timing_baseline.txt. A quietly
+# 10x-slower suite is a regression like any other — usually a solver
+# path that lost a bound or a test that grew a hidden sweep — and this
+# guard turns it into a CI failure instead of a slow drift.
+#
+# To re-record the baseline after an intentional change, run the suite a
+# few times on the reference machine and put a value with comfortable
+# headroom (CI VMs are slower than dev boxes) into the baseline file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline_file="scripts/test_timing_baseline.txt"
+baseline=$(grep -Ev '^\s*(#|$)' "$baseline_file" | head -n 1 | tr -d '[:space:]')
+if ! [[ "$baseline" =~ ^[0-9]+$ ]] || [ "$baseline" -eq 0 ]; then
+    echo "error: $baseline_file must contain a positive integer number of seconds" >&2
+    exit 2
+fi
+limit=$((baseline * 2))
+
+start=$(date +%s)
+cargo test -q --offline
+end=$(date +%s)
+elapsed=$((end - start))
+
+echo "tier-1 test wall time: ${elapsed}s (recorded baseline ${baseline}s, limit ${limit}s)"
+if [ "$elapsed" -gt "$limit" ]; then
+    echo "FAIL: tier-1 tests took ${elapsed}s, exceeding 2x the recorded baseline of ${baseline}s." >&2
+    echo "If the slowdown is intentional, re-record $baseline_file (see header comment)." >&2
+    exit 1
+fi

@@ -41,6 +41,8 @@ place flags:
   --engine ilp|sat     optimizing ILP or feasibility-only PB-SAT [ilp]
   --objective rules|distance   minimize total rules or push drops upstream
   --time-limit SECS    branch-and-bound budget                   [60]
+  --threads N          pipeline worker threads (0 = auto-detect) [1]
+  --portfolio          race ILP against PB-SAT, first verdict wins
   --verify             golden-model check of the deployment
   --tables             print the emitted per-switch tables
   --export-lp FILE     also write the ILP in CPLEX LP format
@@ -58,6 +60,8 @@ ctrl replay flags:
   --topo SPEC          fat-tree:K | leaf-spine:S,L,H | linear:N  [linear:4]
   --capacity N         TCAM slots per switch                     [16]
   --batch N            events coalesced per epoch                [8]
+  --threads N          pipeline worker threads (0 = auto-detect) [1]
+  --portfolio          race ILP against PB-SAT on full solves
   --verbose            print every event outcome, not just epochs
   --faults FILE        scripted fault schedule (grammar below)
   --fault-seed N       seed for probabilistic fault draws        [0]
@@ -101,7 +105,13 @@ fn main() -> ExitCode {
 
 /// Splits `args` into `--flag value` pairs and bare switches.
 fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
-    const SWITCHES: &[&str] = &["--merging", "--verify", "--tables", "--verbose"];
+    const SWITCHES: &[&str] = &[
+        "--merging",
+        "--verify",
+        "--tables",
+        "--verbose",
+        "--portfolio",
+    ];
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter().peekable();
@@ -242,6 +252,10 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
         Some(other) => return Err(format!("unknown objective {other:?}")),
     };
     let time_limit = get_usize(&flags, "time-limit", 60)? as u64;
+    let parallel = ParallelConfig {
+        threads: get_usize(&flags, "threads", 1)?,
+        portfolio: flags.contains_key("portfolio"),
+    };
     let options = PlacementOptions {
         engine,
         merging: flags.contains_key("merging"),
@@ -250,6 +264,7 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
             time_limit: Some(std::time::Duration::from_secs(time_limit)),
             ..MipOptions::default()
         },
+        parallel,
         ..PlacementOptions::default()
     };
 
@@ -267,9 +282,23 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
         println!("wrote LP model to {path}");
     }
 
-    let outcome = RulePlacer::new(options)
-        .place(&instance, objective)
-        .expect("placement is infallible");
+    let placer = RulePlacer::new(options);
+    let outcome = if parallel.is_parallel() {
+        let par = placer.place_par(&instance, objective);
+        println!(
+            "pipeline: {} threads, engine {} (stages: deps {:?}, candidates {:?}, solve {:?})",
+            parallel.effective_threads(),
+            par.provenance,
+            par.stages.depgraphs,
+            par.stages.candidates,
+            par.stages.solve
+        );
+        par.outcome
+    } else {
+        placer
+            .place(&instance, objective)
+            .expect("placement is infallible")
+    };
     println!(
         "status: {} in {:?} ({} vars, {} rows, {} nodes)",
         outcome.status,
@@ -393,8 +422,16 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     }
     let faulty = faults.is_active();
 
+    let placement = flowplace::core::PlacementOptions {
+        parallel: ParallelConfig {
+            threads: get_usize(&flags, "threads", 1)?,
+            portfolio: flags.contains_key("portfolio"),
+        },
+        ..flowplace::core::PlacementOptions::default()
+    };
     let options = CtrlOptions {
         batch_size: get_usize(&flags, "batch", 8)?,
+        placement,
         faults,
         retry: RetryPolicy {
             max_attempts: get_usize(&flags, "retries", 4)? as u32,

@@ -72,8 +72,9 @@ pub use flowplace_core::{
 pub mod prelude {
     pub use flowplace_acl::{Action, Packet, Policy, Rule, RuleId, Ternary};
     pub use flowplace_core::{
-        DependencyEncoding, Instance, Objective, Placement, PlacementOptions, PlacementOutcome,
-        PlacerEngine, RulePlacer, SolveStatus,
+        DependencyEncoding, Instance, Objective, ParOutcome, ParallelConfig, Placement,
+        PlacementOptions, PlacementOutcome, PlacerEngine, Provenance, RulePlacer, SolveStatus,
+        StageTimes,
     };
     pub use flowplace_ctrl::{Controller, CtrlOptions, CtrlStats, Event, Tier};
     pub use flowplace_routing::{Route, RouteId, RouteSet};

@@ -1,0 +1,267 @@
+//! Differential oracle for the parallel solve pipeline.
+//!
+//! Two guarantees are exercised over a corpus of seeded ClassBench
+//! instances:
+//!
+//! 1. **Byte-identity** — with `portfolio: false`, the parallel pipeline
+//!    must return exactly the serial result (same placement, status, and
+//!    objective) for any thread count. This is the determinism contract
+//!    of `flowplace_core::par` (one code path + merge-order rule).
+//! 2. **Fail-closed engines** — every placement any engine produces
+//!    (ILP, greedy heuristic, PB-SAT) must pass the one-sided
+//!    `verify::no_false_negatives` check: no packet a policy DROPs may
+//!    traverse the deployed tables.
+//!
+//! On a mismatch the harness *shrinks* the instance (fewer rules, then
+//! fewer ingresses) while the failure persists and panics with the
+//! minimal offending configuration, so a regression reproduces with one
+//! seed instead of a corpus bisect.
+
+use flowplace::classbench::{Generator, Profile};
+use flowplace::core::par::ParallelConfig;
+use flowplace::core::verify;
+use flowplace::core::{greedy, Instance};
+use flowplace::prelude::*;
+use flowplace::rng::{Rng, StdRng};
+use flowplace::routing::shortest;
+
+/// Number of seeded instances in the corpus (the issue floor is 32).
+const CORPUS: u64 = 32;
+
+/// One corpus configuration, derived deterministically from its seed.
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    seed: u64,
+    ingresses: usize,
+    rules: usize,
+    capacity: usize,
+}
+
+impl Config {
+    /// Derives a small-but-varied instance shape from the seed: 2–4
+    /// tenants, 6–14 rules each, capacities straddling the feasibility
+    /// boundary so infeasible instances are part of the corpus too.
+    fn from_seed(seed: u64) -> Config {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_2026);
+        Config {
+            seed,
+            ingresses: rng.gen_range(2usize..5),
+            rules: rng.gen_range(6usize..15),
+            capacity: rng.gen_range(8usize..61),
+        }
+    }
+
+    fn build(&self) -> Instance {
+        let mut topo = Topology::fat_tree(4);
+        topo.set_uniform_capacity(self.capacity);
+        let routes: RouteSet = shortest::routes_per_ingress(&topo, 2, self.seed)
+            .iter()
+            .filter(|r| r.ingress.0 < self.ingresses)
+            .cloned()
+            .collect();
+        let generator = Generator::new(Profile::Firewall, 16).with_seed(self.seed ^ 0xACE1);
+        let policies: Vec<(EntryPortId, Policy)> = (0..self.ingresses)
+            .map(|i| (EntryPortId(i), generator.policy(self.rules, i as u64)))
+            .collect();
+        Instance::new(topo, routes, policies).expect("corpus instance is valid")
+    }
+}
+
+fn serial_options() -> PlacementOptions {
+    PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    }
+}
+
+/// Checks byte-identity between the serial path and the parallel
+/// pipeline (portfolio off) on one configuration. `Err` carries a
+/// human-readable mismatch description.
+fn check_identity(cfg: &Config, threads: usize) -> Result<(), String> {
+    let instance = cfg.build();
+    let serial = RulePlacer::new(serial_options())
+        .place(&instance, Objective::TotalRules)
+        .expect("placement never errors");
+    let par_options = PlacementOptions {
+        parallel: ParallelConfig {
+            threads,
+            portfolio: false,
+        },
+        ..serial_options()
+    };
+    let par = RulePlacer::new(par_options).place_par(&instance, Objective::TotalRules);
+    if par.outcome.status != serial.status {
+        return Err(format!(
+            "status diverged: serial {:?}, parallel {:?}",
+            serial.status, par.outcome.status
+        ));
+    }
+    if par.outcome.objective != serial.objective {
+        return Err(format!(
+            "objective diverged: serial {:?}, parallel {:?}",
+            serial.objective, par.outcome.objective
+        ));
+    }
+    if par.outcome.placement != serial.placement {
+        return Err("placements diverged".to_string());
+    }
+    if format!("{}", par.provenance) != "single:ilp" {
+        return Err(format!(
+            "non-portfolio run must report single-engine provenance, got {}",
+            par.provenance
+        ));
+    }
+    Ok(())
+}
+
+/// Shrinks a failing configuration: first fewer rules, then fewer
+/// ingresses, keeping every step that still fails. Returns the minimal
+/// failing configuration and its failure message.
+fn shrink(
+    mut cfg: Config,
+    mut reason: String,
+    still_fails: impl Fn(&Config) -> Result<(), String>,
+) -> (Config, String) {
+    loop {
+        let mut candidates = Vec::new();
+        if cfg.rules > 1 {
+            candidates.push(Config {
+                rules: cfg.rules - 1,
+                ..cfg
+            });
+        }
+        if cfg.ingresses > 1 {
+            candidates.push(Config {
+                ingresses: cfg.ingresses - 1,
+                ..cfg
+            });
+        }
+        let next = candidates
+            .into_iter()
+            .find_map(|c| still_fails(&c).err().map(|r| (c, r)));
+        match next {
+            Some((c, r)) => {
+                cfg = c;
+                reason = r;
+            }
+            None => return (cfg, reason),
+        }
+    }
+}
+
+fn fail_shrunk(
+    cfg: Config,
+    reason: String,
+    what: &str,
+    still_fails: impl Fn(&Config) -> Result<(), String>,
+) -> ! {
+    let original = cfg;
+    let (minimal, reason) = shrink(cfg, reason, still_fails);
+    panic!(
+        "{what} failed: {reason}\n  offending seed: {} (shrunk to ingresses={} rules={} \
+         capacity={} from ingresses={} rules={})\n  reproduce: Config {{ seed: {}, ingresses: \
+         {}, rules: {}, capacity: {} }}",
+        minimal.seed,
+        minimal.ingresses,
+        minimal.rules,
+        minimal.capacity,
+        original.ingresses,
+        original.rules,
+        minimal.seed,
+        minimal.ingresses,
+        minimal.rules,
+        minimal.capacity,
+    );
+}
+
+#[test]
+fn parallel_pipeline_is_byte_identical_to_serial() {
+    for seed in 0..CORPUS {
+        let cfg = Config::from_seed(seed);
+        // 4 worker threads exercises chunked fan-out even on small
+        // instances (more threads than ingresses on some seeds).
+        if let Err(reason) = check_identity(&cfg, 4) {
+            fail_shrunk(cfg, reason, "byte-identity (4 threads)", |c| {
+                check_identity(c, 4)
+            });
+        }
+        // threads=0 resolves to the machine's parallelism — identity
+        // must hold for ANY thread count, including auto.
+        if let Err(reason) = check_identity(&cfg, 0) {
+            fail_shrunk(cfg, reason, "byte-identity (auto threads)", |c| {
+                check_identity(c, 0)
+            });
+        }
+    }
+}
+
+/// Runs one engine on the instance and checks its placement (when one
+/// exists) for false negatives.
+fn check_fail_closed(cfg: &Config, engine: &str) -> Result<(), String> {
+    let instance = cfg.build();
+    let placement = match engine {
+        "greedy" => greedy::greedy_place(&instance),
+        "ilp" | "sat" => {
+            let options = PlacementOptions {
+                engine: if engine == "sat" {
+                    PlacerEngine::Sat
+                } else {
+                    PlacerEngine::Ilp
+                },
+                ..serial_options()
+            };
+            RulePlacer::new(options)
+                .place(&instance, Objective::TotalRules)
+                .expect("placement never errors")
+                .placement
+        }
+        other => unreachable!("unknown engine {other}"),
+    };
+    let Some(placement) = placement else {
+        // Infeasible (or greedy gave up): nothing deployed, nothing to
+        // verify — the corpus intentionally includes such capacities.
+        return Ok(());
+    };
+    verify::no_false_negatives(&instance, &placement, 64, cfg.seed)
+        .map_err(|e| format!("{engine} placement leaks a dropped packet: {e}"))
+}
+
+#[test]
+fn ilp_greedy_and_sat_placements_are_fail_closed() {
+    for seed in 0..CORPUS {
+        let cfg = Config::from_seed(seed);
+        for engine in ["ilp", "greedy", "sat"] {
+            if let Err(reason) = check_fail_closed(&cfg, engine) {
+                fail_shrunk(cfg, reason, "fail-closed check", |c| {
+                    check_fail_closed(c, engine)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_is_nontrivial() {
+    // Guard the corpus itself: the seeds must produce varied shapes and
+    // at least one feasible instance, or the two tests above would pass
+    // vacuously.
+    let configs: Vec<Config> = (0..CORPUS).map(Config::from_seed).collect();
+    assert!(configs.len() >= 32, "issue requires >= 32 seeded instances");
+    let distinct_shapes: std::collections::BTreeSet<(usize, usize)> =
+        configs.iter().map(|c| (c.ingresses, c.rules)).collect();
+    assert!(distinct_shapes.len() >= 8, "corpus shapes are too uniform");
+    let feasible = configs
+        .iter()
+        .filter(|c| {
+            RulePlacer::new(serial_options())
+                .place(&c.build(), Objective::TotalRules)
+                .expect("placement never errors")
+                .placement
+                .is_some()
+        })
+        .count();
+    assert!(
+        feasible >= CORPUS as usize / 2,
+        "only {feasible}/{CORPUS} corpus instances are feasible"
+    );
+}

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy build test test-all timing-guard bench-json bench-json-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke replay-demo chaos clean
 
 all: ci
 
@@ -43,6 +43,16 @@ bench-json:
 ## bench-json-smoke: single-sample schema-validation run (CI).
 bench-json-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
+
+## bench-incremental: cold vs warm controller epoch re-solves
+## (BENCH_incremental.json) over checkpoint/rollback update streams;
+## asserts warm stays byte-identical to cold after every epoch.
+bench-incremental:
+	$(CARGO) run --release --offline -p flowplace-bench --bin incremental_bench
+
+## bench-incremental-smoke: short schema-validation run (CI).
+bench-incremental-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin incremental_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

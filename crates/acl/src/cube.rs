@@ -65,17 +65,32 @@ impl CubeList {
     /// Removes every packet of `cube` from the set (the TCAM "sharp"
     /// operation, applied cube-wise).
     pub fn subtract(&mut self, cube: &Ternary) {
-        let mut out = Vec::with_capacity(self.cubes.len());
+        let mut scratch = Vec::with_capacity(self.cubes.len());
+        self.subtract_with(cube, &mut scratch);
+    }
+
+    /// [`subtract`](Self::subtract) writing through a caller-owned scratch
+    /// buffer, so a loop over many cubes reuses one allocation. After the
+    /// call `scratch` holds the previous cube list's (cleared) storage.
+    fn subtract_with(&mut self, cube: &Ternary, scratch: &mut Vec<Ternary>) {
+        scratch.clear();
         for c in self.cubes.drain(..) {
-            sharp_into(&c, cube, &mut out);
+            sharp_into(&c, cube, scratch);
         }
-        self.cubes = out;
+        std::mem::swap(&mut self.cubes, scratch);
     }
 
     /// Removes every packet of `other` from the set.
     pub fn subtract_all(&mut self, other: &CubeList) {
+        // One scratch buffer swapped back and forth across the loop —
+        // this runs hot under candidate rebuilds, and a fresh Vec per
+        // subtracted cube showed up as allocator churn.
+        let mut scratch: Vec<Ternary> = Vec::with_capacity(self.cubes.len());
         for cube in &other.cubes {
-            self.subtract(cube);
+            self.subtract_with(cube, &mut scratch);
+            if self.cubes.is_empty() {
+                return;
+            }
         }
     }
 
@@ -114,12 +129,13 @@ impl CubeList {
     /// part of `cube` not already covered.
     pub fn insert(&mut self, cube: &Ternary) {
         let mut fresh = vec![*cube];
+        let mut scratch: Vec<Ternary> = Vec::new();
         for existing in &self.cubes {
-            let mut next = Vec::new();
+            scratch.clear();
             for f in fresh.drain(..) {
-                sharp_into(&f, existing, &mut next);
+                sharp_into(&f, existing, &mut scratch);
             }
-            fresh = next;
+            std::mem::swap(&mut fresh, &mut scratch);
             if fresh.is_empty() {
                 return;
             }
@@ -263,6 +279,40 @@ mod tests {
                 assert!(!a.intersects(b));
             }
         }
+    }
+
+    #[test]
+    fn subtract_all_matches_sequential_subtract() {
+        // The scratch-buffer loop must produce exactly what cube-by-cube
+        // subtraction did, including cube order.
+        let base = || {
+            let mut s = CubeList::new();
+            s.insert(&t("1***"));
+            s.insert(&t("*1**"));
+            s.insert(&t("**10"));
+            s
+        };
+        let other: CubeList = vec![t("11**"), t("*011"), t("0*1*")].into_iter().collect();
+
+        let mut batched = base();
+        batched.subtract_all(&other);
+        let mut sequential = base();
+        for c in other.cubes() {
+            sequential.subtract(c);
+        }
+        assert_eq!(batched, sequential);
+        assert_eq!(members(&batched, 4), members(&sequential, 4));
+    }
+
+    #[test]
+    fn subtract_all_empties_and_early_exits() {
+        let mut s = CubeList::from_cube(t("10*1"));
+        let all = CubeList::from_cube(t("****"));
+        s.subtract_all(&all);
+        assert!(s.is_empty());
+        // A further subtraction on the empty set stays empty.
+        s.subtract_all(&all);
+        assert!(s.is_empty());
     }
 
     #[test]

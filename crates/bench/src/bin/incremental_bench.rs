@@ -1,0 +1,85 @@
+//! Emits `BENCH_incremental.json`: cold vs warm epoch re-solve times.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin incremental -- \
+//!     [--out PATH] [--rounds N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a short stream on the smallest scenario — CI uses it
+//! to validate the JSON schema without paying for the full sweep. The
+//! document is validated against `flowplace.bench.incremental.v1`
+//! before it is written; a schema bug fails the run instead of
+//! producing a corrupt artifact. The benchmark itself asserts that the
+//! warm controller stays byte-identical to the cold controller after
+//! every epoch, so a divergence also fails the run.
+
+use std::process::ExitCode;
+
+use flowplace_bench::incremental::{self, IncrementalConfig};
+use flowplace_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = IncrementalConfig::default();
+    let mut out_path = String::from("BENCH_incremental.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--rounds" => {
+                cfg.rounds = parse_num(&take_value(&args, &mut i, "--rounds"), "--rounds");
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.rounds = 3;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if cfg.rounds == 0 {
+        eprintln!("--rounds must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "incremental bench: rounds={} smoke={}",
+        cfg.rounds, cfg.smoke
+    );
+    let rows = incremental::run(&cfg);
+    print!("{}", incremental::rows_table(&rows));
+
+    let doc = incremental::to_json(&cfg, &rows);
+    if let Err(reason) = report::validate_incremental_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got {text:?}");
+        std::process::exit(2);
+    })
+}

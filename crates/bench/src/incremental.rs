@@ -1,0 +1,381 @@
+//! Machine-readable warm-path benchmark (`BENCH_incremental.json`).
+//!
+//! Drives two controllers — one cold (`--warm off`), one with the warm
+//! caches enabled (the default) — through the *same* §IV-E update
+//! stream in lockstep, and reports the wall-clock each side spends
+//! re-solving epochs. The stream is built from rounds of
+//! checkpoint → rule modifications → full re-solve → rollback, the
+//! shape of a controller that speculatively applies an update batch and
+//! backs it out: every round after the first replays instances the warm
+//! controller has already solved, so the placement memo answers them in
+//! O(1) while the cold controller pays the full solve again, and the
+//! dirty-ingress fingerprints confine stage-1/2 recomputation to the
+//! touched policies.
+//!
+//! Byte-identity is checked inside the benchmark: after every epoch the
+//! warm controller's placement and emitted dataplane tables must equal
+//! the cold controller's exactly, and the `identical` fields of the
+//! document record that the check held for the whole run.
+//!
+//! Schema stability is enforced by
+//! [`crate::report::validate_incremental_json`]; bump [`SCHEMA`] when
+//! the shape changes.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use flowplace_core::WarmConfig;
+use flowplace_ctrl::{Controller, CtrlOptions, Event};
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.incremental.v1";
+
+/// Runner parameters (CLI flags of the `incremental` binary).
+#[derive(Clone, Debug)]
+pub struct IncrementalConfig {
+    /// Checkpoint → modify → solve → rollback rounds per scenario; the
+    /// first round is paid by both sides, the rest are replays.
+    pub rounds: usize,
+    /// Smoke mode: fewer rounds, smallest scenario only — used by CI to
+    /// validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            rounds: 6,
+            smoke: false,
+        }
+    }
+}
+
+/// One scenario's cold-vs-warm measurement.
+#[derive(Clone, Debug)]
+pub struct IncrementalRow {
+    /// Scenario label (`classbench-256` …).
+    pub scenario: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Epochs committed by each controller (one event per epoch).
+    pub epochs: u64,
+    /// Rounds in the update stream.
+    pub rounds: usize,
+    /// Cold controller wall time over the stream, milliseconds.
+    pub cold_ms: f64,
+    /// Warm controller wall time over the stream, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// Whole-instance solves the warm side answered from the memo.
+    pub memo_hits: u64,
+    /// Whole-instance solves the warm side actually ran.
+    pub memo_misses: u64,
+    /// Per-ingress dependency graphs reused from the warm cache.
+    pub depgraphs_reused: u64,
+    /// Per-ingress candidate sets reused from the warm cache.
+    pub candidates_reused: u64,
+    /// True iff warm placement + dataplane tables matched cold after
+    /// every epoch.
+    pub identical: bool,
+}
+
+/// The benchmark scenarios: ClassBench firewall policies at 256 / 512 /
+/// 1k total rules on a k=4 fat-tree, capacities calibrated so every
+/// instance is feasible. Smoke mode keeps only the smallest.
+pub fn scenarios(smoke: bool) -> Vec<(String, ScenarioConfig)> {
+    let mk = |ingresses, rules_per_policy, capacity| ScenarioConfig {
+        k: 4,
+        ingresses,
+        paths_per_ingress: 2,
+        rules_per_policy,
+        shared_rules: 0,
+        capacity,
+        seed: 7,
+    };
+    let mut out = vec![("classbench-256".to_string(), mk(8, 32, 100))];
+    if !smoke {
+        out.push(("classbench-512".to_string(), mk(8, 64, 120)));
+        out.push(("classbench-1k".to_string(), mk(16, 64, 150)));
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+/// Builds the §IV-E update stream for an instance: `rounds` identical
+/// checkpoint → modify → re-solve → rollback rounds. The modifications
+/// flip the first rule's action at the first two ingresses, so two
+/// policies go dirty per round while the rest stay fingerprint-clean.
+fn update_stream(instance: &flowplace_core::Instance, rounds: usize) -> Vec<Event> {
+    let mut modifies = Vec::new();
+    for (ingress, policy) in instance.policies().take(2) {
+        let old = &policy.rules()[0];
+        let flipped = match old.action() {
+            flowplace_acl::Action::Permit => flowplace_acl::Action::Drop,
+            flowplace_acl::Action::Drop => flowplace_acl::Action::Permit,
+        };
+        modifies.push(Event::ModifyRule {
+            ingress,
+            rule: flowplace_acl::RuleId(0),
+            replacement: flowplace_acl::Rule::new(*old.match_field(), flipped, old.priority()),
+        });
+    }
+    let mut events = Vec::new();
+    for _ in 0..rounds {
+        events.push(Event::Checkpoint);
+        events.extend(modifies.iter().cloned());
+        events.push(Event::Solve);
+        events.push(Event::Rollback);
+    }
+    events
+}
+
+/// Runs the full benchmark and returns one row per scenario.
+///
+/// # Panics
+///
+/// Panics if the warm controller's placement or dataplane ever diverges
+/// from the cold controller's — the warm path's correctness contract.
+pub fn run(cfg: &IncrementalConfig) -> Vec<IncrementalRow> {
+    scenarios(cfg.smoke)
+        .into_iter()
+        .map(|(name, scenario)| run_one(cfg, &name, &scenario))
+        .collect()
+}
+
+fn controller(instance: flowplace_core::Instance, warm: WarmConfig) -> Controller {
+    Controller::with_instance(
+        instance,
+        CtrlOptions {
+            batch_size: 1,
+            warm,
+            ..CtrlOptions::default()
+        },
+    )
+    .expect("benchmark scenarios are feasible")
+}
+
+fn run_one(cfg: &IncrementalConfig, name: &str, scenario: &ScenarioConfig) -> IncrementalRow {
+    let instance = build_instance(scenario);
+    let events = update_stream(&instance, cfg.rounds.max(1));
+
+    let cold_cfg = WarmConfig {
+        enabled: false,
+        ..WarmConfig::default()
+    };
+    let mut cold = controller(instance.clone(), cold_cfg);
+    let mut warm = controller(instance.clone(), WarmConfig::default());
+
+    // Lockstep: the same event goes to both sides, each side's epoch is
+    // timed separately, and the deployed state is compared after every
+    // epoch. Comparison time is outside both timers.
+    let mut cold_total = Duration::ZERO;
+    let mut warm_total = Duration::ZERO;
+    let mut identical = true;
+    for event in events {
+        cold.submit(event.clone()).expect("cold queue has room");
+        warm.submit(event).expect("warm queue has room");
+        let t0 = Instant::now();
+        cold.run_to_idle().expect("cold epoch runs");
+        cold_total += t0.elapsed();
+        let t1 = Instant::now();
+        warm.run_to_idle().expect("warm epoch runs");
+        warm_total += t1.elapsed();
+        let same = warm.placement() == cold.placement()
+            && warm.dataplane().dump() == cold.dataplane().dump();
+        assert!(same, "{name}: warm diverged from cold");
+        identical &= same;
+    }
+
+    let stats = warm.stats();
+    IncrementalRow {
+        scenario: name.to_string(),
+        rules: instance.total_policy_rules(),
+        epochs: stats.epochs,
+        rounds: cfg.rounds.max(1),
+        cold_ms: ms(cold_total),
+        warm_ms: ms(warm_total),
+        speedup: ms(cold_total) / ms(warm_total),
+        memo_hits: stats.warm_memo_hits,
+        memo_misses: stats.warm_memo_misses,
+        depgraphs_reused: stats.warm_depgraphs_reused,
+        candidates_reused: stats.warm_candidates_reused,
+        identical,
+    }
+}
+
+/// Geometric mean of the per-scenario speedups — the headline number.
+pub fn geomean_speedup(rows: &[IncrementalRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.speedup.max(1e-9).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_incremental.json` document.
+pub fn to_json(cfg: &IncrementalConfig, rows: &[IncrementalRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(out, "  \"rounds\": {},", cfg.rounds.max(1));
+    let _ = writeln!(
+        out,
+        "  \"geomean_speedup\": {},",
+        json_num(geomean_speedup(rows))
+    );
+    let _ = writeln!(
+        out,
+        "  \"identical\": {},",
+        rows.iter().all(|r| r.identical)
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(out, "      \"epochs\": {},", r.epochs);
+        let _ = writeln!(out, "      \"rounds\": {},", r.rounds);
+        let _ = writeln!(out, "      \"cold_ms\": {},", json_num(r.cold_ms));
+        let _ = writeln!(out, "      \"warm_ms\": {},", json_num(r.warm_ms));
+        let _ = writeln!(out, "      \"speedup\": {},", json_num(r.speedup));
+        let _ = writeln!(out, "      \"memo_hits\": {},", r.memo_hits);
+        let _ = writeln!(out, "      \"memo_misses\": {},", r.memo_misses);
+        let _ = writeln!(out, "      \"depgraphs_reused\": {},", r.depgraphs_reused);
+        let _ = writeln!(out, "      \"candidates_reused\": {},", r.candidates_reused);
+        let _ = writeln!(out, "      \"identical\": {}", r.identical);
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[IncrementalRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>6} {:>7} {:>11} {:>11} {:>8} {:>10} {:>10} {:>10}\n",
+        "scenario",
+        "rules",
+        "epochs",
+        "cold ms",
+        "warm ms",
+        "speedup",
+        "memo h/m",
+        "deps reuse",
+        "identical"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>7} {:>11.2} {:>11.2} {:>7.1}x {:>10} {:>10} {:>10}",
+            r.scenario,
+            r.rules,
+            r.epochs,
+            r.cold_ms,
+            r.warm_ms,
+            r.speedup,
+            format!("{}/{}", r.memo_hits, r.memo_misses),
+            r.depgraphs_reused,
+            r.identical
+        );
+    }
+    let _ = writeln!(out, "geomean speedup: {:.1}x", geomean_speedup(rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_incremental_json;
+
+    fn sample_row() -> IncrementalRow {
+        IncrementalRow {
+            scenario: "classbench-256".into(),
+            rules: 256,
+            epochs: 30,
+            rounds: 6,
+            cold_ms: 600.0,
+            warm_ms: 110.0,
+            speedup: 600.0 / 110.0,
+            memo_hits: 5,
+            memo_misses: 1,
+            depgraphs_reused: 36,
+            candidates_reused: 36,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn json_document_passes_schema_check() {
+        let cfg = IncrementalConfig::default();
+        let doc = to_json(&cfg, &[sample_row()]);
+        validate_incremental_json(&doc).expect("emitted document is schema-valid");
+    }
+
+    #[test]
+    fn geomean_is_the_geometric_mean() {
+        let mut a = sample_row();
+        a.speedup = 2.0;
+        let mut b = sample_row();
+        b.speedup = 8.0;
+        let g = geomean_speedup(&[a, b]);
+        assert!((g - 4.0).abs() < 1e-9, "got {g}");
+        assert_eq!(geomean_speedup(&[]), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_emits_valid_json_and_stays_identical() {
+        let cfg = IncrementalConfig {
+            rounds: 3,
+            smoke: true,
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].identical, "warm diverged from cold");
+        assert!(rows[0].memo_hits > 0, "the memo never fired: {rows:?}");
+        let doc = to_json(&cfg, &rows);
+        validate_incremental_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let t = rows_table(&[sample_row()]);
+        assert!(t.contains("classbench-256"));
+        assert!(t.contains("geomean speedup"));
+    }
+}

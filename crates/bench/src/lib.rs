@@ -27,6 +27,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod incremental;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;

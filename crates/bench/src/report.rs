@@ -545,6 +545,87 @@ pub fn validate_pipeline_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_incremental.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_incremental_json`] requires (re-exported
+/// from [`crate::incremental::SCHEMA`] so the two cannot drift).
+pub const INCREMENTAL_SCHEMA: &str = crate::incremental::SCHEMA;
+
+const INCREMENTAL_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "epochs",
+    "rounds",
+    "cold_ms",
+    "warm_ms",
+    "speedup",
+    "memo_hits",
+    "memo_misses",
+    "depgraphs_reused",
+    "candidates_reused",
+];
+
+/// Validates a `BENCH_incremental.json` document against the
+/// `flowplace.bench.incremental.v1` schema: the tag itself, the run
+/// parameters, the headline geometric-mean speedup, and every row's
+/// fields, types, and value ranges — including the `identical` flags
+/// that certify the warm path matched the cold path byte for byte.
+/// Returns a human-readable reason on the first violation.
+pub fn validate_incremental_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != INCREMENTAL_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {INCREMENTAL_SCHEMA:?}"
+        ));
+    }
+    for field in ["rounds", "geomean_speedup"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {field:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("field {field:?} must be positive, got {v}"));
+        }
+    }
+    match doc.get("identical") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err("missing boolean field \"identical\"".into()),
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        row.get("scenario")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"scenario\"".into()))?;
+        match row.get("identical") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(ctx("missing boolean field \"identical\"".into())),
+        }
+        for field in INCREMENTAL_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +772,69 @@ mod tests {
             r#"{{"schema": "{PIPELINE_SCHEMA}", "threads": 4, "samples": 1, "time_limit_ms": 1, "rows": []}}"#
         );
         let err = validate_pipeline_json(&doc).unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+    }
+
+    fn valid_incremental_doc() -> String {
+        format!(
+            r#"{{
+  "schema": "{INCREMENTAL_SCHEMA}",
+  "rounds": 6,
+  "geomean_speedup": 5.2,
+  "identical": true,
+  "rows": [
+    {{
+      "scenario": "classbench-1k",
+      "rules": 1024,
+      "epochs": 30,
+      "rounds": 6,
+      "cold_ms": 1800.0,
+      "warm_ms": 310.0,
+      "speedup": 5.8,
+      "memo_hits": 5,
+      "memo_misses": 1,
+      "depgraphs_reused": 90,
+      "candidates_reused": 90,
+      "identical": true
+    }}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn incremental_validator_accepts_valid_document() {
+        validate_incremental_json(&valid_incremental_doc()).expect("valid document accepted");
+    }
+
+    #[test]
+    fn incremental_validator_rejects_wrong_schema_tag() {
+        let doc = valid_incremental_doc().replace(".v1", ".v0");
+        let err = validate_incremental_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn incremental_validator_rejects_missing_identity_flag() {
+        let doc = valid_incremental_doc().replace("\"identical\": true", "\"ident\": true");
+        let err = validate_incremental_json(&doc).unwrap_err();
+        assert!(err.contains("identical"), "{err}");
+    }
+
+    #[test]
+    fn incremental_validator_rejects_missing_row_field() {
+        let doc = valid_incremental_doc().replace("\"speedup\": 5.8", "\"speedup2\": 5.8");
+        let err = validate_incremental_json(&doc).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+    }
+
+    #[test]
+    fn incremental_validator_rejects_empty_rows() {
+        let doc = format!(
+            r#"{{"schema": "{INCREMENTAL_SCHEMA}", "rounds": 6, "geomean_speedup": 3.0, "identical": true, "rows": []}}"#
+        );
+        let err = validate_incremental_json(&doc).unwrap_err();
         assert!(err.contains("non-empty"), "{err}");
     }
 

@@ -22,7 +22,8 @@ use flowplace_routing::{Route, RouteSet};
 use flowplace_topo::EntryPortId;
 
 use crate::greedy;
-use crate::placement::{Placement, PlacementOptions, RulePlacer, SolveStatus};
+use crate::placement::{Placement, PlacementOptions, PlacementOutcome, RulePlacer, SolveStatus};
+use crate::warm::WarmCache;
 use crate::{Instance, InstanceError, Objective};
 
 /// Result of an incremental operation.
@@ -98,6 +99,24 @@ fn sub_instance(
     Instance::new(topo, routes, policies)
 }
 
+/// Solves a restricted sub-instance, through the warm cache when one is
+/// supplied (sub-instances benefit from the structural caches: an
+/// ingress's candidates depend only on its policy and routes, which the
+/// full solve already cached) and on the ordinary cold path otherwise.
+fn restricted_solve(
+    sub: &Instance,
+    options: &PlacementOptions,
+    objective: Objective,
+    cache: Option<&WarmCache>,
+) -> PlacementOutcome {
+    match cache {
+        Some(c) => crate::par::solve_with_cache(sub, objective, options, Some(c)).outcome,
+        None => RulePlacer::new(options.clone())
+            .place(sub, objective)
+            .expect("placement is infallible"),
+    }
+}
+
 /// Installs new ingress policies (with their routes) against the spare
 /// capacity, leaving every existing placement untouched (§IV-E "Ingress
 /// Policy Installation" / Experiment 5 part 1).
@@ -115,6 +134,18 @@ pub fn install_policies(
     additions: Vec<(EntryPortId, Policy, Vec<Route>)>,
     options: &PlacementOptions,
     objective: Objective,
+) -> Result<IncrementalOutcome, IncrementalError> {
+    install_policies_cached(instance, placement, additions, options, objective, None)
+}
+
+/// [`install_policies`] with an optional warm cache (see [`crate::warm`]).
+pub fn install_policies_cached(
+    instance: &Instance,
+    placement: &Placement,
+    additions: Vec<(EntryPortId, Policy, Vec<Route>)>,
+    options: &PlacementOptions,
+    objective: Objective,
+    cache: Option<&WarmCache>,
 ) -> Result<IncrementalOutcome, IncrementalError> {
     let start = Instant::now();
     for (l, _, _) in &additions {
@@ -135,9 +166,7 @@ pub fn install_policies(
         new_routes.clone(),
         &[],
     )?;
-    let outcome = RulePlacer::new(options.clone())
-        .place(&sub, objective)
-        .expect("placement is infallible");
+    let outcome = restricted_solve(&sub, options, objective, cache);
 
     // Merge updated inputs into a full instance.
     let mut all_routes = instance.routes().clone();
@@ -177,6 +206,22 @@ pub fn reroute_policy(
     options: &PlacementOptions,
     objective: Objective,
 ) -> Result<IncrementalOutcome, IncrementalError> {
+    reroute_policy_cached(
+        instance, placement, ingress, new_routes, options, objective, None,
+    )
+}
+
+/// [`reroute_policy`] with an optional warm cache (see [`crate::warm`]).
+#[allow(clippy::too_many_arguments)]
+pub fn reroute_policy_cached(
+    instance: &Instance,
+    placement: &Placement,
+    ingress: EntryPortId,
+    new_routes: Vec<Route>,
+    options: &PlacementOptions,
+    objective: Objective,
+    cache: Option<&WarmCache>,
+) -> Result<IncrementalOutcome, IncrementalError> {
     let start = Instant::now();
     let Some(policy) = instance.policy(ingress).cloned() else {
         return Err(IncrementalError::BadIngress(ingress));
@@ -187,9 +232,7 @@ pub fn reroute_policy(
 
     let sub_routes: RouteSet = new_routes.iter().cloned().collect();
     let sub = sub_instance(instance, &frozen, vec![(ingress, policy)], sub_routes, &[])?;
-    let outcome = RulePlacer::new(options.clone())
-        .place(&sub, objective)
-        .expect("placement is infallible");
+    let outcome = restricted_solve(&sub, options, objective, cache);
 
     // Updated full route set: drop this ingress's old routes, add new.
     let mut all_routes = RouteSet::new();
@@ -238,6 +281,23 @@ pub fn replace_ingresses(
     options: &PlacementOptions,
     objective: Objective,
 ) -> Result<IncrementalOutcome, IncrementalError> {
+    replace_ingresses_cached(
+        instance, placement, ingresses, excluded, options, objective, None,
+    )
+}
+
+/// [`replace_ingresses`] with an optional warm cache (see
+/// [`crate::warm`]).
+#[allow(clippy::too_many_arguments)]
+pub fn replace_ingresses_cached(
+    instance: &Instance,
+    placement: &Placement,
+    ingresses: &[EntryPortId],
+    excluded: &[flowplace_topo::SwitchId],
+    options: &PlacementOptions,
+    objective: Objective,
+    cache: Option<&WarmCache>,
+) -> Result<IncrementalOutcome, IncrementalError> {
     let start = Instant::now();
     let mut policies: Vec<(EntryPortId, Policy)> = Vec::new();
     for &l in ingresses {
@@ -258,9 +318,7 @@ pub fn replace_ingresses(
         .cloned()
         .collect();
     let sub = sub_instance(instance, &frozen, policies, sub_routes, excluded)?;
-    let outcome = RulePlacer::new(options.clone())
-        .place(&sub, objective)
-        .expect("placement is infallible");
+    let outcome = restricted_solve(&sub, options, objective, cache);
     let placement = outcome.placement.map(|sub_placement| {
         let mut full = frozen;
         full.absorb(sub_placement);

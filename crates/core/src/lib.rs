@@ -85,6 +85,7 @@ pub mod slicing;
 pub mod tables;
 pub mod tags;
 pub mod verify;
+pub mod warm;
 
 pub use depgraph::DependencyGraph;
 pub use encode_ilp::MergeLinking;
@@ -95,4 +96,8 @@ pub use par::{ParOutcome, ParallelConfig, Provenance, StageTimes};
 pub use placement::{
     DependencyEncoding, PlaceError, Placement, PlacementOptions, PlacementOutcome, PlacementStats,
     PlacerEngine, RulePlacer, SolveStatus,
+};
+pub use warm::{
+    fingerprint_ingress, fingerprint_instance, fingerprint_policy, Fingerprint, WarmCache,
+    WarmConfig, WarmStats,
 };

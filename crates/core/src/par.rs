@@ -52,10 +52,13 @@ use std::time::{Duration, Instant};
 
 use flowplace_topo::EntryPortId;
 
+use flowplace_acl::Policy;
+
 use crate::candidates::{candidates_for_ingress, CandidateMap};
 use crate::depgraph::DependencyGraph;
 use crate::monitor::restrict_candidates;
 use crate::placement::{place_ilp_with, place_sat_with};
+use crate::warm::{self, WarmCache};
 use crate::{Instance, Objective, PlacementOptions, PlacementOutcome, PlacerEngine, SolveStatus};
 
 /// Parallel-pipeline configuration, carried in
@@ -107,6 +110,10 @@ pub enum Provenance {
     /// Portfolio race, won by this engine (it concluded first; the other
     /// engine was cancelled).
     Portfolio(PlacerEngine),
+    /// No engine ran: the warm cache memoized an identical instance
+    /// (same policies, routes, capacities, options, and objective) and
+    /// the stored outcome was returned in O(1).
+    Memo,
 }
 
 impl std::fmt::Display for Provenance {
@@ -118,6 +125,7 @@ impl std::fmt::Display for Provenance {
         match self {
             Provenance::Single(e) => write!(f, "single:{}", name(e)),
             Provenance::Portfolio(e) => write!(f, "portfolio:{}", name(e)),
+            Provenance::Memo => write!(f, "memo"),
         }
     }
 }
@@ -291,19 +299,69 @@ fn solve_portfolio(
 /// [`ParallelConfig::is_parallel`] holds, and behind
 /// [`crate::RulePlacer::place_par`] always.
 pub fn solve(instance: &Instance, objective: Objective, options: &PlacementOptions) -> ParOutcome {
+    solve_with_cache(instance, objective, options, None)
+}
+
+/// [`solve`] with an optional warm cache (see [`crate::warm`]).
+///
+/// With a cache, the pipeline becomes incremental: the whole solve is
+/// first looked up in the placement memo (hit ⇒ [`Provenance::Memo`] in
+/// O(1)); on a miss, stages 1/2 rebuild only *dirty* ingresses — those
+/// whose policy/route fingerprints have no cached artifact — and stage 3
+/// may run through persistent solver sessions when
+/// [`crate::WarmConfig::sessions`] is enabled. Cache hits are
+/// byte-identical to a cold build because every cache key covers every
+/// input of the cached computation. With `cache: None` (or a disabled
+/// cache) this is exactly [`solve`].
+pub fn solve_with_cache(
+    instance: &Instance,
+    objective: Objective,
+    options: &PlacementOptions,
+    cache: Option<&WarmCache>,
+) -> ParOutcome {
+    let cache = cache.filter(|c| c.enabled());
     let threads = options.parallel.effective_threads();
 
+    // O(1) short-circuit: an identical instance was already solved.
+    let instance_fp = cache.map(|c| {
+        let fp = warm::fingerprint_instance(instance, &objective, options);
+        (c, fp)
+    });
+    if let Some((c, fp)) = instance_fp {
+        if let Some(outcome) = c.memo_get(fp) {
+            return ParOutcome {
+                outcome,
+                provenance: Provenance::Memo,
+                stages: StageTimes::default(),
+            };
+        }
+    }
+
     let t = Instant::now();
-    let graphs = build_depgraphs(instance, threads);
+    let graphs = match cache {
+        Some(c) => build_depgraphs_cached(instance, threads, c),
+        None => build_depgraphs(instance, threads),
+    };
     let depgraphs = t.elapsed();
 
     let t = Instant::now();
-    let mut candidates = build_candidates_par(instance, &graphs, threads);
+    let mut candidates = match cache {
+        Some(c) => build_candidates_cached(instance, &graphs, threads, c),
+        None => build_candidates_par(instance, &graphs, threads),
+    };
     restrict_candidates(instance, &mut candidates, &options.monitors);
     let candidates_time = t.elapsed();
 
     let t = Instant::now();
-    let (outcome, provenance) = if options.parallel.portfolio {
+    let sessions = cache.map(|c| c.sessions_enabled()).unwrap_or(false);
+    let (outcome, provenance) = if sessions {
+        let c = cache.expect("sessions implies a cache");
+        let ingress_fps: BTreeMap<EntryPortId, warm::Fingerprint> = instance
+            .policies()
+            .map(|(ingress, _)| (ingress, warm::fingerprint_ingress(instance, ingress)))
+            .collect();
+        c.session_solve(instance, &objective, options, &candidates, &ingress_fps)
+    } else if options.parallel.portfolio {
         solve_portfolio(options, instance, &objective, &candidates)
     } else {
         let out = match options.engine {
@@ -314,6 +372,10 @@ pub fn solve(instance: &Instance, objective: Objective, options: &PlacementOptio
     };
     let solve_time = t.elapsed();
 
+    if let Some((c, fp)) = instance_fp {
+        c.memo_put(fp, &outcome);
+    }
+
     ParOutcome {
         outcome,
         provenance,
@@ -323,6 +385,79 @@ pub fn solve(instance: &Instance, objective: Objective, options: &PlacementOptio
             solve: solve_time,
         },
     }
+}
+
+/// Stage 1 with the warm cache: dependency graphs of fingerprint-clean
+/// policies come from the cache; only dirty policies are built (across
+/// worker threads), then stored. Cache traffic stays on the coordinating
+/// thread — the workers run the same pure per-policy function the cold
+/// stage runs.
+fn build_depgraphs_cached(
+    instance: &Instance,
+    threads: usize,
+    cache: &WarmCache,
+) -> BTreeMap<EntryPortId, DependencyGraph> {
+    let mut graphs: BTreeMap<EntryPortId, DependencyGraph> = BTreeMap::new();
+    let mut dirty: Vec<(EntryPortId, warm::Fingerprint, &Policy)> = Vec::new();
+    for (ingress, policy) in instance.policies() {
+        let fp = warm::fingerprint_policy(policy);
+        match cache.depgraph_lookup(fp) {
+            Some(g) => {
+                graphs.insert(ingress, g);
+            }
+            None => dirty.push((ingress, fp, policy)),
+        }
+    }
+    let built = map_chunked(dirty, threads, |&(ingress, fp, policy)| {
+        (ingress, fp, DependencyGraph::build(policy))
+    });
+    for (ingress, fp, g) in built {
+        cache.depgraph_store(fp, &g);
+        graphs.insert(ingress, g);
+    }
+    graphs
+}
+
+/// Stage 2 with the warm cache: candidate sets of fingerprint-clean
+/// ingresses come from the cache; only dirty ingresses are rebuilt
+/// (across worker threads), then stored. The cache holds *unrestricted*
+/// candidates — monitor restriction is applied by the caller to the
+/// assembled map, exactly as in the cold pipeline.
+fn build_candidates_cached(
+    instance: &Instance,
+    graphs: &BTreeMap<EntryPortId, DependencyGraph>,
+    threads: usize,
+    cache: &WarmCache,
+) -> CandidateMap {
+    let mut per_ingress: BTreeMap<EntryPortId, BTreeMap<_, _>> = BTreeMap::new();
+    let mut dirty: Vec<(EntryPortId, warm::Fingerprint, &DependencyGraph)> = Vec::new();
+    for (&ingress, graph) in graphs {
+        let fp = warm::fingerprint_ingress(instance, ingress);
+        match cache.candidates_lookup(fp) {
+            Some(c) => {
+                per_ingress.insert(ingress, c);
+            }
+            None => dirty.push((ingress, fp, graph)),
+        }
+    }
+    let built = map_chunked(dirty, threads, |&(ingress, fp, graph)| {
+        (
+            ingress,
+            fp,
+            candidates_for_ingress(instance, ingress, graph),
+        )
+    });
+    for (ingress, fp, c) in built {
+        cache.candidates_store(fp, &c);
+        per_ingress.insert(ingress, c);
+    }
+    let mut map = CandidateMap::new();
+    for (ingress, rules) in per_ingress {
+        for (rule, switches) in rules {
+            map.insert((ingress, rule), switches);
+        }
+    }
+    map
 }
 
 #[cfg(test)]
@@ -467,5 +602,129 @@ mod tests {
             Provenance::Portfolio(PlacerEngine::Sat).to_string(),
             "portfolio:sat"
         );
+        assert_eq!(Provenance::Memo.to_string(), "memo");
+    }
+
+    #[test]
+    fn warm_pipeline_matches_cold_and_memoizes() {
+        let inst = multi_ingress_instance();
+        let options = PlacementOptions::default();
+        let cold = solve(&inst, Objective::TotalRules, &options);
+        let cache = crate::WarmCache::default();
+
+        // First warm solve: every cache misses, result identical to cold.
+        let first = solve_with_cache(&inst, Objective::TotalRules, &options, Some(&cache));
+        assert_eq!(first.outcome.placement, cold.outcome.placement);
+        assert_eq!(first.outcome.status, cold.outcome.status);
+        assert_eq!(first.provenance, cold.provenance);
+
+        // Second warm solve of the identical instance: memo hit, O(1).
+        let second = solve_with_cache(&inst, Objective::TotalRules, &options, Some(&cache));
+        assert_eq!(second.provenance, Provenance::Memo);
+        assert_eq!(second.outcome.placement, cold.outcome.placement);
+        assert_eq!(second.outcome.status, cold.outcome.status);
+
+        let stats = cache.stats();
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.memo_misses, 1);
+        assert_eq!(stats.depgraphs_built, 4);
+        assert_eq!(stats.candidates_built, 4);
+    }
+
+    #[test]
+    fn warm_pipeline_rebuilds_only_dirty_ingresses() {
+        let inst = multi_ingress_instance();
+        let options = PlacementOptions::default();
+        let cache = crate::WarmCache::default();
+        solve_with_cache(&inst, Objective::TotalRules, &options, Some(&cache));
+        let before = cache.stats();
+
+        // Change one ingress's policy: exactly one candidate set is dirty.
+        // (All four policies are identical, so the shared depgraph entry
+        // stays warm for the other three; the changed one rebuilds.)
+        let mut policies: Vec<_> = inst.policies().map(|(l, p)| (l, p.clone())).collect();
+        policies[0].1 =
+            Policy::from_ordered(vec![(t("00**"), Action::Permit), (t("0***"), Action::Drop)])
+                .unwrap();
+        let changed =
+            Instance::new(inst.topology().clone(), inst.routes().clone(), policies).unwrap();
+        let warm = solve_with_cache(&changed, Objective::TotalRules, &options, Some(&cache));
+        let cold = solve(&changed, Objective::TotalRules, &options);
+        assert_eq!(warm.outcome.placement, cold.outcome.placement);
+
+        let after = cache.stats();
+        assert_eq!(after.depgraphs_built - before.depgraphs_built, 1);
+        assert_eq!(after.candidates_built - before.candidates_built, 1);
+        assert_eq!(after.candidates_reused - before.candidates_reused, 3);
+    }
+
+    #[test]
+    fn session_pipeline_stays_feasible_across_epochs() {
+        let inst = multi_ingress_instance();
+        let options = PlacementOptions::default();
+        let cache = crate::WarmCache::new(crate::WarmConfig {
+            sessions: true,
+            ..crate::WarmConfig::default()
+        });
+        let first = solve_with_cache(&inst, Objective::TotalRules, &options, Some(&cache));
+        let p1 = first.outcome.placement.expect("feasible");
+        assert!(crate::verify::verify_placement(&inst, &p1, 64, 0x5E55).is_ok());
+
+        // Second epoch, one policy changed: the ILP session seeds from
+        // epoch 1 and freezes the three untouched ingresses.
+        let mut policies: Vec<_> = inst.policies().map(|(l, p)| (l, p.clone())).collect();
+        policies[1].1 =
+            Policy::from_ordered(vec![(t("01**"), Action::Permit), (t("0***"), Action::Drop)])
+                .unwrap();
+        let changed =
+            Instance::new(inst.topology().clone(), inst.routes().clone(), policies).unwrap();
+        let second = solve_with_cache(&changed, Objective::TotalRules, &options, Some(&cache));
+        let p2 = second.outcome.placement.expect("feasible");
+        assert!(crate::verify::verify_placement(&changed, &p2, 64, 0x5E56).is_ok());
+        let stats = cache.stats();
+        assert!(stats.ilp_vars_fixed > 0, "untouched ingresses were frozen");
+
+        // Third epoch, capacities grow: every ingress fingerprint is
+        // unchanged (capacity is not part of it), so the whole previous
+        // placement seeds the incumbent.
+        let mut topo = changed.topology().clone();
+        topo.set_uniform_capacity(32);
+        let grown = Instance::new(
+            topo,
+            changed.routes().clone(),
+            changed.policies().map(|(l, p)| (l, p.clone())).collect(),
+        )
+        .unwrap();
+        let third = solve_with_cache(&grown, Objective::TotalRules, &options, Some(&cache));
+        let p3 = third.outcome.placement.expect("feasible");
+        assert!(crate::verify::verify_placement(&grown, &p3, 64, 0x5E57).is_ok());
+        assert!(cache.stats().ilp_incumbent_seeded >= 1);
+    }
+
+    #[test]
+    fn session_portfolio_returns_verified_placements() {
+        let inst = multi_ingress_instance();
+        let options = PlacementOptions {
+            parallel: ParallelConfig {
+                threads: 2,
+                portfolio: true,
+            },
+            ..PlacementOptions::default()
+        };
+        let cache = crate::WarmCache::new(crate::WarmConfig {
+            sessions: true,
+            ..crate::WarmConfig::default()
+        });
+        for round in 0..3u64 {
+            let out = solve_with_cache(&inst, Objective::TotalRules, &options, Some(&cache));
+            if out.provenance != Provenance::Memo {
+                assert!(matches!(out.provenance, Provenance::Portfolio(_)));
+            }
+            let p = out.outcome.placement.expect("feasible");
+            assert!(
+                crate::verify::verify_placement(&inst, &p, 64, 0xA000 + round).is_ok(),
+                "round {round}"
+            );
+        }
     }
 }

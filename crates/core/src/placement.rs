@@ -288,6 +288,19 @@ impl RulePlacer {
     pub fn place_par(&self, instance: &Instance, objective: Objective) -> crate::par::ParOutcome {
         crate::par::solve(instance, objective, &self.options)
     }
+
+    /// Like [`place_par`](Self::place_par), but consulting (and filling)
+    /// a warm cache — the incremental solve path described in
+    /// [`crate::warm`]. With a disabled cache this is exactly
+    /// [`place_par`](Self::place_par).
+    pub fn place_cached(
+        &self,
+        instance: &Instance,
+        objective: Objective,
+        cache: &crate::warm::WarmCache,
+    ) -> crate::par::ParOutcome {
+        crate::par::solve_with_cache(instance, objective, &self.options, Some(cache))
+    }
 }
 
 /// ILP solve over already-built (and already monitor-restricted)

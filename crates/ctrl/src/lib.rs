@@ -70,7 +70,8 @@ use flowplace_acl::{Action, Policy, Ternary};
 use flowplace_core::tables::{emit_tables, SwitchTable, TableEntry};
 use flowplace_core::verify::VerifyMode;
 use flowplace_core::{
-    incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer,
+    incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer, WarmCache,
+    WarmConfig,
 };
 use flowplace_routing::{Route, RouteSet};
 use flowplace_topo::{EntryPortId, SwitchId, Topology};
@@ -199,6 +200,11 @@ pub struct CtrlOptions {
     /// Reconcile rounds tolerated without progress before the
     /// still-failing switches are force-quarantined.
     pub reconcile_rounds: usize,
+    /// Warm-path configuration: epoch caches for dependency graphs,
+    /// candidate sets, and solved placements (see
+    /// [`flowplace_core::warm`]). Enabled by default; `--warm off`
+    /// in the CLI (or `enabled: false` here) forces every solve cold.
+    pub warm: WarmConfig,
 }
 
 impl Default for CtrlOptions {
@@ -214,6 +220,7 @@ impl Default for CtrlOptions {
             retry: RetryPolicy::default(),
             quarantine_after: 3,
             reconcile_rounds: 3,
+            warm: WarmConfig::default(),
         }
     }
 }
@@ -315,6 +322,7 @@ pub struct Controller {
     options: CtrlOptions,
     stats: CtrlStats,
     faults: FaultRuntime,
+    warm: WarmCache,
 }
 
 /// Rebuilds `instance` with one switch's capacity changed (capacity
@@ -361,6 +369,7 @@ impl Controller {
                 unmanageable: BTreeMap::new(),
                 safe_mode: BTreeSet::new(),
             },
+            warm: WarmCache::new(options.warm.clone()),
             options,
             stats: CtrlStats::default(),
         }
@@ -603,6 +612,7 @@ impl Controller {
         self.stats.entries_installed += report.installed as u64;
         self.stats.entries_removed += report.removed as u64;
         self.stats.peak_tcam_occupancy = self.stats.peak_tcam_occupancy.max(report.peak_occupancy);
+        self.sync_warm_stats();
 
         if resilient && self.fail_closed_audit().is_err() {
             self.stats.failclosed_violations += 1;
@@ -728,12 +738,13 @@ impl Controller {
                 policy,
                 routes,
             } => {
-                match incremental::install_policies(
+                match incremental::install_policies_cached(
                     instance,
                     placement,
                     vec![(*ingress, policy.clone(), routes.clone())],
                     &self.options.placement,
                     self.options.objective.clone(),
+                    Some(&self.warm),
                 ) {
                     Ok(out) => {
                         if let Some(p) = out.placement {
@@ -759,13 +770,14 @@ impl Controller {
                 Ok((updated, solved, Tier::Full))
             }
             Event::Reroute { ingress, routes } => {
-                match incremental::reroute_policy(
+                match incremental::reroute_policy_cached(
                     instance,
                     placement,
                     *ingress,
                     routes.clone(),
                     &self.options.placement,
                     self.options.objective.clone(),
+                    Some(&self.warm),
                 ) {
                     Ok(out) => {
                         if let Some(p) = out.placement {
@@ -848,13 +860,14 @@ impl Controller {
             .filter(|r| r.ingress == ingress)
             .cloned()
             .collect();
-        match incremental::reroute_policy(
+        match incremental::reroute_policy_cached(
             &updated,
             placement,
             ingress,
             routes,
             &self.options.placement,
             self.options.objective.clone(),
+            Some(&self.warm),
         ) {
             Ok(out) => {
                 if let Some(p) = out.placement {
@@ -867,15 +880,29 @@ impl Controller {
         Ok((updated, solved, Tier::Full))
     }
 
-    /// Full re-solve of `instance`; error if no feasible placement
-    /// exists.
+    /// Full re-solve of `instance` through the warm cache (a replayed
+    /// or rolled-back epoch returns its memoized placement in O(1));
+    /// error if no feasible placement exists.
     fn full_solve(&self, instance: &Instance) -> Result<Placement, String> {
         let outcome = RulePlacer::new(self.options.placement.clone())
-            .place(instance, self.options.objective.clone())
-            .expect("PlaceError is uninhabited");
+            .place_cached(instance, self.options.objective.clone(), &self.warm)
+            .outcome;
         outcome
             .placement
             .ok_or_else(|| format!("full re-solve failed: {}", outcome.status))
+    }
+
+    /// Copies the warm cache's cumulative counters into [`CtrlStats`]
+    /// so `ctrl replay` summaries report them alongside the event and
+    /// tier counters.
+    fn sync_warm_stats(&mut self) {
+        let w = self.warm.stats();
+        self.stats.warm_memo_hits = w.memo_hits;
+        self.stats.warm_memo_misses = w.memo_misses;
+        self.stats.warm_depgraphs_reused = w.depgraphs_reused;
+        self.stats.warm_candidates_reused = w.candidates_reused;
+        self.stats.warm_ilp_seeded = w.ilp_incumbent_seeded;
+        self.stats.warm_sat_learnt_retained = w.sat_learnt_retained;
     }
 
     // ---- fault tolerance -------------------------------------------------
@@ -1036,13 +1063,14 @@ impl Controller {
         }
         let targets: Vec<EntryPortId> = affected.iter().copied().collect();
         // Tier 1: one batched restricted re-solve of the affected set.
-        if let Ok(out) = incremental::replace_ingresses(
+        if let Ok(out) = incremental::replace_ingresses_cached(
             instance,
             placement,
             &targets,
             &excluded,
             &self.options.placement,
             self.options.objective.clone(),
+            Some(&self.warm),
         ) {
             if let Some(p) = out.placement {
                 *instance = out.instance;
@@ -1062,13 +1090,14 @@ impl Controller {
         // Tier 3: salvage ingress-by-ingress; the rest go fail-closed.
         for l in targets {
             let mut salvaged = false;
-            if let Ok(out) = incremental::replace_ingresses(
+            if let Ok(out) = incremental::replace_ingresses_cached(
                 instance,
                 placement,
                 &[l],
                 &excluded,
                 &self.options.placement,
                 self.options.objective.clone(),
+                Some(&self.warm),
             ) {
                 if let Some(p) = out.placement {
                     *instance = out.instance;

@@ -60,6 +60,19 @@ pub struct CtrlStats {
     /// stay zero: a nonzero value means a packet that the policy drops
     /// could traverse a live route un-dropped.
     pub failclosed_violations: u64,
+    /// Whole-instance solves answered from the epoch placement memo.
+    pub warm_memo_hits: u64,
+    /// Whole-instance solves that missed the memo and ran the pipeline.
+    pub warm_memo_misses: u64,
+    /// Per-ingress dependency graphs reused from the warm cache.
+    pub warm_depgraphs_reused: u64,
+    /// Per-ingress candidate sets reused from the warm cache.
+    pub warm_candidates_reused: u64,
+    /// ILP session solves seeded with the previous epoch's incumbent.
+    pub warm_ilp_seeded: u64,
+    /// Learnt clauses retained by the persistent PB-SAT session
+    /// (gauge: value after the most recent session solve).
+    pub warm_sat_learnt_retained: u64,
 }
 
 impl CtrlStats {
@@ -115,13 +128,23 @@ impl fmt::Display for CtrlStats {
             self.switch_crashes,
             self.switch_recoveries
         )?;
-        write!(
+        writeln!(
             f,
             "degradation: {} safe-mode entries, {} reconcile runs ({} churned), {} fail-closed violations",
             self.safe_mode_entries,
             self.reconcile_runs,
             self.reconcile_churn,
             self.failclosed_violations
+        )?;
+        write!(
+            f,
+            "warm: {} memo hits / {} misses, {} depgraphs + {} candidates reused, {} ilp seeds, {} learnt retained",
+            self.warm_memo_hits,
+            self.warm_memo_misses,
+            self.warm_depgraphs_reused,
+            self.warm_candidates_reused,
+            self.warm_ilp_seeded,
+            self.warm_sat_learnt_retained
         )
     }
 }
@@ -161,5 +184,21 @@ mod tests {
         assert!(text.contains("1 quarantines"));
         assert!(text.contains("2 safe-mode entries"));
         assert!(text.contains("0 fail-closed violations"));
+    }
+
+    #[test]
+    fn warm_counters_render() {
+        let stats = CtrlStats {
+            warm_memo_hits: 4,
+            warm_memo_misses: 2,
+            warm_depgraphs_reused: 9,
+            warm_candidates_reused: 8,
+            warm_ilp_seeded: 1,
+            ..CtrlStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("warm: 4 memo hits / 2 misses"));
+        assert!(text.contains("9 depgraphs + 8 candidates reused"));
+        assert!(text.contains("1 ilp seeds"));
     }
 }

@@ -106,7 +106,7 @@ struct PbState {
 }
 
 /// A CDCL pseudo-Boolean solver. See the crate docs for an example.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Solver {
     nvars: usize,
     clauses: Vec<Clause>,
@@ -130,13 +130,36 @@ pub struct Solver {
     stats: SolverStats,
 }
 
+// Deliberately `new()`, not a derived impl: a field-wise default would
+// start with `ok: false` (permanently unsatisfiable) and `var_inc: 0.0`
+// (no activity bumping).
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
+            nvars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            pbs: Vec::new(),
+            pb_occ: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             var_inc: 1.0,
+            phase: Vec::new(),
+            seen: Vec::new(),
             ok: true,
-            ..Solver::default()
+            stats: SolverStats::default(),
         }
     }
 
@@ -648,6 +671,43 @@ impl Solver {
     /// level 0 first, so it stays reusable (clauses learnt so far are
     /// kept, and a later call resumes from them).
     pub fn solve_interruptible(&mut self, cancel: Option<&AtomicBool>) -> Option<SatResult> {
+        self.solve_with_assumptions_interruptible(&[], cancel)
+    }
+
+    /// Decides satisfiability under extra unit assumptions, without
+    /// permanently constraining the solver.
+    ///
+    /// Assumptions are enqueued as pseudo-decisions (MiniSat style), so
+    /// clauses learnt under them never mention the assumption context
+    /// except as ordinary negated decision literals — every learnt clause
+    /// stays implied by the database alone and is retained for later
+    /// calls, with or without assumptions. `Unsat` here means
+    /// *unsatisfiable under these assumptions*; the database itself is
+    /// untouched and the solver stays reusable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_with_assumptions_interruptible(assumptions, None)
+            .expect("uninterrupted solve always concludes")
+    }
+
+    /// [`solve_with_assumptions`](Self::solve_with_assumptions) with the
+    /// cancellation protocol of
+    /// [`solve_interruptible`](Self::solve_interruptible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption names a variable the solver has not
+    /// created.
+    pub fn solve_with_assumptions_interruptible(
+        &mut self,
+        assumptions: &[Lit],
+        cancel: Option<&AtomicBool>,
+    ) -> Option<SatResult> {
+        for &a in assumptions {
+            assert!(
+                (a.var().0 as usize) < self.nvars,
+                "unknown assumption variable {a}"
+            );
+        }
         if !self.ok {
             return Some(SatResult::Unsat);
         }
@@ -702,6 +762,30 @@ impl Solver {
                     }
                 }
                 None => {
+                    // (Re-)establish assumptions first: one pseudo-decision
+                    // level per assumption, recreated here after every
+                    // restart or deep backjump. An already-true assumption
+                    // gets a dummy level (keeping level indices aligned);
+                    // an already-false one means the database implies its
+                    // negation under the earlier assumptions — UNSAT under
+                    // assumptions, with `ok` left untouched.
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value_lit(a) {
+                            LBool::False => {
+                                self.cancel_until(0);
+                                return Some(SatResult::Unsat);
+                            }
+                            LBool::True => {
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::Undef => {
+                                self.trail_lim.push(self.trail.len());
+                                self.uncheck_enqueue(a, Reason::None);
+                            }
+                        }
+                        continue;
+                    }
                     match self.pick_branch_var() {
                         None => {
                             // Full assignment: SAT.
@@ -726,21 +810,6 @@ impl Solver {
                 }
             }
         }
-    }
-
-    /// Decides satisfiability under extra unit assumptions, without
-    /// permanently constraining the solver (implemented by solving a
-    /// clone extended with the assumptions as unit clauses).
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
-        let mut clone = self.clone();
-        for &a in assumptions {
-            if !clone.add_clause(&[a]) {
-                return SatResult::Unsat;
-            }
-        }
-        let result = clone.solve();
-        self.stats = clone.stats;
-        result
     }
 
     /// Debug check: the model satisfies every clause and PB constraint.
@@ -984,6 +1053,124 @@ mod tests {
         assert!(s.solve().is_sat());
         // And a different assumption set works.
         assert!(s.solve_with_assumptions(&[!v[0]]).is_sat());
+    }
+
+    #[test]
+    fn repeated_assumption_solves_keep_stats_monotone_and_results_correct() {
+        // Regression for the former clone-based implementation: every
+        // solve_with_assumptions threw away the learnt clauses (and the
+        // heuristic state) of the probe. The native implementation keeps
+        // one cumulative stats counter and one clause database, so stats
+        // must be non-decreasing across an interleaved mix of assumption
+        // and plain solves, with every verdict correct.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..4)
+            .map(|_| (0..4).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..4 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        let mut prev = s.stats();
+        for round in 0..4 {
+            // Forbid pigeon 0 in holes 0..3: it must take hole 3.
+            let assume: Vec<Lit> = (0..3).map(|h| !p[0][h]).collect();
+            let r = s.solve_with_assumptions(&assume);
+            let m = r.model().expect("4 pigeons fit 4 holes");
+            assert!(m.lit_value(p[0][3]), "round {round}: pigeon 0 in hole 3");
+            // Contradictory assumptions: pigeon 1 in no hole at all.
+            let none: Vec<Lit> = (0..4).map(|h| !p[1][h]).collect();
+            assert_eq!(s.solve_with_assumptions(&none), SatResult::Unsat);
+            // Unconstrained solve still succeeds (the Unsat above was
+            // only under assumptions — the database is untouched).
+            assert!(s.solve().is_sat(), "round {round}: plain solve");
+
+            let now = s.stats();
+            assert!(now.decisions >= prev.decisions, "decisions monotone");
+            assert!(now.conflicts >= prev.conflicts, "conflicts monotone");
+            assert!(
+                now.propagations > prev.propagations,
+                "every solve propagates"
+            );
+            assert!(
+                now.learnt_clauses >= prev.learnt_clauses,
+                "learnt clauses monotone"
+            );
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn assumption_solves_retain_learnt_clauses() {
+        // Solving the same hard query twice must not repeat the work:
+        // clauses learnt under assumptions are database-implied (the
+        // assumptions enter the search as pseudo-decisions) and stay in
+        // the database for the second call.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| (0..6).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..6 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        // Knock out one hole via assumptions: 6 pigeons, 5 usable holes.
+        let assume: Vec<Lit> = (0..6).map(|i| !p[i][5]).collect();
+
+        let before = s.stats();
+        assert_eq!(s.solve_with_assumptions(&assume), SatResult::Unsat);
+        let mid = s.stats();
+        let first_conflicts = mid.conflicts - before.conflicts;
+        assert!(first_conflicts > 0, "the query is non-trivial");
+        assert!(
+            mid.learnt_clauses > before.learnt_clauses,
+            "the first solve learns clauses"
+        );
+
+        assert_eq!(s.solve_with_assumptions(&assume), SatResult::Unsat);
+        let after = s.stats();
+        let second_conflicts = after.conflicts - mid.conflicts;
+        assert!(
+            second_conflicts <= first_conflicts,
+            "retained clauses make the re-solve no harder: \
+             {second_conflicts} vs {first_conflicts}"
+        );
+
+        // The database itself is still satisfiable.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumption_solve_interruptible_preset_flag() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        let flag = AtomicBool::new(true);
+        assert_eq!(
+            s.solve_with_assumptions_interruptible(&[!v[0]], Some(&flag)),
+            None
+        );
+        // Interruption leaves the solver reusable.
+        let r = s.solve_with_assumptions(&[!v[0]]);
+        assert!(r.model().expect("satisfiable").lit_value(v[1]));
+    }
+
+    #[test]
+    fn assumptions_after_database_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[Lit::positive(v)]);
+        assert!(!s.add_clause(&[Lit::negative(v)]));
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::positive(v)]),
+            SatResult::Unsat
+        );
     }
 
     #[test]

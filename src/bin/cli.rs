@@ -70,6 +70,8 @@ ctrl replay flags:
   --recover-rate P     per-crashed-switch recovery probability   [0]
   --retries N          install attempts per op, first included   [4]
   --quarantine-after N consecutive failures before quarantine    [3]
+  --warm on|off        incremental warm-path caches (fingerprint
+                       reuse + epoch placement memo)             [on]
 
 Trace files hold one event per line (# comments, blank lines ignored):
   install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
@@ -429,9 +431,18 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         },
         ..flowplace::core::PlacementOptions::default()
     };
+    let warm = match flags.get("warm").map(String::as_str) {
+        None | Some("on") => flowplace::core::WarmConfig::default(),
+        Some("off") => flowplace::core::WarmConfig {
+            enabled: false,
+            ..flowplace::core::WarmConfig::default()
+        },
+        Some(other) => return Err(format!("--warm: expected on|off, got {other:?}")),
+    };
     let options = CtrlOptions {
         batch_size: get_usize(&flags, "batch", 8)?,
         placement,
+        warm,
         faults,
         retry: RetryPolicy {
             max_attempts: get_usize(&flags, "retries", 4)? as u32,

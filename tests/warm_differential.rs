@@ -1,0 +1,159 @@
+//! Differential test for the warm path: a controller with the warm
+//! caches enabled (the default) must stay byte-identical to a cold
+//! controller over randomized §IV-E update streams — rule adds,
+//! removes, modifies, and reroutes — including across checkpoint /
+//! rollback, where the placement memo answers the replayed epoch.
+//!
+//! Both controllers see the exact same event sequence, one event per
+//! epoch, and after every epoch the working placement and the emitted
+//! dataplane tables must match exactly.
+
+use flowplace::acl::{Action, Policy, Rule, RuleId, Ternary};
+use flowplace::core::WarmConfig;
+use flowplace::prelude::*;
+use flowplace::rng::{Rng, StdRng};
+
+const WIDTH: u32 = 4;
+const SEEDS: u64 = 32;
+
+fn rand_rule(rng: &mut StdRng, priority: u32) -> Rule {
+    let care = rng.gen_range(0u128..(1 << WIDTH));
+    let value = rng.gen_range(0u128..(1 << WIDTH));
+    let action = if rng.gen_bool(0.6) {
+        Action::Drop
+    } else {
+        Action::Permit
+    };
+    Rule::new(Ternary::new(WIDTH, care, value), action, priority)
+}
+
+fn install(rng: &mut StdRng, ingress: usize) -> Event {
+    let (egress, switches) = if ingress == 0 {
+        (2, vec![0, 1, 2])
+    } else {
+        (0, vec![2, 1, 0])
+    };
+    let n = rng.gen_range(2..=5usize);
+    let mut rules: Vec<Rule> = (0..n).map(|p| rand_rule(rng, p as u32 + 2)).collect();
+    rules.push(Rule::new(Ternary::new(WIDTH, 0, 0), Action::Permit, 1));
+    Event::InstallPolicy {
+        ingress: EntryPortId(ingress),
+        policy: Policy::from_rules(rules).expect("distinct priorities"),
+        routes: vec![Route::new(
+            EntryPortId(ingress),
+            EntryPortId(egress),
+            switches.into_iter().map(SwitchId).collect(),
+        )],
+    }
+}
+
+fn reroute(rng: &mut StdRng, ingress: usize) -> Event {
+    let (egress, long, short) = if ingress == 0 {
+        (2, vec![0, 1, 2], vec![0, 2])
+    } else {
+        (0, vec![2, 1, 0], vec![2, 0])
+    };
+    let switches = if rng.gen_bool(0.5) { long } else { short };
+    Event::Reroute {
+        ingress: EntryPortId(ingress),
+        routes: vec![Route::new(
+            EntryPortId(ingress),
+            EntryPortId(egress),
+            switches.into_iter().map(SwitchId).collect(),
+        )],
+    }
+}
+
+/// One §IV-E update, with occasional checkpoint / rollback / re-solve
+/// events mixed in so the memo path fires on replayed instances.
+fn rand_event(rng: &mut StdRng, priority: &mut u32) -> Event {
+    *priority += 1;
+    let ingress = EntryPortId(rng.gen_range(0..2usize));
+    match rng.gen_range(0..12u32) {
+        0..=3 => Event::AddRule {
+            ingress,
+            rule: rand_rule(rng, *priority),
+        },
+        4..=5 => Event::RemoveRule {
+            ingress,
+            rule: RuleId(rng.gen_range(0..4usize)),
+        },
+        6..=7 => Event::ModifyRule {
+            ingress,
+            rule: RuleId(rng.gen_range(0..4usize)),
+            replacement: rand_rule(rng, *priority),
+        },
+        8..=9 => reroute(rng, ingress.0),
+        10 => Event::Checkpoint,
+        _ => Event::Rollback,
+    }
+}
+
+fn controller(capacity: usize, warm: WarmConfig) -> Controller {
+    let mut topo = Topology::linear(3);
+    topo.set_uniform_capacity(capacity);
+    Controller::new(
+        topo,
+        CtrlOptions {
+            batch_size: 1,
+            warm,
+            ..CtrlOptions::default()
+        },
+    )
+}
+
+/// Drives a cold and a warm controller through the same event stream
+/// and checks the placement and dataplane tables after every epoch.
+#[test]
+fn warm_path_is_byte_identical_to_cold() {
+    let cold_cfg = WarmConfig {
+        enabled: false,
+        ..WarmConfig::default()
+    };
+    let mut total_memo_hits = 0;
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0x11CE_0000 ^ seed);
+        let capacity = rng.gen_range(6..12usize);
+        let mut cold = controller(capacity, cold_cfg.clone());
+        let mut warm = controller(capacity, WarmConfig::default());
+
+        let mut events = vec![install(&mut rng, 0), install(&mut rng, 1)];
+        // A checkpoint → burst → rollback → re-solve core guarantees
+        // the rolled-back instance is replayed verbatim each seed.
+        events.push(Event::Checkpoint);
+        let mut priority = 10;
+        for _ in 0..rng.gen_range(8..14usize) {
+            events.push(rand_event(&mut rng, &mut priority));
+        }
+        events.push(Event::Rollback);
+        events.push(Event::Solve);
+
+        for (step, event) in events.into_iter().enumerate() {
+            cold.submit(event.clone()).expect("cold queue has room");
+            warm.submit(event).expect("warm queue has room");
+            cold.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: cold run failed: {e}"));
+            warm.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: warm run failed: {e}"));
+            assert_eq!(
+                warm.placement(),
+                cold.placement(),
+                "seed {seed} step {step}: placements diverged"
+            );
+            assert_eq!(
+                warm.dataplane().dump(),
+                cold.dataplane().dump(),
+                "seed {seed} step {step}: dataplane tables diverged"
+            );
+        }
+        assert_eq!(warm.stats().events_in, cold.stats().events_in);
+        assert_eq!(warm.stats().events_failed, cold.stats().events_failed);
+        assert_eq!(warm.stats().epochs, cold.stats().epochs);
+        total_memo_hits += warm.stats().warm_memo_hits;
+        assert_eq!(cold.stats().warm_memo_hits, 0, "cold controller cached");
+    }
+    assert!(
+        total_memo_hits > 0,
+        "the memo never fired across {SEEDS} rollback streams"
+    );
+}

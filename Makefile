@@ -3,12 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
-## ci: everything CI runs — format check, clippy, tier-1 build + tests.
-ci: fmt-check clippy test
+## ci: everything CI runs — format check, clippy, print hygiene,
+## tier-1 build + tests.
+ci: fmt-check clippy no-raw-print test
 
 fmt:
 	$(CARGO) fmt --all
@@ -18,6 +19,11 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --offline --workspace --all-targets -- -D warnings
+
+## no-raw-print: library sources must route output through flowplace-obs
+## or a Write sink, never raw print macros (binaries are exempt).
+no-raw-print:
+	./scripts/no_raw_print.sh
 
 build:
 	$(CARGO) build --release --offline
@@ -40,9 +46,22 @@ timing-guard: build
 bench-json:
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --threads 4
 
-## bench-json-smoke: single-sample schema-validation run (CI).
-bench-json-smoke:
+## bench-json-smoke: single-sample schema-validation run (CI), plus the
+## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps).
+bench-json-smoke: obs-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
+
+## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
+## CLI validates both against flowplace.obs.v1 before writing, and the
+## summarize pass re-validates on read.
+obs-smoke:
+	$(CARGO) run --release --offline --bin flowplace -- \
+		ctrl replay traces/chaos.trace --batch 4 \
+		--faults traces/chaos.faults --fault-seed 42 \
+		--reject-rate 0.1 --crash-rate 0.02 --recover-rate 0.5 \
+		--trace-out OBS_trace.json --metrics-out OBS_metrics.json
+	$(CARGO) run --release --offline --bin flowplace -- \
+		obs summarize OBS_trace.json OBS_metrics.json
 
 ## bench-incremental: cold vs warm controller epoch re-solves
 ## (BENCH_incremental.json) over checkpoint/rollback update streams;

@@ -11,6 +11,7 @@
 //! numbers, not statistical rigor.
 
 use std::fmt;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -46,24 +47,38 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
-/// Entry point handed to every bench function.
-#[derive(Default)]
+/// Entry point handed to every bench function. Report lines go to the
+/// configured sink (stdout by default), never through raw print macros,
+/// so library code stays print-free and tests can capture the output.
 pub struct Criterion {
-    _private: (),
+    out: Box<dyn Write>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::new()
+    }
 }
 
 impl Criterion {
-    /// Creates the harness.
+    /// Creates the harness reporting to stdout.
     pub fn new() -> Self {
-        Criterion::default()
+        Criterion {
+            out: Box::new(std::io::stdout()),
+        }
+    }
+
+    /// Creates the harness reporting to an arbitrary sink.
+    pub fn with_output(out: Box<dyn Write>) -> Self {
+        Criterion { out }
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
-        println!("group {name}");
+        let _ = writeln!(self.out, "group {name}");
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name,
             sample_size: 10,
         }
@@ -72,7 +87,7 @@ impl Criterion {
 
 /// A named collection of benchmarks sharing a sample size.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -122,7 +137,8 @@ impl BenchmarkGroup<'_> {
         let min = samples.first().copied().unwrap_or_default();
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
-        println!(
+        let _ = writeln!(
+            self.parent.out,
             "  {}/{id}: {} samples, min {min:?}, median {median:?}, mean {mean:?}",
             self.name,
             samples.len()
@@ -197,5 +213,31 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn report_goes_to_the_configured_sink() {
+        let buf = SharedBuf::default();
+        let mut c = Criterion::with_output(Box::new(buf.clone()));
+        let mut group = c.benchmark_group("sink_selftest");
+        group.sample_size(1);
+        group.bench_function("noop", |b| b.iter(|| 1u32));
+        group.finish();
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        assert!(text.contains("group sink_selftest"));
+        assert!(text.contains("sink_selftest/noop: 1 samples"));
     }
 }

@@ -174,6 +174,14 @@ impl SatEncoding {
         self.conflicts
     }
 
+    /// Full CDCL search counters of the last
+    /// [`SatEncoding::solve`] call (decisions, conflicts, propagations,
+    /// restarts, learnt clauses) — the solver-side telemetry exported to
+    /// the observability registry.
+    pub fn solver_stats(&self) -> flowplace_pbsat::SolverStats {
+        self.solver.stats()
+    }
+
     /// Solves the formula; `Some(placement)` iff satisfiable.
     pub fn solve(&mut self) -> Option<Placement> {
         self.solve_interruptible(None)

@@ -58,8 +58,9 @@ use crate::candidates::{candidates_for_ingress, CandidateMap};
 use crate::depgraph::DependencyGraph;
 use crate::monitor::restrict_candidates;
 use crate::placement::{place_ilp_with, place_sat_with};
-use crate::warm::{self, WarmCache};
+use crate::warm::{self, WarmCache, WarmStats};
 use crate::{Instance, Objective, PlacementOptions, PlacementOutcome, PlacerEngine, SolveStatus};
+use flowplace_obs::Obs;
 
 /// Parallel-pipeline configuration, carried in
 /// [`PlacementOptions::parallel`].
@@ -319,8 +320,73 @@ pub fn solve_with_cache(
     options: &PlacementOptions,
     cache: Option<&WarmCache>,
 ) -> ParOutcome {
+    solve_observed(instance, objective, options, cache, None)
+}
+
+/// Records the deterministic solve telemetry for one pipeline run: the
+/// per-provenance solve counter, the search-effort histogram (nodes for
+/// ILP, conflicts for SAT — the reproducible latency proxy; see the
+/// `flowplace-obs` determinism rules), and the cumulative engine-effort
+/// counters.
+fn record_solve_metrics(obs: &Obs, provenance: Provenance, outcome: &PlacementOutcome) {
+    let tag = provenance.to_string();
+    let labels: &[(&str, &str)] = &[("provenance", tag.as_str())];
+    obs.metrics.counter_add_with("pipeline.solves", labels, 1);
+    if provenance == Provenance::Memo {
+        return;
+    }
+    let stats = &outcome.stats;
+    obs.metrics
+        .observe_with("pipeline.solve_cost", labels, stats.nodes as u64);
+    obs.metrics
+        .counter_add_with("solver.nodes", labels, stats.nodes as u64);
+    obs.metrics
+        .counter_add_with("solver.lp_iterations", labels, stats.lp_iterations as u64);
+    obs.metrics
+        .counter_add_with("solver.lazy_rows", labels, stats.lazy_rows as u64);
+    obs.metrics
+        .gauge_set_with("solver.variables", labels, stats.variables as i64);
+    obs.metrics
+        .gauge_set_with("solver.constraints", labels, stats.constraints as i64);
+}
+
+/// Attaches the built/reused delta of a warm-cache counter pair as span
+/// attributes (cold runs pass `None` deltas and report raw totals only).
+fn stage_delta(before: Option<WarmStats>, after: Option<WarmStats>) -> Option<(u64, u64)> {
+    match (before, after) {
+        (Some(b), Some(a)) => Some((
+            a.depgraphs_built + a.candidates_built - b.depgraphs_built - b.candidates_built,
+            a.depgraphs_reused + a.candidates_reused - b.depgraphs_reused - b.candidates_reused,
+        )),
+        _ => None,
+    }
+}
+
+/// [`solve_with_cache`] with optional telemetry (see `flowplace-obs`).
+///
+/// With `obs: Some`, the pipeline records a `"pipeline"` span with one
+/// child per stage (`pipeline.depgraphs`, `pipeline.candidates`,
+/// `pipeline.solve`) plus the solve counters/histograms keyed by
+/// [`Provenance`]. Observability is strictly effect-free: the returned
+/// outcome is byte-identical to `obs: None`, and only deterministic
+/// quantities (span ticks, search effort, cache deltas) are recorded —
+/// never wall time, so dumps diff clean across same-seed runs. Wall
+/// clock stays available separately through [`StageTimes`].
+pub fn solve_observed(
+    instance: &Instance,
+    objective: Objective,
+    options: &PlacementOptions,
+    cache: Option<&WarmCache>,
+    obs: Option<&Obs>,
+) -> ParOutcome {
     let cache = cache.filter(|c| c.enabled());
     let threads = options.parallel.effective_threads();
+
+    let root = obs.map(|o| o.spans.enter("pipeline"));
+    if let Some(span) = &root {
+        span.attr("ingresses", instance.policies().count());
+        span.attr("threads", threads);
+    }
 
     // O(1) short-circuit: an identical instance was already solved.
     let instance_fp = cache.map(|c| {
@@ -329,6 +395,10 @@ pub fn solve_with_cache(
     });
     if let Some((c, fp)) = instance_fp {
         if let Some(outcome) = c.memo_get(fp) {
+            if let (Some(span), Some(o)) = (&root, obs) {
+                span.attr("provenance", Provenance::Memo.to_string());
+                record_solve_metrics(o, Provenance::Memo, &outcome);
+            }
             return ParOutcome {
                 outcome,
                 provenance: Provenance::Memo,
@@ -338,21 +408,42 @@ pub fn solve_with_cache(
     }
 
     let t = Instant::now();
+    let warm_before = cache.map(|c| c.stats());
+    let stage = obs.map(|o| o.spans.enter("pipeline.depgraphs"));
     let graphs = match cache {
         Some(c) => build_depgraphs_cached(instance, threads, c),
         None => build_depgraphs(instance, threads),
     };
+    if let Some(span) = &stage {
+        span.attr("graphs", graphs.len());
+        if let Some((built, reused)) = stage_delta(warm_before, cache.map(|c| c.stats())) {
+            span.attr("built", built);
+            span.attr("reused", reused);
+        }
+    }
+    drop(stage);
     let depgraphs = t.elapsed();
 
     let t = Instant::now();
+    let warm_before = cache.map(|c| c.stats());
+    let stage = obs.map(|o| o.spans.enter("pipeline.candidates"));
     let mut candidates = match cache {
         Some(c) => build_candidates_cached(instance, &graphs, threads, c),
         None => build_candidates_par(instance, &graphs, threads),
     };
     restrict_candidates(instance, &mut candidates, &options.monitors);
+    if let Some(span) = &stage {
+        span.attr("ingresses", candidates.len());
+        if let Some((built, reused)) = stage_delta(warm_before, cache.map(|c| c.stats())) {
+            span.attr("built", built);
+            span.attr("reused", reused);
+        }
+    }
+    drop(stage);
     let candidates_time = t.elapsed();
 
     let t = Instant::now();
+    let stage = obs.map(|o| o.spans.enter("pipeline.solve"));
     let sessions = cache.map(|c| c.sessions_enabled()).unwrap_or(false);
     let (outcome, provenance) = if sessions {
         let c = cache.expect("sessions implies a cache");
@@ -370,10 +461,23 @@ pub fn solve_with_cache(
         };
         (out, Provenance::Single(options.engine))
     };
+    if let Some(span) = &stage {
+        span.attr("provenance", provenance.to_string());
+        span.attr("status", outcome.status.to_string());
+        span.attr("nodes", outcome.stats.nodes);
+    }
+    drop(stage);
     let solve_time = t.elapsed();
 
     if let Some((c, fp)) = instance_fp {
         c.memo_put(fp, &outcome);
+    }
+
+    if let Some(span) = &root {
+        span.attr("provenance", provenance.to_string());
+    }
+    if let Some(o) = obs {
+        record_solve_metrics(o, provenance, &outcome);
     }
 
     ParOutcome {

@@ -301,6 +301,21 @@ impl RulePlacer {
     ) -> crate::par::ParOutcome {
         crate::par::solve_with_cache(instance, objective, &self.options, Some(cache))
     }
+
+    /// The fully instrumented solve: [`place_cached`](Self::place_cached)
+    /// semantics with both the cache and the telemetry context optional.
+    /// Records pipeline spans and solver metrics on `obs` (see
+    /// [`crate::par::solve_observed`]); observability is effect-free, so
+    /// the outcome is byte-identical to the unobserved calls.
+    pub fn place_observed(
+        &self,
+        instance: &Instance,
+        objective: Objective,
+        cache: Option<&crate::warm::WarmCache>,
+        obs: Option<&flowplace_obs::Obs>,
+    ) -> crate::par::ParOutcome {
+        crate::par::solve_observed(instance, objective, &self.options, cache, obs)
+    }
 }
 
 /// ILP solve over already-built (and already monitor-restricted)

@@ -298,10 +298,15 @@ impl Default for WarmConfig {
 /// `sat_learnt_retained` gauge).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WarmStats {
+    /// Placement-memo lookups (`memo_hits + memo_misses` always equals
+    /// this — the telemetry invariant `tests/obs_invariants.rs` pins).
+    pub memo_lookups: u64,
     /// Placement-memo hits (re-solves answered in O(1)).
     pub memo_hits: u64,
     /// Placement-memo misses (full solves that went to stage 3).
     pub memo_misses: u64,
+    /// Memo entries evicted by the FIFO capacity bound.
+    pub memo_evictions: u64,
     /// Dependency graphs served from cache.
     pub depgraphs_reused: u64,
     /// Dependency graphs built cold.
@@ -451,6 +456,7 @@ impl WarmCache {
             .find(|(k, _)| *k == fp)
             .map(|(_, o)| o.clone());
         let mut stats = self.stats.borrow_mut();
+        stats.memo_lookups += 1;
         match hit {
             Some(o) => {
                 stats.memo_hits += 1;
@@ -475,6 +481,7 @@ impl WarmCache {
         }
         while memo.len() >= self.config.memo_capacity {
             memo.pop_front();
+            self.stats.borrow_mut().memo_evictions += 1;
         }
         memo.push_back((fp, outcome.clone()));
     }
@@ -1207,6 +1214,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.memo_hits, 2);
         assert_eq!(stats.memo_misses, 1);
+        assert_eq!(stats.memo_lookups, stats.memo_hits + stats.memo_misses);
+        assert_eq!(stats.memo_evictions, 1);
     }
 
     #[test]

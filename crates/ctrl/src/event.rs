@@ -98,6 +98,26 @@ pub enum Event {
     Rollback,
 }
 
+impl Event {
+    /// The event's trace keyword (the first token of its [`fmt::Display`]
+    /// form), used as the `kind` label on telemetry counters and spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::AddRule { .. } => "add-rule",
+            Event::RemoveRule { .. } => "remove-rule",
+            Event::ModifyRule { .. } => "modify-rule",
+            Event::InstallPolicy { .. } => "install-policy",
+            Event::Reroute { .. } => "reroute",
+            Event::CapacityChange { .. } => "capacity",
+            Event::SwitchFail { .. } => "switch-fail",
+            Event::SwitchRecover { .. } => "switch-recover",
+            Event::Solve => "solve",
+            Event::Checkpoint => "checkpoint",
+            Event::Rollback => "rollback",
+        }
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn fmt_routes(f: &mut fmt::Formatter<'_>, routes: &[Route]) -> fmt::Result {

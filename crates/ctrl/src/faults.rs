@@ -65,6 +65,20 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// The fault's schedule keyword (the token after `fault` in its
+    /// [`fmt::Display`] form), used as the `kind` label on the
+    /// `faults.injected` telemetry counter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::InstallReject { .. } => "install-reject",
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Recover { .. } => "recover",
+            FaultKind::CapacityRevoke { .. } => "capacity",
+        }
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

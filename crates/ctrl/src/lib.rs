@@ -73,6 +73,7 @@ use flowplace_core::{
     incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer, WarmCache,
     WarmConfig,
 };
+use flowplace_obs::{AttrValue, Obs, SpanId};
 use flowplace_routing::{Route, RouteSet};
 use flowplace_topo::{EntryPortId, SwitchId, Topology};
 
@@ -135,6 +136,23 @@ pub enum EventOutcome {
         /// The recovered switch.
         switch: SwitchId,
     },
+}
+
+impl EventOutcome {
+    /// Stable keyword for traces and metric labels (e.g.
+    /// `"applied:greedy"`, `"rejected"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventOutcome::Applied(Tier::Greedy) => "applied:greedy",
+            EventOutcome::Applied(Tier::Restricted) => "applied:restricted",
+            EventOutcome::Applied(Tier::Full) => "applied:full",
+            EventOutcome::Checkpoint => "checkpoint",
+            EventOutcome::RolledBack { .. } => "rolled-back",
+            EventOutcome::Rejected { .. } => "rejected",
+            EventOutcome::SwitchFailed { .. } => "switch-failed",
+            EventOutcome::SwitchRecovered { .. } => "switch-recovered",
+        }
+    }
 }
 
 /// The result of committing one epoch.
@@ -323,6 +341,7 @@ pub struct Controller {
     stats: CtrlStats,
     faults: FaultRuntime,
     warm: WarmCache,
+    obs: Option<Obs>,
 }
 
 /// Rebuilds `instance` with one switch's capacity changed (capacity
@@ -372,6 +391,7 @@ impl Controller {
             warm: WarmCache::new(options.warm.clone()),
             options,
             stats: CtrlStats::default(),
+            obs: None,
         }
     }
 
@@ -414,6 +434,45 @@ impl Controller {
     /// Cumulative counters.
     pub fn stats(&self) -> &CtrlStats {
         &self.stats
+    }
+
+    /// Attaches an observability context: epoch/event/commit spans and
+    /// controller/solver metrics are recorded onto it from now on.
+    /// Telemetry never feeds back into control decisions, so a
+    /// controller behaves identically with and without a sink attached.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability context, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    /// Opens a span on the attached sink (no-op without one), syncing
+    /// the recorder's virtual clock from the fault clock first.
+    fn span_begin(&self, name: &str) -> Option<SpanId> {
+        let o = self.obs.as_ref()?;
+        o.spans.set_virtual_ms(self.faults.clock.now_ms());
+        Some(o.spans.begin(name))
+    }
+
+    /// Attaches an attribute to a span opened by
+    /// [`span_begin`](Controller::span_begin).
+    fn span_attr(&self, span: Option<SpanId>, key: &str, value: impl Into<AttrValue>) {
+        if let (Some(o), Some(id)) = (&self.obs, span) {
+            o.spans.attr(id, key, value);
+        }
+    }
+
+    /// Ends a span opened by [`span_begin`](Controller::span_begin),
+    /// syncing the virtual clock so backoff spent inside it is visible
+    /// in the span's duration.
+    fn span_end(&self, span: Option<SpanId>) {
+        if let (Some(o), Some(id)) = (&self.obs, span) {
+            o.spans.set_virtual_ms(self.faults.clock.now_ms());
+            o.spans.end(id);
+        }
     }
 
     /// The last committed epoch.
@@ -489,6 +548,25 @@ impl Controller {
             return Ok(None);
         }
         let epoch = self.epochs.next();
+        let span = self.span_begin("ctrl.epoch");
+        self.span_attr(span, "epoch", epoch);
+        let result = self.run_epoch_inner(epoch);
+        match &result {
+            Ok(report) => {
+                self.span_attr(span, "events", report.outcomes.len());
+                self.span_attr(span, "installed", report.installed);
+                self.span_attr(span, "removed", report.removed);
+            }
+            Err(e) => self.span_attr(span, "error", e.to_string()),
+        }
+        self.span_end(span);
+        result.map(Some)
+    }
+
+    /// The body of [`run_epoch`](Controller::run_epoch), with the epoch
+    /// number already drawn (extracted so the `ctrl.epoch` span closes
+    /// on the error path too).
+    fn run_epoch_inner(&mut self, epoch: u64) -> Result<EpochReport, CtrlError> {
         let faults_before = self.stats.faults_injected;
 
         // Faults due at this epoch's start are synthesized as events at
@@ -505,6 +583,12 @@ impl Controller {
         let mut outcomes = Vec::with_capacity(batch.len());
 
         for event in batch {
+            let event_span = self.span_begin("ctrl.event");
+            self.span_attr(event_span, "kind", event.label());
+            if let Some(o) = &self.obs {
+                o.metrics
+                    .counter_add_with("ctrl.events", &[("kind", event.label())], 1);
+            }
             let outcome = match &event {
                 Event::Checkpoint => {
                     self.epochs.checkpoint(instance.clone(), placement.clone());
@@ -569,6 +653,8 @@ impl Controller {
                     },
                 },
             };
+            self.span_attr(event_span, "outcome", outcome.label());
+            self.span_end(event_span);
             outcomes.push((event, outcome));
         }
 
@@ -579,31 +665,27 @@ impl Controller {
             || !self.faults.unmanageable.is_empty()
             || !self.faults.safe_mode.is_empty();
 
-        let (report, quarantined) = if resilient {
-            self.commit_resilient(epoch, &mut instance, &mut placement)?
+        let commit_span = self.span_begin("ctrl.commit");
+        self.span_attr(
+            commit_span,
+            "path",
+            if resilient { "resilient" } else { "atomic" },
+        );
+        let committed = if resilient {
+            self.commit_resilient(epoch, &mut instance, &mut placement)
         } else {
-            // Atomic path: verify, then one staged transaction.
-            let tables =
-                emit_tables(&instance, &placement).map_err(|e| CtrlError::Table(e.to_string()))?;
-            if let Err(e) =
-                verify::verify_placement(&instance, &placement, self.options.verify_packets, epoch)
-            {
-                self.stats.verify_failures += 1;
-                return Err(CtrlError::VerifyFailed {
-                    epoch,
-                    detail: e.to_string(),
-                });
-            }
-            let target = DataPlane::target_from_tables(&tables);
-            self.dataplane
-                .set_capacities(&instance.topology().capacities());
-            let diff = self.dataplane.diff_to(&target)?;
-            let report = self.dataplane.apply(&diff)?;
-            if !diff.is_empty() {
-                self.stats.diffs_applied += 1;
-            }
-            (report, Vec::new())
+            self.commit_atomic(epoch, &instance, &placement)
         };
+        match &committed {
+            Ok((report, quarantined)) => {
+                self.span_attr(commit_span, "installed", report.installed);
+                self.span_attr(commit_span, "removed", report.removed);
+                self.span_attr(commit_span, "quarantined", quarantined.len());
+            }
+            Err(e) => self.span_attr(commit_span, "error", e.to_string()),
+        }
+        self.span_end(commit_span);
+        let (report, quarantined) = committed?;
 
         self.instance = instance;
         self.placement = placement;
@@ -617,8 +699,9 @@ impl Controller {
         if resilient && self.fail_closed_audit().is_err() {
             self.stats.failclosed_violations += 1;
         }
+        self.record_epoch_metrics();
 
-        Ok(Some(EpochReport {
+        Ok(EpochReport {
             epoch,
             outcomes,
             installed: report.installed,
@@ -627,7 +710,63 @@ impl Controller {
             quarantined,
             safe_mode: self.faults.safe_mode.iter().copied().collect(),
             injected: (self.stats.faults_injected - faults_before) as usize,
-        }))
+        })
+    }
+
+    /// The fault-free commit path: verify, then one staged transaction.
+    fn commit_atomic(
+        &mut self,
+        epoch: u64,
+        instance: &Instance,
+        placement: &Placement,
+    ) -> Result<(ApplyReport, Vec<SwitchId>), CtrlError> {
+        let tables =
+            emit_tables(instance, placement).map_err(|e| CtrlError::Table(e.to_string()))?;
+        if let Err(e) =
+            verify::verify_placement(instance, placement, self.options.verify_packets, epoch)
+        {
+            self.stats.verify_failures += 1;
+            return Err(CtrlError::VerifyFailed {
+                epoch,
+                detail: e.to_string(),
+            });
+        }
+        let target = DataPlane::target_from_tables(&tables);
+        self.dataplane
+            .set_capacities(&instance.topology().capacities());
+        let diff = self.dataplane.diff_to(&target)?;
+        let report = self.dataplane.apply(&diff)?;
+        if !diff.is_empty() {
+            self.stats.diffs_applied += 1;
+        }
+        Ok((report, Vec::new()))
+    }
+
+    /// Post-commit metrics sweep onto the attached sink (no-op without
+    /// one): per-switch TCAM occupancy and capacity gauges, queue
+    /// depth, §IV-B merge-saving gauges, and an absolute-value export
+    /// of every [`CtrlStats`] counter.
+    fn record_epoch_metrics(&self) {
+        let Some(o) = &self.obs else { return };
+        for i in 0..self.dataplane.switch_count() {
+            let tcam = self.dataplane.switch(SwitchId(i));
+            let tag = format!("s{i}");
+            let labels = [("switch", tag.as_str())];
+            o.metrics
+                .gauge_set_with("tcam.occupancy", &labels, tcam.occupancy() as i64);
+            o.metrics
+                .gauge_set_with("tcam.capacity", &labels, tcam.capacity() as i64);
+        }
+        o.metrics
+            .gauge_set("ctrl.queue_depth", self.queue.len() as i64);
+        let groups = self.placement.merge_groups();
+        let saved: usize = groups
+            .iter()
+            .map(|g| g.members.len().saturating_sub(1))
+            .sum();
+        o.metrics.gauge_set("merge.groups", groups.len() as i64);
+        o.metrics.gauge_set("merge.entries_saved", saved as i64);
+        self.stats.export(&o.metrics);
     }
 
     /// Runs epochs until the queue drains.
@@ -885,7 +1024,12 @@ impl Controller {
     /// error if no feasible placement exists.
     fn full_solve(&self, instance: &Instance) -> Result<Placement, String> {
         let outcome = RulePlacer::new(self.options.placement.clone())
-            .place_cached(instance, self.options.objective.clone(), &self.warm)
+            .place_observed(
+                instance,
+                self.options.objective.clone(),
+                Some(&self.warm),
+                self.obs.as_ref(),
+            )
             .outcome;
         outcome
             .placement
@@ -897,6 +1041,8 @@ impl Controller {
     /// tier counters.
     fn sync_warm_stats(&mut self) {
         let w = self.warm.stats();
+        self.stats.warm_memo_lookups = w.memo_lookups;
+        self.stats.warm_memo_evictions = w.memo_evictions;
         self.stats.warm_memo_hits = w.memo_hits;
         self.stats.warm_memo_misses = w.memo_misses;
         self.stats.warm_depgraphs_reused = w.depgraphs_reused;
@@ -923,6 +1069,10 @@ impl Controller {
         let mut events = Vec::new();
         for kind in due {
             self.stats.faults_injected += 1;
+            if let Some(o) = &self.obs {
+                o.metrics
+                    .counter_add_with("faults.injected", &[("kind", kind.label())], 1);
+            }
             match kind {
                 FaultKind::Crash { switch } => events.push(Event::SwitchFail { switch }),
                 FaultKind::Recover { switch } => events.push(Event::SwitchRecover { switch }),
@@ -997,6 +1147,14 @@ impl Controller {
             return;
         }
         self.stats.quarantines += 1;
+        if let Some(o) = &self.obs {
+            let tag = format!("s{}", switch.0);
+            o.metrics.counter_add_with(
+                "ctrl.quarantine_transitions",
+                &[("switch", tag.as_str())],
+                1,
+            );
+        }
         self.faults.unmanageable.insert(
             switch,
             Outage {
@@ -1333,9 +1491,16 @@ impl Controller {
                 self.faults.clock.advance(delay);
                 self.stats.backoff_ms += delay;
                 self.stats.install_retries += 1;
+                if let Some(o) = &self.obs {
+                    o.metrics.observe("dataplane.backoff_ms", delay);
+                }
             }
             if !self.faults.injector.install_allowed(s) {
                 self.stats.faults_injected += 1;
+                if let Some(o) = &self.obs {
+                    o.metrics
+                        .counter_add_with("faults.injected", &[("kind", "install-reject")], 1);
+                }
                 continue;
             }
             return self.dataplane.install(s, e).is_ok();
@@ -1566,6 +1731,56 @@ mod tests {
         ));
         assert_eq!(ctrl.stats().events_failed, 1);
         assert_eq!(ctrl.dataplane().total_occupancy(), 0);
+    }
+
+    #[test]
+    fn obs_attachment_is_effect_free_and_records() {
+        let mut plain = small_controller(10);
+        let mut observed = small_controller(10);
+        observed.attach_obs(Obs::new());
+        for ctrl in [&mut plain, &mut observed] {
+            ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+            ctrl.submit(Event::AddRule {
+                ingress: EntryPortId(0),
+                rule: Rule::new(t("01**"), Action::Drop, 3),
+            })
+            .unwrap();
+            // The full tier runs the observed solver pipeline.
+            ctrl.submit(Event::Solve).unwrap();
+            ctrl.run_to_idle().unwrap();
+        }
+        // Telemetry is strictly effect-free.
+        assert_eq!(plain.placement(), observed.placement());
+        assert_eq!(plain.dataplane().dump(), observed.dataplane().dump());
+        assert_eq!(plain.stats(), observed.stats());
+
+        let obs = observed.obs().unwrap();
+        assert_eq!(obs.spans.open_count(), 0);
+        assert_eq!(obs.spans.mis_nested(), 0);
+        let spans = obs.spans.spans();
+        for expected in ["ctrl.epoch", "ctrl.event", "ctrl.commit", "pipeline"] {
+            assert!(
+                spans.iter().any(|s| s.name == expected),
+                "missing span {expected}"
+            );
+        }
+        assert_eq!(obs.metrics.counter_value("ctrl.epochs", &[]), 1);
+        assert_eq!(
+            obs.metrics
+                .counter_value("ctrl.events", &[("kind", "install-policy")]),
+            1
+        );
+        assert_eq!(
+            obs.metrics
+                .counter_value("ctrl.events", &[("kind", "add-rule")]),
+            1
+        );
+        assert!(obs
+            .metrics
+            .gauge_value("tcam.occupancy", &[("switch", "s0")])
+            .is_some());
+        flowplace_obs::validate_obs_json(&obs.trace_json()).expect("trace validates");
+        flowplace_obs::validate_obs_json(&obs.metrics_json()).expect("metrics validate");
     }
 
     fn fault_options(schedule: &str) -> CtrlOptions {

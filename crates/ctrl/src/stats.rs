@@ -1,5 +1,6 @@
 //! Controller counters.
 
+use flowplace_obs::Registry;
 use std::fmt;
 
 /// Cumulative counters for one [`Controller`](crate::Controller).
@@ -60,10 +61,15 @@ pub struct CtrlStats {
     /// stay zero: a nonzero value means a packet that the policy drops
     /// could traverse a live route un-dropped.
     pub failclosed_violations: u64,
+    /// Whole-instance memo lookups (`warm_memo_hits + warm_memo_misses`
+    /// always equals this; the invariant tests pin it).
+    pub warm_memo_lookups: u64,
     /// Whole-instance solves answered from the epoch placement memo.
     pub warm_memo_hits: u64,
     /// Whole-instance solves that missed the memo and ran the pipeline.
     pub warm_memo_misses: u64,
+    /// Memo entries evicted by the FIFO capacity bound.
+    pub warm_memo_evictions: u64,
     /// Per-ingress dependency graphs reused from the warm cache.
     pub warm_depgraphs_reused: u64,
     /// Per-ingress candidate sets reused from the warm cache.
@@ -84,6 +90,54 @@ impl CtrlStats {
     /// Events that escalated past the greedy tier.
     pub fn escalations(&self) -> u64 {
         self.restricted_ok + self.full_ok
+    }
+
+    /// Mirrors every counter onto an observability registry under the
+    /// `ctrl.*` / `warm.*` namespaces (absolute-value sync — the fields
+    /// here stay the source of truth and all public accessors keep
+    /// working; the registry is a read-only projection).
+    pub fn export(&self, metrics: &Registry) {
+        let counters: &[(&str, u64)] = &[
+            ("ctrl.events_in", self.events_in),
+            ("ctrl.events_rejected", self.events_rejected),
+            ("ctrl.events_failed", self.events_failed),
+            ("ctrl.epochs", self.epochs),
+            ("ctrl.diffs_applied", self.diffs_applied),
+            ("ctrl.entries_installed", self.entries_installed),
+            ("ctrl.entries_removed", self.entries_removed),
+            ("ctrl.greedy_ok", self.greedy_ok),
+            ("ctrl.restricted_ok", self.restricted_ok),
+            ("ctrl.full_ok", self.full_ok),
+            ("ctrl.verify_failures", self.verify_failures),
+            ("ctrl.checkpoints", self.checkpoints),
+            ("ctrl.rollbacks", self.rollbacks),
+            ("faults.injected_total", self.faults_injected),
+            ("dataplane.install_retries", self.install_retries),
+            ("dataplane.backoff_ms_total", self.backoff_ms),
+            ("ctrl.quarantines", self.quarantines),
+            ("ctrl.switch_crashes", self.switch_crashes),
+            ("ctrl.switch_recoveries", self.switch_recoveries),
+            ("ctrl.safe_mode_entries", self.safe_mode_entries),
+            ("ctrl.reconcile_runs", self.reconcile_runs),
+            ("ctrl.reconcile_churn", self.reconcile_churn),
+            ("ctrl.failclosed_violations", self.failclosed_violations),
+            ("warm.memo_lookups", self.warm_memo_lookups),
+            ("warm.memo_hits", self.warm_memo_hits),
+            ("warm.memo_misses", self.warm_memo_misses),
+            ("warm.memo_evictions", self.warm_memo_evictions),
+            ("warm.depgraphs_reused", self.warm_depgraphs_reused),
+            ("warm.candidates_reused", self.warm_candidates_reused),
+            ("warm.ilp_seeded", self.warm_ilp_seeded),
+        ];
+        for (name, value) in counters {
+            metrics.counter_set_with(name, &[], *value);
+        }
+        metrics.gauge_set("ctrl.peak_tcam_occupancy", self.peak_tcam_occupancy as i64);
+        metrics.gauge_set("ctrl.max_queue_depth", self.max_queue_depth as i64);
+        metrics.gauge_set(
+            "warm.sat_learnt_retained",
+            self.warm_sat_learnt_retained as i64,
+        );
     }
 }
 
@@ -138,9 +192,10 @@ impl fmt::Display for CtrlStats {
         )?;
         write!(
             f,
-            "warm: {} memo hits / {} misses, {} depgraphs + {} candidates reused, {} ilp seeds, {} learnt retained",
+            "warm: {} memo hits / {} misses ({} evicted), {} depgraphs + {} candidates reused, {} ilp seeds, {} learnt retained",
             self.warm_memo_hits,
             self.warm_memo_misses,
+            self.warm_memo_evictions,
             self.warm_depgraphs_reused,
             self.warm_candidates_reused,
             self.warm_ilp_seeded,
@@ -184,6 +239,26 @@ mod tests {
         assert!(text.contains("1 quarantines"));
         assert!(text.contains("2 safe-mode entries"));
         assert!(text.contains("0 fail-closed violations"));
+    }
+
+    #[test]
+    fn export_mirrors_onto_registry_idempotently() {
+        let stats = CtrlStats {
+            events_in: 5,
+            quarantines: 2,
+            peak_tcam_occupancy: 7,
+            warm_memo_hits: 1,
+            ..CtrlStats::default()
+        };
+        let reg = Registry::new();
+        stats.export(&reg);
+        assert_eq!(reg.counter_value("ctrl.events_in", &[]), 5);
+        assert_eq!(reg.counter_value("ctrl.quarantines", &[]), 2);
+        assert_eq!(reg.gauge_value("ctrl.peak_tcam_occupancy", &[]), Some(7));
+        assert_eq!(reg.counter_value("warm.memo_hits", &[]), 1);
+        // Absolute-value sync: re-exporting must not double count.
+        stats.export(&reg);
+        assert_eq!(reg.counter_value("ctrl.events_in", &[]), 5);
     }
 
     #[test]

@@ -155,6 +155,7 @@ pub fn solve_mip_lazy(
             nodes: 0,
             lp_iterations: 0,
             lazy_rows_added: 0,
+            elapsed: start.elapsed(),
         };
     }
     // The cancel flag must also reach the LP sub-solver: a single root LP
@@ -435,6 +436,7 @@ pub fn solve_mip_lazy(
         nodes,
         lp_iterations,
         lazy_rows_added,
+        elapsed: start.elapsed(),
     }
 }
 

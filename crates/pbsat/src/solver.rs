@@ -77,6 +77,15 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
 }
 
+impl SolverStats {
+    /// Total search effort: decisions plus conflicts plus propagations.
+    /// A deterministic single-number cost proxy for telemetry (wall time
+    /// is not reproducible across runs; this is).
+    pub fn search_steps(&self) -> u64 {
+        self.decisions + self.conflicts + self.propagations
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LBool {
     True,

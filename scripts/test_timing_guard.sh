@@ -2,11 +2,15 @@
 # Tier-1 test timing guard.
 #
 # Runs the tier-1 test suite (root-package tests against the release
-# build, same command as `make test`) under a wall-clock budget of 2x
+# build, same targets as `make test`) under a wall-clock budget of 2x
 # the recorded baseline in scripts/test_timing_baseline.txt. A quietly
 # 10x-slower suite is a regression like any other — usually a solver
 # path that lost a bound or a test that grew a hidden sweep — and this
 # guard turns it into a CI failure instead of a slow drift.
+#
+# Each test target (unit tests, every tests/*.rs integration binary,
+# doctests) is timed separately so a budget overrun names the offender
+# instead of leaving it to a bisect.
 #
 # To re-record the baseline after an intentional change, run the suite a
 # few times on the reference machine and put a value with comfortable
@@ -23,14 +27,40 @@ if ! [[ "$baseline" =~ ^[0-9]+$ ]] || [ "$baseline" -eq 0 ]; then
 fi
 limit=$((baseline * 2))
 
-start=$(date +%s)
-cargo test -q --offline
-end=$(date +%s)
-elapsed=$((end - start))
+total_ms=0
+worst=""
+worst_ms=0
 
+run_target() {
+    local label="$1"
+    shift
+    local t0 t1 ms
+    t0=$(date +%s%N)
+    cargo test -q --offline "$@" >/dev/null
+    t1=$(date +%s%N)
+    ms=$(((t1 - t0) / 1000000))
+    total_ms=$((total_ms + ms))
+    printf '  %-28s %7d ms\n' "$label" "$ms"
+    if [ "$ms" -gt "$worst_ms" ]; then
+        worst_ms=$ms
+        worst="$label"
+    fi
+}
+
+echo "tier-1 test targets:"
+run_target "unit (lib + bins)" --lib --bins
+for f in tests/*.rs; do
+    t=$(basename "$f" .rs)
+    run_target "tests/$t" --test "$t"
+done
+run_target "doctests" --doc
+
+elapsed=$(((total_ms + 999) / 1000))
 echo "tier-1 test wall time: ${elapsed}s (recorded baseline ${baseline}s, limit ${limit}s)"
+echo "slowest target: $worst (${worst_ms} ms)"
 if [ "$elapsed" -gt "$limit" ]; then
     echo "FAIL: tier-1 tests took ${elapsed}s, exceeding 2x the recorded baseline of ${baseline}s." >&2
+    echo "Slowest target: $worst at ${worst_ms} ms — start the hunt there." >&2
     echo "If the slowdown is intentional, re-record $baseline_file (see header comment)." >&2
     exit 1
 fi

@@ -27,6 +27,7 @@ USAGE:
   flowplace audit FILE [FLAGS]   analyze a policy file (redundancy, deps)
   flowplace gen-policy [FLAGS]   generate a synthetic policy to stdout
   flowplace ctrl replay FILE [FLAGS]   drive the controller from an event trace
+  flowplace obs summarize FILE...      render obs trace/metrics dumps as tables
   flowplace help                 show this text
 
 place flags:
@@ -46,6 +47,8 @@ place flags:
   --verify             golden-model check of the deployment
   --tables             print the emitted per-switch tables
   --export-lp FILE     also write the ILP in CPLEX LP format
+  --trace-out FILE     write the solver span trace (flowplace.obs.v1 JSON)
+  --metrics-out FILE   write the metrics registry dump (flowplace.obs.v1 JSON)
 
 audit flags:
   --dot FILE           write the dependency graph in Graphviz DOT
@@ -72,6 +75,9 @@ ctrl replay flags:
   --quarantine-after N consecutive failures before quarantine    [3]
   --warm on|off        incremental warm-path caches (fingerprint
                        reuse + epoch placement memo)             [on]
+  --trace-out FILE     write the epoch/event/commit span trace
+                       (flowplace.obs.v1 JSON, byte-identical per seed)
+  --metrics-out FILE   write the metrics registry dump (flowplace.obs.v1)
 
 Trace files hold one event per line (# comments, blank lines ignored):
   install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
@@ -94,6 +100,7 @@ fn main() -> ExitCode {
         Some("audit") => audit(&args[1..]),
         Some("gen-policy") => gen_policy(&args[1..]),
         Some("ctrl") => ctrl(&args[1..]),
+        Some("obs") => obs_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -130,6 +137,36 @@ fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>
         }
     }
     Ok((flags, positional))
+}
+
+/// A fresh [`Obs`](flowplace::obs::Obs) context when `--trace-out` or
+/// `--metrics-out` was given, `None` otherwise (uninstrumented path).
+fn obs_requested(flags: &BTreeMap<String, String>) -> Option<flowplace::obs::Obs> {
+    if flags.contains_key("trace-out") || flags.contains_key("metrics-out") {
+        Some(flowplace::obs::Obs::new())
+    } else {
+        None
+    }
+}
+
+/// Writes the `--trace-out` / `--metrics-out` dumps, validating each
+/// against the `flowplace.obs.v1` schema before touching the file.
+fn write_obs_outputs(
+    flags: &BTreeMap<String, String>,
+    obs: Option<&flowplace::obs::Obs>,
+) -> Result<(), String> {
+    let Some(obs) = obs else { return Ok(()) };
+    for (flag, text) in [
+        ("trace-out", obs.trace_json()),
+        ("metrics-out", obs.metrics_json()),
+    ] {
+        if let Some(path) = flags.get(flag) {
+            flowplace::obs::validate_obs_json(&text)
+                .map_err(|e| format!("--{flag}: invalid dump: {e}"))?;
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn get_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
@@ -284,23 +321,27 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
         println!("wrote LP model to {path}");
     }
 
+    let obs = obs_requested(&flags);
     let placer = RulePlacer::new(options);
-    let outcome = if parallel.is_parallel() {
-        let par = placer.place_par(&instance, objective);
-        println!(
-            "pipeline: {} threads, engine {} (stages: deps {:?}, candidates {:?}, solve {:?})",
-            parallel.effective_threads(),
-            par.provenance,
-            par.stages.depgraphs,
-            par.stages.candidates,
-            par.stages.solve
-        );
+    let outcome = if parallel.is_parallel() || obs.is_some() {
+        let par = placer.place_observed(&instance, objective, None, obs.as_ref());
+        if parallel.is_parallel() {
+            println!(
+                "pipeline: {} threads, engine {} (stages: deps {:?}, candidates {:?}, solve {:?})",
+                parallel.effective_threads(),
+                par.provenance,
+                par.stages.depgraphs,
+                par.stages.candidates,
+                par.stages.solve
+            );
+        }
         par.outcome
     } else {
         placer
             .place(&instance, objective)
             .expect("placement is infallible")
     };
+    write_obs_outputs(&flags, obs.as_ref())?;
     println!(
         "status: {} in {:?} ({} vars, {} rows, {} nodes)",
         outcome.status,
@@ -454,6 +495,9 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     let verbose = flags.contains_key("verbose");
 
     let mut ctrl = Controller::new(topo, options);
+    if let Some(obs) = obs_requested(&flags) {
+        ctrl.attach_obs(obs);
+    }
     let reports = ctrl.replay_trace(&text).map_err(|e| e.to_string())?;
 
     for r in &reports {
@@ -483,6 +527,7 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     }
     println!("{}", ctrl.stats());
     print!("{}", ctrl.dataplane().dump());
+    write_obs_outputs(&flags, ctrl.obs())?;
 
     if faulty {
         // Under injected faults, individual events may legitimately be
@@ -502,6 +547,36 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn obs_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("summarize") => match obs_summarize_inner(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: flowplace obs summarize FILE...; try `flowplace help`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn obs_summarize_inner(args: &[String]) -> Result<(), String> {
+    let (_flags, positional) = parse_flags(args)?;
+    if positional.is_empty() {
+        return Err("obs summarize needs at least one dump file".into());
+    }
+    for path in &positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = flowplace::obs::validate_obs_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("== {path} ({}) ==", doc.kind());
+        print!("{}", flowplace::obs::summary::summarize(&doc));
+    }
+    Ok(())
 }
 
 fn gen_policy(args: &[String]) -> ExitCode {

@@ -21,6 +21,9 @@
 //!   encodings, merging, incremental deployment, verification);
 //! * [`ctrl`] — the event-driven controller runtime (batched updates,
 //!   greedy→restricted→full escalation, transactional TCAM dataplane);
+//! * [`obs`] — deterministic observability: hierarchical spans on a
+//!   virtual clock plus a typed metrics registry, dumped as canonical
+//!   `flowplace.obs.v1` JSON;
 //! * [`rng`] — seedable, registry-free pseudo-random number generation.
 //!
 //! The most common entry points are re-exported at the root:
@@ -58,6 +61,7 @@ pub use flowplace_classbench as classbench;
 pub use flowplace_core as core;
 pub use flowplace_ctrl as ctrl;
 pub use flowplace_milp as milp;
+pub use flowplace_obs as obs;
 pub use flowplace_pbsat as pbsat;
 pub use flowplace_rng as rng;
 pub use flowplace_routing as routing;
@@ -77,6 +81,7 @@ pub mod prelude {
         StageTimes,
     };
     pub use flowplace_ctrl::{Controller, CtrlOptions, CtrlStats, Event, Tier};
+    pub use flowplace_obs::Obs;
     pub use flowplace_routing::{Route, RouteId, RouteSet};
     pub use flowplace_topo::{EntryPortId, SwitchId, Topology, TopologyBuilder};
 }

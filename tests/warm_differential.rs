@@ -157,3 +157,92 @@ fn warm_path_is_byte_identical_to_cold() {
         "the memo never fired across {SEEDS} rollback streams"
     );
 }
+
+/// A 2-entry placement memo under churn: FIFO eviction must fire, the
+/// lookup ledger must balance (`hits + misses == lookups`, evictions
+/// bounded by misses), and the rollback *error* path (nothing to roll
+/// back) must reject cleanly on both sides — all while the warm
+/// controller stays byte-identical to the cold one.
+#[test]
+fn memo_eviction_and_rollback_error_path_stay_identical() {
+    let cold_cfg = WarmConfig {
+        enabled: false,
+        ..WarmConfig::default()
+    };
+    let tiny = WarmConfig {
+        memo_capacity: 2,
+        ..WarmConfig::default()
+    };
+    let mut total_evictions = 0;
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0xE71C_0000 ^ seed);
+        let capacity = rng.gen_range(6..12usize);
+        let mut cold = controller(capacity, cold_cfg.clone());
+        let mut warm = controller(capacity, tiny.clone());
+
+        // Leading rollback with no checkpoint: the per-event error path
+        // must reject identically on both controllers.
+        let mut events = vec![
+            Event::Rollback,
+            install(&mut rng, 0),
+            install(&mut rng, 1),
+            Event::Checkpoint,
+        ];
+        let mut priority = 10;
+        // Enough distinct full solves to overflow a 2-entry memo, then
+        // a rollback + re-solve whose memoized instance may or may not
+        // have survived eviction — both answers must match cold.
+        for _ in 0..rng.gen_range(6..10usize) {
+            events.push(rand_event(&mut rng, &mut priority));
+            if rng.gen_bool(0.4) {
+                events.push(Event::Solve);
+            }
+        }
+        events.push(Event::Rollback);
+        events.push(Event::Solve);
+
+        for (step, event) in events.into_iter().enumerate() {
+            cold.submit(event.clone()).expect("cold queue has room");
+            warm.submit(event).expect("warm queue has room");
+            cold.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: cold run failed: {e}"));
+            warm.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: warm run failed: {e}"));
+            assert_eq!(
+                warm.placement(),
+                cold.placement(),
+                "seed {seed} step {step}: placements diverged"
+            );
+            assert_eq!(
+                warm.dataplane().dump(),
+                cold.dataplane().dump(),
+                "seed {seed} step {step}: dataplane tables diverged"
+            );
+        }
+        let stats = warm.stats();
+        assert!(
+            stats.events_failed >= 1,
+            "seed {seed}: the empty rollback was not rejected"
+        );
+        assert_eq!(stats.events_failed, cold.stats().events_failed);
+        assert_eq!(
+            stats.warm_memo_lookups,
+            stats.warm_memo_hits + stats.warm_memo_misses,
+            "seed {seed}: memo ledger out of balance"
+        );
+        assert!(
+            stats.warm_memo_evictions <= stats.warm_memo_misses,
+            "seed {seed}: more evictions than inserting misses"
+        );
+        assert_eq!(
+            cold.stats().warm_memo_lookups,
+            0,
+            "seed {seed}: cold controller touched the memo"
+        );
+        total_evictions += stats.warm_memo_evictions;
+    }
+    assert!(
+        total_evictions > 0,
+        "the 2-entry memo never evicted across {SEEDS} streams"
+    );
+}

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke obs-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
@@ -47,8 +47,9 @@ bench-json:
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --threads 4
 
 ## bench-json-smoke: single-sample schema-validation run (CI), plus the
-## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps).
-bench-json-smoke: obs-smoke
+## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps)
+## and the cache-tier smoke (the flowplace.bench.cache.v1 validator).
+bench-json-smoke: obs-smoke bench-cache-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
@@ -72,6 +73,16 @@ bench-incremental:
 ## bench-incremental-smoke: short schema-validation run (CI).
 bench-incremental-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin incremental_bench -- --smoke
+
+## bench-cache: TCAM-as-cache hit rate and controller load vs cache
+## size (BENCH_cache.json) under Zipf traffic on the 256/1k/4k
+## ClassBench scenarios; aborts on any dependency-violating eviction.
+bench-cache:
+	$(CARGO) run --release --offline -p flowplace-bench --bin cache_bench
+
+## bench-cache-smoke: short schema-validation run (CI).
+bench-cache-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin cache_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

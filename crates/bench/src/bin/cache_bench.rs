@@ -1,0 +1,103 @@
+//! Emits `BENCH_cache.json`: cache hit rate and controller load vs
+//! TCAM size.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin cache_bench -- \
+//!     [--out PATH] [--rate N] [--duration MS] [--zipf S] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a short stream on the smallest scenario — CI uses it
+//! to validate the JSON schema without paying for the full sweep. The
+//! document is validated against `flowplace.bench.cache.v1` before it
+//! is written; a schema bug fails the run instead of producing a
+//! corrupt artifact. The benchmark itself panics if any sweep point
+//! ends with a failing dependency or fail-closed audit, so an unsafe
+//! eviction also fails the run.
+
+use std::process::ExitCode;
+
+use flowplace_bench::cache::{self, CacheBenchConfig};
+use flowplace_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CacheBenchConfig::default();
+    let mut out_path = String::from("BENCH_cache.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--rate" => {
+                cfg.rate = parse_num(&take_value(&args, &mut i, "--rate"), "--rate");
+            }
+            "--duration" => {
+                cfg.duration_ms = parse_num(&take_value(&args, &mut i, "--duration"), "--duration");
+            }
+            "--zipf" => {
+                cfg.zipf = parse_shape(&take_value(&args, &mut i, "--zipf"), "--zipf");
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if cfg.rate == 0 || cfg.duration_ms == 0 {
+        eprintln!("--rate and --duration must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "cache bench: rate={} duration_ms={} zipf={} smoke={}",
+        cfg.rate, cfg.duration_ms, cfg.zipf, cfg.smoke
+    );
+    let rows = cache::run(&cfg);
+    print!("{}", cache::rows_table(&rows));
+
+    let doc = cache::to_json(&cfg, &rows);
+    if let Err(reason) = report::validate_cache_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num(text: &str, flag: &str) -> u64 {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got {text:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_shape(text: &str, flag: &str) -> f64 {
+    let v: f64 = text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires a number, got {text:?}");
+        std::process::exit(2);
+    });
+    if !v.is_finite() || v < 0.0 {
+        eprintln!("{flag} must be finite and >= 0, got {text:?}");
+        std::process::exit(2);
+    }
+    v
+}

@@ -1,0 +1,384 @@
+//! Machine-readable cache-tier benchmark (`BENCH_cache.json`).
+//!
+//! Sweeps the TCAM-as-cache tier over the ClassBench scenarios: each
+//! scenario is solved and deployed once, then the *same* Zipf flow
+//! stream (seeded, deterministic — see [`flowplace_traffic`]) is run
+//! against per-switch cache capacities of 12.5 / 25 / 50 / 100 % of the
+//! scenario's TCAM capacity, under both eviction policies. Reported per
+//! cell: hit rate, and the controller load the misses induce — warm
+//! re-solve count, miss batches, and the punt latency charged to the
+//! virtual clock.
+//!
+//! Dependency safety is part of the measurement contract: the
+//! `dep_violations` field must be zero in every row (the schema
+//! validator enforces it), and the run aborts if the post-stream audits
+//! disagree.
+//!
+//! Schema stability is enforced by [`crate::report::validate_cache_json`];
+//! bump [`SCHEMA`] when the shape changes.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use flowplace_core::PlacementOptions;
+use flowplace_ctrl::{CacheConfig, CachePolicy, Controller, CtrlOptions};
+use flowplace_traffic::{generate, TrafficConfig};
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.cache.v1";
+
+/// Cache capacity sweep, in percent of the scenario's switch capacity.
+pub const CAPACITY_PCTS: [f64; 4] = [12.5, 25.0, 50.0, 100.0];
+
+/// Runner parameters (CLI flags of the `cache_bench` binary).
+#[derive(Clone, Debug)]
+pub struct CacheBenchConfig {
+    /// Flow events per simulated second.
+    pub rate: u64,
+    /// Stream length in virtual milliseconds.
+    pub duration_ms: u64,
+    /// Zipf exponent of the flow popularity draw.
+    pub zipf: f64,
+    /// Smoke mode: short stream, smallest scenario only — used by CI to
+    /// validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+impl Default for CacheBenchConfig {
+    fn default() -> Self {
+        CacheBenchConfig {
+            rate: 20_000,
+            duration_ms: 250,
+            zipf: 1.1,
+            smoke: false,
+        }
+    }
+}
+
+/// One (scenario, capacity, policy) measurement.
+#[derive(Clone, Debug)]
+pub struct CacheRow {
+    /// Scenario label (`classbench-256` …).
+    pub scenario: String,
+    /// Eviction policy label (`lru` / `depfreq`).
+    pub policy: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Per-switch resident entries allowed.
+    pub cache_capacity: usize,
+    /// The sweep point, in percent of the scenario's TCAM capacity.
+    pub capacity_pct: f64,
+    /// Flow events driven through the tier.
+    pub flows: u64,
+    /// Per-switch cache lookups.
+    pub lookups: u64,
+    /// Lookups answered by a resident entry.
+    pub hits: u64,
+    /// Lookups punted to the controller.
+    pub misses: u64,
+    /// `hits / lookups` (1.0 for an empty stream).
+    pub hit_rate: f64,
+    /// Entries made resident (dependency pulls included).
+    pub inserts: u64,
+    /// Entries evicted (cascades included).
+    pub evictions: u64,
+    /// Warm re-solves triggered by miss batches (controller load).
+    pub resolves: u64,
+    /// Miss batches flushed through the controller.
+    pub miss_batches: u64,
+    /// Virtual milliseconds of punt latency charged to the stream.
+    pub miss_latency_ms: u64,
+    /// Dependency-safety violations (must be zero; validated).
+    pub dep_violations: u64,
+}
+
+/// The benchmark scenarios: ClassBench firewall policies at 256 / 1k /
+/// 4k total rules on a k=4 fat-tree. Smoke mode keeps only the
+/// smallest.
+pub fn scenarios(smoke: bool) -> Vec<(String, ScenarioConfig)> {
+    let mk = |ingresses, rules_per_policy, capacity| ScenarioConfig {
+        k: 4,
+        ingresses,
+        paths_per_ingress: 2,
+        rules_per_policy,
+        shared_rules: 0,
+        capacity,
+        seed: 7,
+    };
+    let mut out = vec![("classbench-256".to_string(), mk(8, 32, 100))];
+    if !smoke {
+        out.push(("classbench-1k".to_string(), mk(16, 64, 150)));
+        out.push(("classbench-4k".to_string(), mk(16, 256, 500)));
+    }
+    out
+}
+
+/// The deterministic flow stream for one scenario: Zipf-skewed over the
+/// scenario's tenant ingresses, header width matching the ClassBench
+/// generator, seeded from the scenario seed.
+pub fn traffic_for(cfg: &CacheBenchConfig, scenario: &ScenarioConfig) -> TrafficConfig {
+    TrafficConfig {
+        seed: scenario.seed,
+        rate: if cfg.smoke { 2_000 } else { cfg.rate },
+        duration_ms: if cfg.smoke { 100 } else { cfg.duration_ms },
+        zipf: cfg.zipf,
+        ingresses: scenario.ingresses,
+        width: 16,
+        flows_per_ingress: 64,
+        flowlet_len: 4,
+        burst: None,
+    }
+}
+
+/// Runs the full benchmark: one deployed controller per scenario,
+/// cloned across every (capacity, policy) sweep point.
+///
+/// # Panics
+///
+/// Panics if a scenario is infeasible or any sweep point ends with a
+/// failing dependency or fail-closed audit — the cache tier's
+/// correctness contract.
+pub fn run(cfg: &CacheBenchConfig) -> Vec<CacheRow> {
+    // Same solver posture as the pipeline bench: a greedy warm start
+    // plus a wall-clock budget keeps the classbench-4k initial solve at
+    // seconds (feasible incumbent) instead of exhaustive branch &
+    // bound. Every miss-batch re-solve after that is a placement-memo
+    // hit, so only the per-scenario initial solve pays this cost.
+    let mut placement = PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    };
+    placement.mip.time_limit = Some(Duration::from_secs(10));
+    let options = CtrlOptions {
+        placement,
+        ..CtrlOptions::default()
+    };
+    let mut rows = Vec::new();
+    for (name, scenario) in scenarios(cfg.smoke) {
+        let instance = build_instance(&scenario);
+        let base = Controller::with_instance(instance.clone(), options.clone())
+            .expect("benchmark scenarios are feasible");
+        let flows = generate(&traffic_for(cfg, &scenario));
+        for pct in CAPACITY_PCTS {
+            let capacity = ((scenario.capacity as f64 * pct / 100.0) as usize).max(1);
+            for policy in [CachePolicy::Lru, CachePolicy::DepFreq] {
+                let mut ctrl = base.clone();
+                ctrl.set_cache_config(CacheConfig {
+                    enabled: true,
+                    capacity,
+                    policy,
+                    ..CacheConfig::default()
+                });
+                let fr = ctrl.process_flows(&flows);
+                ctrl.cache()
+                    .audit()
+                    .unwrap_or_else(|e| panic!("{name} {policy} cap={capacity}: {e}"));
+                ctrl.cache_fail_closed_audit()
+                    .unwrap_or_else(|e| panic!("{name} {policy} cap={capacity}: {e}"));
+                rows.push(CacheRow {
+                    scenario: name.clone(),
+                    policy: policy.label().to_string(),
+                    rules: instance.total_policy_rules(),
+                    cache_capacity: capacity,
+                    capacity_pct: pct,
+                    flows: fr.flows,
+                    lookups: fr.lookups,
+                    hits: fr.hits,
+                    misses: fr.misses,
+                    hit_rate: fr.hit_rate(),
+                    inserts: fr.inserts,
+                    evictions: fr.evictions,
+                    resolves: fr.resolves,
+                    miss_batches: fr.miss_batches,
+                    miss_latency_ms: fr.miss_latency_ms,
+                    dep_violations: fr.dep_violations,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_cache.json` document.
+pub fn to_json(cfg: &CacheBenchConfig, rows: &[CacheRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(out, "  \"rate\": {},", cfg.rate);
+    let _ = writeln!(out, "  \"duration_ms\": {},", cfg.duration_ms);
+    let _ = writeln!(out, "  \"zipf\": {},", json_num(cfg.zipf));
+    let _ = writeln!(
+        out,
+        "  \"dep_violations\": {},",
+        rows.iter().map(|r| r.dep_violations).sum::<u64>()
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"policy\": {},", json_string(&r.policy));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(out, "      \"cache_capacity\": {},", r.cache_capacity);
+        let _ = writeln!(out, "      \"capacity_pct\": {},", json_num(r.capacity_pct));
+        let _ = writeln!(out, "      \"flows\": {},", r.flows);
+        let _ = writeln!(out, "      \"lookups\": {},", r.lookups);
+        let _ = writeln!(out, "      \"hits\": {},", r.hits);
+        let _ = writeln!(out, "      \"misses\": {},", r.misses);
+        let _ = writeln!(out, "      \"hit_rate\": {},", json_num(r.hit_rate));
+        let _ = writeln!(out, "      \"inserts\": {},", r.inserts);
+        let _ = writeln!(out, "      \"evictions\": {},", r.evictions);
+        let _ = writeln!(out, "      \"resolves\": {},", r.resolves);
+        let _ = writeln!(out, "      \"miss_batches\": {},", r.miss_batches);
+        let _ = writeln!(out, "      \"miss_latency_ms\": {},", r.miss_latency_ms);
+        let _ = writeln!(out, "      \"dep_violations\": {}", r.dep_violations);
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[CacheRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:<8} {:>6} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}\n",
+        "scenario",
+        "policy",
+        "cap",
+        "cap %",
+        "flows",
+        "hits",
+        "misses",
+        "hit %",
+        "resolves",
+        "punt ms",
+        "depviol"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<8} {:>6} {:>7.1}% {:>7} {:>8} {:>8} {:>7.1}% {:>9} {:>8} {:>8}",
+            r.scenario,
+            r.policy,
+            r.cache_capacity,
+            r.capacity_pct,
+            r.flows,
+            r.hits,
+            r.misses,
+            r.hit_rate * 100.0,
+            r.resolves,
+            r.miss_latency_ms,
+            r.dep_violations
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_cache_json;
+
+    fn sample_row() -> CacheRow {
+        CacheRow {
+            scenario: "classbench-256".into(),
+            policy: "lru".into(),
+            rules: 256,
+            cache_capacity: 25,
+            capacity_pct: 25.0,
+            flows: 5000,
+            lookups: 9000,
+            hits: 7000,
+            misses: 800,
+            hit_rate: 7000.0 / 9000.0,
+            inserts: 120,
+            evictions: 40,
+            resolves: 90,
+            miss_batches: 100,
+            miss_latency_ms: 800,
+            dep_violations: 0,
+        }
+    }
+
+    #[test]
+    fn json_document_passes_schema_check() {
+        let cfg = CacheBenchConfig::default();
+        let doc = to_json(&cfg, &[sample_row()]);
+        validate_cache_json(&doc).expect("emitted document is schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_dependency_violations() {
+        let cfg = CacheBenchConfig::default();
+        let mut bad = sample_row();
+        bad.dep_violations = 1;
+        let doc = to_json(&cfg, &[bad]);
+        assert!(validate_cache_json(&doc).is_err());
+    }
+
+    #[test]
+    fn smoke_run_emits_valid_json_with_safe_evictions() {
+        let cfg = CacheBenchConfig {
+            smoke: true,
+            ..CacheBenchConfig::default()
+        };
+        let rows = run(&cfg);
+        // Smoke: one scenario, full capacity x policy grid.
+        assert_eq!(rows.len(), CAPACITY_PCTS.len() * 2);
+        assert!(rows.iter().all(|r| r.dep_violations == 0));
+        assert!(
+            rows.iter().any(|r| r.hits > 0),
+            "the stream never hit the cache: {rows:?}"
+        );
+        // Larger caches never hit less on the same stream and policy.
+        for policy in ["lru", "depfreq"] {
+            let series: Vec<&CacheRow> = rows.iter().filter(|r| r.policy == policy).collect();
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].hit_rate >= pair[0].hit_rate - 1e-9,
+                    "{policy}: hit rate fell as capacity grew: {pair:?}"
+                );
+            }
+        }
+        let doc = to_json(&cfg, &rows);
+        validate_cache_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let t = rows_table(&[sample_row()]);
+        assert!(t.contains("classbench-256"));
+        assert!(t.contains("lru"));
+    }
+}

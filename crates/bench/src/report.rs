@@ -626,6 +626,108 @@ pub fn validate_incremental_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_cache.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_cache_json`] requires (re-exported from
+/// [`crate::cache::SCHEMA`] so the two cannot drift).
+pub const CACHE_SCHEMA: &str = crate::cache::SCHEMA;
+
+const CACHE_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "cache_capacity",
+    "capacity_pct",
+    "flows",
+    "lookups",
+    "hits",
+    "misses",
+    "hit_rate",
+    "inserts",
+    "evictions",
+    "resolves",
+    "miss_batches",
+    "miss_latency_ms",
+    "dep_violations",
+];
+
+/// Validates a `BENCH_cache.json` document against the
+/// `flowplace.bench.cache.v1` schema: the tag itself, the stream
+/// parameters, and every row's fields, types, and value ranges. The
+/// dependency-safety contract is part of the schema: `dep_violations`
+/// must be zero at the top level and in every row, and `hit_rate` must
+/// lie in `[0, 1]`. Returns a human-readable reason on the first
+/// violation.
+pub fn validate_cache_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != CACHE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {CACHE_SCHEMA:?}"
+        ));
+    }
+    for field in ["rate", "duration_ms", "zipf"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {field:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("field {field:?} must be positive, got {v}"));
+        }
+    }
+    let total_violations = doc
+        .get("dep_violations")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"dep_violations\"")?;
+    if total_violations != 0.0 {
+        return Err(format!(
+            "dependency-safety contract broken: dep_violations = {total_violations}"
+        ));
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        for field in ["scenario", "policy"] {
+            row.get(field)
+                .and_then(Json::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| ctx(format!("missing non-empty string {field:?}")))?;
+        }
+        for field in CACHE_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+        let hit_rate = row.get("hit_rate").and_then(Json::as_num).unwrap_or(0.0);
+        if hit_rate > 1.0 {
+            return Err(ctx(format!("\"hit_rate\" must be <= 1, got {hit_rate}")));
+        }
+        let violations = row
+            .get("dep_violations")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if violations != 0.0 {
+            return Err(ctx(format!(
+                "dependency-safety contract broken: dep_violations = {violations}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -835,6 +937,84 @@ mod tests {
             r#"{{"schema": "{INCREMENTAL_SCHEMA}", "rounds": 6, "geomean_speedup": 3.0, "identical": true, "rows": []}}"#
         );
         let err = validate_incremental_json(&doc).unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+    }
+
+    fn valid_cache_doc() -> String {
+        format!(
+            r#"{{
+  "schema": "{CACHE_SCHEMA}",
+  "rate": 20000,
+  "duration_ms": 250,
+  "zipf": 1.1,
+  "dep_violations": 0,
+  "rows": [
+    {{
+      "scenario": "classbench-256",
+      "policy": "lru",
+      "rules": 256,
+      "cache_capacity": 25,
+      "capacity_pct": 25.0,
+      "flows": 5000,
+      "lookups": 9000,
+      "hits": 7000,
+      "misses": 800,
+      "hit_rate": 0.7778,
+      "inserts": 120,
+      "evictions": 40,
+      "resolves": 90,
+      "miss_batches": 100,
+      "miss_latency_ms": 800,
+      "dep_violations": 0
+    }}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn cache_validator_accepts_valid_document() {
+        validate_cache_json(&valid_cache_doc()).expect("valid document accepted");
+    }
+
+    #[test]
+    fn cache_validator_rejects_wrong_schema_tag() {
+        let doc = valid_cache_doc().replace(".v1", ".v0");
+        let err = validate_cache_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn cache_validator_rejects_dependency_violations() {
+        let doc = valid_cache_doc().replace(
+            "\"dep_violations\": 0\n    }",
+            "\"dep_violations\": 2\n    }",
+        );
+        let err = validate_cache_json(&doc).unwrap_err();
+        assert!(err.contains("dependency-safety"), "{err}");
+    }
+
+    #[test]
+    fn cache_validator_rejects_out_of_range_hit_rate() {
+        let doc = valid_cache_doc().replace("\"hit_rate\": 0.7778", "\"hit_rate\": 1.5");
+        let err = validate_cache_json(&doc).unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
+    }
+
+    #[test]
+    fn cache_validator_rejects_missing_row_field() {
+        let doc = valid_cache_doc().replace("\"resolves\": 90", "\"resolves2\": 90");
+        let err = validate_cache_json(&doc).unwrap_err();
+        assert!(err.contains("resolves"), "{err}");
+    }
+
+    #[test]
+    fn cache_validator_rejects_empty_rows() {
+        let doc = format!(
+            r#"{{"schema": "{CACHE_SCHEMA}", "rate": 1, "duration_ms": 1, "zipf": 1.1, "dep_violations": 0, "rows": []}}"#
+        );
+        let err = validate_cache_json(&doc).unwrap_err();
         assert!(err.contains("non-empty"), "{err}");
     }
 

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dataplane;
 pub mod epoch;
 pub mod event;
@@ -76,7 +77,9 @@ use flowplace_core::{
 use flowplace_obs::{AttrValue, Obs, SpanId};
 use flowplace_routing::{Route, RouteSet};
 use flowplace_topo::{EntryPortId, SwitchId, Topology};
+use flowplace_traffic::FlowEvent;
 
+pub use cache::{CacheConfig, CacheCounters, CacheLookup, CachePolicy, RuleCache};
 pub use dataplane::{ApplyReport, DataPlane, DataPlaneError, RuleDiff, SwitchTcam, TcamEntry};
 pub use epoch::{EpochLog, Snapshot};
 pub use event::{format_trace, parse_trace, Event, TraceError};
@@ -190,6 +193,54 @@ impl EpochReport {
     }
 }
 
+/// The result of running one flow-event stream through the cache tier
+/// (see [`Controller::process_flows`]). All counters are deltas for
+/// that one call, except `dep_violations`, which mirrors the
+/// controller's cumulative [`CtrlStats::cache_dep_violations`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlowReport {
+    /// Flow events processed.
+    pub flows: u64,
+    /// Flows whose every on-path lookup was a hit (or no-match).
+    pub hit_flows: u64,
+    /// Flows that punted to the controller at least once.
+    pub miss_flows: u64,
+    /// Flows skipped: no route from the ingress, or a crashed switch
+    /// on the chosen path.
+    pub unrouted: u64,
+    /// Per-switch cache lookups.
+    pub lookups: u64,
+    /// Lookups answered by a resident entry.
+    pub hits: u64,
+    /// Lookups punted to the controller.
+    pub misses: u64,
+    /// Entries made resident (dependency pulls included).
+    pub inserts: u64,
+    /// Entries evicted (cascades included).
+    pub evictions: u64,
+    /// Warm re-solves triggered by miss batches.
+    pub resolves: u64,
+    /// Miss batches flushed.
+    pub miss_batches: u64,
+    /// Virtual milliseconds of punt latency charged.
+    pub miss_latency_ms: u64,
+    /// Cumulative dependency-safety violations on the controller (must
+    /// stay zero).
+    pub dep_violations: u64,
+}
+
+impl FlowReport {
+    /// Hit rate over the lookups of this call, in `[0, 1]` (`1.0` for
+    /// an empty call).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// Controller configuration.
 #[derive(Clone, Debug)]
 pub struct CtrlOptions {
@@ -223,6 +274,10 @@ pub struct CtrlOptions {
     /// [`flowplace_core::warm`]). Enabled by default; `--warm off`
     /// in the CLI (or `enabled: false` here) forces every solve cold.
     pub warm: WarmConfig,
+    /// TCAM-as-cache tier configuration (see [`cache`]). Disabled by
+    /// default: the dataplane then *is* the physical TCAM, exactly as
+    /// before the cache tier existed.
+    pub cache: CacheConfig,
 }
 
 impl Default for CtrlOptions {
@@ -239,6 +294,7 @@ impl Default for CtrlOptions {
             quarantine_after: 3,
             reconcile_rounds: 3,
             warm: WarmConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -341,6 +397,7 @@ pub struct Controller {
     stats: CtrlStats,
     faults: FaultRuntime,
     warm: WarmCache,
+    cache: RuleCache,
     obs: Option<Obs>,
 }
 
@@ -373,6 +430,7 @@ impl Controller {
     /// [`Event::InstallPolicy`].
     pub fn new(topology: Topology, options: CtrlOptions) -> Controller {
         let capacities = topology.capacities();
+        let switch_count = capacities.len();
         let instance = Instance::new(topology, RouteSet::new(), Vec::new())
             .expect("an instance with no routes or policies is always valid");
         Controller {
@@ -389,6 +447,7 @@ impl Controller {
                 safe_mode: BTreeSet::new(),
             },
             warm: WarmCache::new(options.warm.clone()),
+            cache: RuleCache::new(options.cache.clone(), switch_count),
             options,
             stats: CtrlStats::default(),
             obs: None,
@@ -695,6 +754,7 @@ impl Controller {
         self.stats.entries_removed += report.removed as u64;
         self.stats.peak_tcam_occupancy = self.stats.peak_tcam_occupancy.max(report.peak_occupancy);
         self.sync_warm_stats();
+        self.resync_cache();
 
         if resilient && self.fail_closed_audit().is_err() {
             self.stats.failclosed_violations += 1;
@@ -1049,6 +1109,230 @@ impl Controller {
         self.stats.warm_candidates_reused = w.candidates_reused;
         self.stats.warm_ilp_seeded = w.ilp_incumbent_seeded;
         self.stats.warm_sat_learnt_retained = w.sat_learnt_retained;
+    }
+
+    // ---- TCAM-as-cache tier ----------------------------------------------
+
+    /// The cache tier's state (residency, counters, audit hooks).
+    pub fn cache(&self) -> &RuleCache {
+        &self.cache
+    }
+
+    /// Mutable cache access for negative-control tests (pairs with
+    /// [`RuleCache::force_evict_unsafe`]). Not part of the public API.
+    #[doc(hidden)]
+    pub fn cache_mut(&mut self) -> &mut RuleCache {
+        &mut self.cache
+    }
+
+    /// Swaps in a new cache-tier configuration: residency restarts cold
+    /// against the currently deployed tables. Lets one solved
+    /// deployment be swept across capacities and policies (the cache
+    /// benchmark) without paying the solve again.
+    pub fn set_cache_config(&mut self, config: CacheConfig) {
+        self.options.cache = config.clone();
+        self.cache = RuleCache::new(config, self.dataplane.switch_count());
+        self.resync_cache();
+    }
+
+    /// Re-synchronizes the cache tier with the freshly committed
+    /// dataplane tables (no-op while the tier is disabled). Residency
+    /// survives for entries the commit kept; the dependency closure is
+    /// re-pulled and the capacity re-enforced.
+    fn resync_cache(&mut self) {
+        if !self.options.cache.enabled {
+            return;
+        }
+        let targets: Vec<Vec<TcamEntry>> = (0..self.dataplane.switch_count())
+            .map(|i| self.dataplane.switch(SwitchId(i)).entries().to_vec())
+            .collect();
+        self.cache.set_target(&targets);
+        if self.cache.audit().is_err() {
+            self.stats.cache_dep_violations += 1;
+        }
+        self.sync_cache_stats();
+    }
+
+    /// Copies the cache tier's cumulative counters into [`CtrlStats`]
+    /// (absolute-value sync, same idiom as the warm counters).
+    fn sync_cache_stats(&mut self) {
+        let c = *self.cache.counters();
+        self.stats.cache_lookups = c.lookups;
+        self.stats.cache_hits = c.hits;
+        self.stats.cache_misses = c.misses;
+        self.stats.cache_inserts = c.inserts;
+        self.stats.cache_evictions = c.evictions;
+        self.stats.cache_closure_pulls = c.closure_pulls;
+        self.stats.cache_uncacheable = c.uncacheable;
+    }
+
+    /// Runs a flow-event stream (see [`flowplace_traffic`]) against the
+    /// cache tier: each flow picks one of its ingress's routes
+    /// deterministically (header-hash ECMP), every on-path switch looks
+    /// the packet up in its cached TCAM, and misses punt to the
+    /// controller, which batches them (per [`CacheConfig::miss_batch`]),
+    /// inserts the missed entries dependency-closed, charges the punt
+    /// latency to the virtual clock, and triggers one warm re-solve per
+    /// batch to model controller load. The tier is audited after every
+    /// batch and at the end; violations land in
+    /// [`CtrlStats::cache_dep_violations`] (and must stay zero).
+    ///
+    /// Flows over ingresses with no routes, or whose route crosses a
+    /// crashed switch, count as `unrouted` and touch nothing.
+    pub fn process_flows(&mut self, flows: &[FlowEvent]) -> FlowReport {
+        let span = self.span_begin("cache.flows");
+        self.span_attr(span, "flows", flows.len());
+        let before = *self.cache.counters();
+        let mut report = FlowReport {
+            flows: flows.len() as u64,
+            ..FlowReport::default()
+        };
+        let mut pending: Vec<(SwitchId, usize)> = Vec::new();
+        let mut punts_since_flush: u64 = 0;
+        for ev in flows {
+            let delta = ev.at_ms.saturating_sub(self.faults.clock.now_ms());
+            if delta > 0 {
+                self.faults.clock.advance(delta);
+            }
+            let paths = self.instance.routes().paths_from(ev.ingress);
+            if paths.is_empty() {
+                report.unrouted += 1;
+                continue;
+            }
+            let pick = (ev.packet.bits() % paths.len() as u128) as usize;
+            let route = self.instance.routes().route(paths[pick]).clone();
+            if !route.switches.iter().all(|&s| self.dataplane.is_online(s)) {
+                report.unrouted += 1;
+                continue;
+            }
+            let mut missed = false;
+            for &s in &route.switches {
+                match self.cache.lookup(s, ev.ingress, &ev.packet) {
+                    CacheLookup::Hit(action) => {
+                        if action.is_drop() {
+                            break;
+                        }
+                    }
+                    CacheLookup::Miss { action, slot } => {
+                        missed = true;
+                        punts_since_flush += 1;
+                        if !pending.contains(&(s, slot)) {
+                            pending.push((s, slot));
+                        }
+                        if punts_since_flush >= self.options.cache.miss_batch.max(1) as u64 {
+                            self.flush_miss_batch(&mut pending, punts_since_flush, &mut report);
+                            punts_since_flush = 0;
+                        }
+                        if action.is_drop() {
+                            break;
+                        }
+                    }
+                    CacheLookup::NoMatch => {}
+                }
+            }
+            if missed {
+                report.miss_flows += 1;
+            } else {
+                report.hit_flows += 1;
+            }
+        }
+        self.flush_miss_batch(&mut pending, punts_since_flush, &mut report);
+        if self.cache.audit().is_err() {
+            self.stats.cache_dep_violations += 1;
+        }
+        let after = *self.cache.counters();
+        report.lookups = after.lookups - before.lookups;
+        report.hits = after.hits - before.hits;
+        report.misses = after.misses - before.misses;
+        report.inserts = after.inserts - before.inserts;
+        report.evictions = after.evictions - before.evictions;
+        report.dep_violations = self.stats.cache_dep_violations;
+        self.sync_cache_stats();
+        self.record_epoch_metrics();
+        self.span_attr(span, "hits", report.hits);
+        self.span_attr(span, "misses", report.misses);
+        self.span_end(span);
+        report
+    }
+
+    /// Flushes one batch of cache misses: inserts the missed entries
+    /// (dependency-closed, policy-evicted), charges the punt latency,
+    /// runs one warm re-solve to model the controller load, and audits
+    /// the tier.
+    fn flush_miss_batch(
+        &mut self,
+        pending: &mut Vec<(SwitchId, usize)>,
+        punts: u64,
+        report: &mut FlowReport,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let span = self.span_begin("cache.miss_batch");
+        self.span_attr(span, "misses", punts);
+        self.span_attr(span, "entries", pending.len());
+        for (s, slot) in pending.drain(..) {
+            self.cache.insert(s, slot);
+        }
+        let penalty = self.options.cache.miss_penalty_ms * punts.max(1);
+        self.faults.clock.advance(penalty);
+        report.miss_latency_ms += penalty;
+        self.stats.cache_miss_latency_ms += penalty;
+        // The miss batch is the controller's signal to re-solve; the
+        // instance is unchanged, so the warm memo answers in O(1) and
+        // the deployed placement stays put — this models controller
+        // load, not a table rewrite.
+        if self.full_solve(&self.instance).is_ok() {
+            report.resolves += 1;
+            self.stats.cache_resolves += 1;
+        }
+        report.miss_batches += 1;
+        self.stats.cache_miss_batches += 1;
+        self.sync_warm_stats();
+        if self.cache.audit().is_err() {
+            self.stats.cache_dep_violations += 1;
+        }
+        self.span_end(span);
+    }
+
+    /// Audits the cache tier's *resident* TCAM state against the
+    /// fail-closed invariant, with the punt path modelled as a drop
+    /// (see [`RuleCache::audit_tables`]): on every live route, any
+    /// packet the ingress policy drops is dropped — or punted — by the
+    /// resident entries alone. Trivially green while the tier is
+    /// disabled.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first leaking packet.
+    pub fn cache_fail_closed_audit(&self) -> Result<(), String> {
+        if !self.options.cache.enabled {
+            return Ok(());
+        }
+        let tables = self.cache.audit_tables();
+        let dataplane = &self.dataplane;
+        let unmanageable = &self.faults.unmanageable;
+        let safe_mode = &self.faults.safe_mode;
+        let live = |route: &Route| {
+            if !route.switches.iter().all(|&s| dataplane.is_online(s)) {
+                return false; // traffic-dead: a crashed switch on path
+            }
+            if safe_mode.contains(&route.ingress)
+                && route.switches.iter().all(|s| unmanageable.contains_key(s))
+            {
+                return false; // fenced at the entry port
+            }
+            true
+        };
+        verify::verify_tables(
+            &self.instance,
+            &tables,
+            self.options.verify_packets,
+            self.epochs.current(),
+            VerifyMode::NoFalseNegatives,
+            live,
+        )
+        .map_err(|e| e.to_string())
     }
 
     // ---- fault tolerance -------------------------------------------------
@@ -1634,6 +1918,79 @@ mod tests {
         assert_eq!(reports.len(), 1, "5 events, batch_size 8, one epoch");
         assert_eq!(ctrl.stats().epochs, 1);
         assert_eq!(ctrl.stats().diffs_applied, 1);
+    }
+
+    #[test]
+    fn flows_warm_the_cache_and_audits_stay_green() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut ctrl = Controller::new(
+            topo,
+            CtrlOptions {
+                cache: CacheConfig::parse_spec("4").unwrap(),
+                ..CtrlOptions::default()
+            },
+        );
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        let flows = flowplace_traffic::generate(&flowplace_traffic::TrafficConfig {
+            seed: 3,
+            rate: 2000,
+            duration_ms: 40,
+            ingresses: 1,
+            width: 4,
+            flows_per_ingress: 8,
+            ..flowplace_traffic::TrafficConfig::default()
+        });
+        let cold = ctrl.process_flows(&flows);
+        assert_eq!(cold.flows, flows.len() as u64);
+        assert_eq!(cold.unrouted, 0);
+        assert!(cold.misses > 0, "cold cache must punt: {cold:?}");
+        assert!(cold.resolves >= 1, "miss batches trigger re-solves");
+        assert!(cold.miss_latency_ms > 0, "punt latency hits the clock");
+        // Same stream again: everything missable is resident now.
+        let warm = ctrl.process_flows(&flows);
+        assert_eq!(warm.misses, 0, "warmed cache serves repeats: {warm:?}");
+        assert!(warm.hits >= cold.misses);
+        assert_eq!(ctrl.stats().cache_dep_violations, 0);
+        ctrl.cache().audit().unwrap();
+        ctrl.cache_fail_closed_audit().unwrap();
+        assert_eq!(ctrl.stats().cache_hits, cold.hits + warm.hits);
+    }
+
+    #[test]
+    fn cache_survives_epoch_resync() {
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(10);
+        let mut ctrl = Controller::new(
+            topo,
+            CtrlOptions {
+                cache: CacheConfig::parse_spec("4").unwrap(),
+                ..CtrlOptions::default()
+            },
+        );
+        ctrl.submit(install(0, 2, &[0, 1, 2])).unwrap();
+        ctrl.run_to_idle().unwrap();
+        let flows = flowplace_traffic::generate(&flowplace_traffic::TrafficConfig {
+            seed: 3,
+            rate: 500,
+            duration_ms: 20,
+            ingresses: 1,
+            width: 4,
+            flows_per_ingress: 4,
+            ..flowplace_traffic::TrafficConfig::default()
+        });
+        ctrl.process_flows(&flows);
+        // A policy change re-solves and re-syncs the cache target.
+        ctrl.submit(Event::AddRule {
+            ingress: EntryPortId(0),
+            rule: Rule::new(t("01**"), Action::Drop, 3),
+        })
+        .unwrap();
+        ctrl.run_to_idle().unwrap();
+        ctrl.cache().audit().unwrap();
+        ctrl.cache_fail_closed_audit().unwrap();
+        assert_eq!(ctrl.stats().cache_dep_violations, 0);
     }
 
     #[test]

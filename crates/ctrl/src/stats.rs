@@ -79,6 +79,33 @@ pub struct CtrlStats {
     /// Learnt clauses retained by the persistent PB-SAT session
     /// (gauge: value after the most recent session solve).
     pub warm_sat_learnt_retained: u64,
+    /// Cache-tier lookups (per-switch, per-flow).
+    pub cache_lookups: u64,
+    /// Cache lookups answered by a resident TCAM entry.
+    pub cache_hits: u64,
+    /// Cache lookups punted to the controller.
+    pub cache_misses: u64,
+    /// Entries made resident in the cache tier.
+    pub cache_inserts: u64,
+    /// Entries evicted from the cache tier (cascades included).
+    pub cache_evictions: u64,
+    /// Ancestor entries pulled resident to preserve the dependency
+    /// closure invariant.
+    pub cache_closure_pulls: u64,
+    /// Insertions skipped because the dependency closure alone exceeds
+    /// the cache capacity.
+    pub cache_uncacheable: u64,
+    /// Warm re-solves triggered by miss batches (controller load).
+    pub cache_resolves: u64,
+    /// Miss batches flushed through the controller.
+    pub cache_miss_batches: u64,
+    /// Virtual milliseconds of controller punt latency charged to
+    /// cache misses.
+    pub cache_miss_latency_ms: u64,
+    /// Dependency-safety audit violations in the cache tier. Must stay
+    /// zero: a nonzero value means an eviction stranded a dependent
+    /// entry and the resident TCAM could invert a decision.
+    pub cache_dep_violations: u64,
 }
 
 impl CtrlStats {
@@ -128,6 +155,17 @@ impl CtrlStats {
             ("warm.depgraphs_reused", self.warm_depgraphs_reused),
             ("warm.candidates_reused", self.warm_candidates_reused),
             ("warm.ilp_seeded", self.warm_ilp_seeded),
+            ("cache.lookups", self.cache_lookups),
+            ("cache.hits", self.cache_hits),
+            ("cache.misses", self.cache_misses),
+            ("cache.inserts", self.cache_inserts),
+            ("cache.evictions", self.cache_evictions),
+            ("cache.closure_pulls", self.cache_closure_pulls),
+            ("cache.uncacheable", self.cache_uncacheable),
+            ("cache.resolves", self.cache_resolves),
+            ("cache.miss_batches", self.cache_miss_batches),
+            ("cache.miss_latency_ms", self.cache_miss_latency_ms),
+            ("cache.dep_violations", self.cache_dep_violations),
         ];
         for (name, value) in counters {
             metrics.counter_set_with(name, &[], *value);
@@ -190,7 +228,7 @@ impl fmt::Display for CtrlStats {
             self.reconcile_churn,
             self.failclosed_violations
         )?;
-        write!(
+        writeln!(
             f,
             "warm: {} memo hits / {} misses ({} evicted), {} depgraphs + {} candidates reused, {} ilp seeds, {} learnt retained",
             self.warm_memo_hits,
@@ -200,6 +238,21 @@ impl fmt::Display for CtrlStats {
             self.warm_candidates_reused,
             self.warm_ilp_seeded,
             self.warm_sat_learnt_retained
+        )?;
+        write!(
+            f,
+            "cache: {} hits / {} misses ({} lookups), {} inserts ({} pulled), {} evictions, {} uncacheable, {} resolves in {} batches ({}ms punt), {} dep violations",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_lookups,
+            self.cache_inserts,
+            self.cache_closure_pulls,
+            self.cache_evictions,
+            self.cache_uncacheable,
+            self.cache_resolves,
+            self.cache_miss_batches,
+            self.cache_miss_latency_ms,
+            self.cache_dep_violations
         )
     }
 }
@@ -275,5 +328,31 @@ mod tests {
         assert!(text.contains("warm: 4 memo hits / 2 misses"));
         assert!(text.contains("9 depgraphs + 8 candidates reused"));
         assert!(text.contains("1 ilp seeds"));
+    }
+
+    #[test]
+    fn cache_counters_render_and_export() {
+        let stats = CtrlStats {
+            cache_lookups: 10,
+            cache_hits: 7,
+            cache_misses: 3,
+            cache_inserts: 3,
+            cache_closure_pulls: 1,
+            cache_evictions: 2,
+            cache_resolves: 1,
+            cache_miss_batches: 1,
+            cache_miss_latency_ms: 3,
+            ..CtrlStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("cache: 7 hits / 3 misses (10 lookups)"));
+        assert!(text.contains("3 inserts (1 pulled)"));
+        assert!(text.contains("1 resolves in 1 batches (3ms punt)"));
+        assert!(text.contains("0 dep violations"));
+        let reg = Registry::new();
+        stats.export(&reg);
+        assert_eq!(reg.counter_value("cache.hits", &[]), 7);
+        assert_eq!(reg.counter_value("cache.misses", &[]), 3);
+        assert_eq!(reg.counter_value("cache.dep_violations", &[]), 0);
     }
 }

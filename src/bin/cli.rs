@@ -27,6 +27,7 @@ USAGE:
   flowplace audit FILE [FLAGS]   analyze a policy file (redundancy, deps)
   flowplace gen-policy [FLAGS]   generate a synthetic policy to stdout
   flowplace ctrl replay FILE [FLAGS]   drive the controller from an event trace
+  flowplace traffic gen [OUT] [FLAGS]  generate a replayable Zipf flow trace
   flowplace obs summarize FILE...      render obs trace/metrics dumps as tables
   flowplace help                 show this text
 
@@ -78,6 +79,23 @@ ctrl replay flags:
   --trace-out FILE     write the epoch/event/commit span trace
                        (flowplace.obs.v1 JSON, byte-identical per seed)
   --metrics-out FILE   write the metrics registry dump (flowplace.obs.v1)
+  --cache SPEC         enable the TCAM-as-cache tier: N | lru:N | depfreq:N
+                       (per-switch resident entries; dependency-safe eviction)
+  --traffic FILE       after the replay, run this flow trace (see
+                       `traffic gen`) through the cache tier; exits non-zero
+                       if the dependency-safety audit detects a violating
+                       eviction
+
+traffic gen flags (writes to OUT, or stdout without OUT):
+  --seed N             RNG seed                                  [7]
+  --rate N             flow events per simulated second          [1000]
+  --duration MS        stream length in virtual milliseconds     [1000]
+  --zipf S             Zipf exponent (0 = uniform)               [1.1]
+  --ingresses N        entry ports flows arrive on (l0..)        [4]
+  --width N            header width in bits                      [16]
+  --flows N            distinct flow headers per ingress         [64]
+  --flowlet N          mean packets per flowlet                  [4]
+  --burst P:A:M        every P ms, boost the rate xM for A ms
 
 Trace files hold one event per line (# comments, blank lines ignored):
   install-policy l0 via l2:s0-s1-s2 rules 10**:drop:2,****:permit:1
@@ -100,6 +118,7 @@ fn main() -> ExitCode {
         Some("audit") => audit(&args[1..]),
         Some("gen-policy") => gen_policy(&args[1..]),
         Some("ctrl") => ctrl(&args[1..]),
+        Some("traffic") => traffic_cmd(&args[1..]),
         Some("obs") => obs_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
@@ -182,6 +201,20 @@ fn get_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<
         Some(v) => match v.parse::<f64>() {
             Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
             _ => Err(format!("--{key}: bad probability {v:?} (want 0..=1)")),
+        },
+    }
+}
+
+/// Unclamped non-negative float parser (Zipf exponents and other
+/// shape parameters; probabilities go through [`get_f64`]).
+fn get_shape_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if s.is_finite() && s >= 0.0 => Ok(s),
+            _ => Err(format!(
+                "--{key}: bad value {v:?} (want a finite number >= 0)"
+            )),
         },
     }
 }
@@ -480,10 +513,18 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         },
         Some(other) => return Err(format!("--warm: expected on|off, got {other:?}")),
     };
+    let cache = match flags.get("cache") {
+        None => flowplace::ctrl::CacheConfig::default(),
+        Some(spec) => {
+            flowplace::ctrl::CacheConfig::parse_spec(spec).map_err(|e| format!("--cache: {e}"))?
+        }
+    };
+    let caching = cache.enabled;
     let options = CtrlOptions {
         batch_size: get_usize(&flags, "batch", 8)?,
         placement,
         warm,
+        cache,
         faults,
         retry: RetryPolicy {
             max_attempts: get_usize(&flags, "retries", 4)? as u32,
@@ -525,10 +566,59 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
+    let mut cache_violation = false;
+    if let Some(fpath) = flags.get("traffic") {
+        if !caching {
+            return Err("--traffic needs --cache (the flow stream drives the cache tier)".into());
+        }
+        let ftext =
+            std::fs::read_to_string(fpath).map_err(|e| format!("cannot read {fpath}: {e}"))?;
+        let flows = flowplace::traffic::parse_flows(&ftext).map_err(|e| format!("{fpath}: {e}"))?;
+        let fr = ctrl.process_flows(&flows);
+        println!(
+            "flows: {} processed ({} hit, {} miss, {} unrouted), hit rate {:.1}%",
+            fr.flows,
+            fr.hit_flows,
+            fr.miss_flows,
+            fr.unrouted,
+            fr.hit_rate() * 100.0
+        );
+        println!(
+            "cache: {} lookups, {} hits, {} misses, {} inserts, {} evictions",
+            fr.lookups, fr.hits, fr.misses, fr.inserts, fr.evictions
+        );
+        println!(
+            "controller load: {} re-solves over {} miss batches, {}ms punt latency",
+            fr.resolves, fr.miss_batches, fr.miss_latency_ms
+        );
+    }
+    if caching {
+        if let Err(e) = ctrl.cache().audit() {
+            eprintln!("cache dependency audit FAILED: {e}");
+            cache_violation = true;
+        }
+        if let Err(e) = ctrl.cache_fail_closed_audit() {
+            eprintln!("cache fail-closed audit FAILED: {e}");
+            cache_violation = true;
+        }
+        if ctrl.stats().cache_dep_violations > 0 {
+            eprintln!(
+                "cache dependency violations: {}",
+                ctrl.stats().cache_dep_violations
+            );
+            cache_violation = true;
+        }
+        if !cache_violation {
+            println!("cache audits: ok");
+        }
+    }
     println!("{}", ctrl.stats());
     print!("{}", ctrl.dataplane().dump());
     write_obs_outputs(&flags, ctrl.obs())?;
 
+    if cache_violation {
+        return Ok(ExitCode::from(1));
+    }
     if faulty {
         // Under injected faults, individual events may legitimately be
         // rejected (degraded service); the pass/fail bar is the no-
@@ -547,6 +637,80 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn traffic_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("gen") => match traffic_gen_inner(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: flowplace traffic gen [OUT] [FLAGS]; try `flowplace help`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn traffic_gen_inner(args: &[String]) -> Result<(), String> {
+    use flowplace::traffic::{format_flows, generate, BurstConfig, TrafficConfig};
+
+    let (flags, positional) = parse_flags(args)?;
+    let out = match positional.as_slice() {
+        [] => None,
+        [path] => Some(path.clone()),
+        more => return Err(format!("unexpected arguments: {more:?}")),
+    };
+    let burst = match flags.get("burst") {
+        None => None,
+        Some(spec) => {
+            let parts: Vec<u64> = spec
+                .split(':')
+                .map(|p| p.parse().map_err(|_| format!("--burst: bad spec {spec:?}")))
+                .collect::<Result<_, _>>()?;
+            let [period_ms, active_ms, multiplier] = parts.as_slice() else {
+                return Err(format!("--burst: want PERIOD:ACTIVE:MULT, got {spec:?}"));
+            };
+            if *period_ms == 0 || *active_ms > *period_ms {
+                return Err("--burst: need PERIOD > 0 and ACTIVE <= PERIOD".into());
+            }
+            Some(BurstConfig {
+                period_ms: *period_ms,
+                active_ms: *active_ms,
+                multiplier: *multiplier,
+            })
+        }
+    };
+    let config = TrafficConfig {
+        seed: get_usize(&flags, "seed", 7)? as u64,
+        rate: get_usize(&flags, "rate", 1000)? as u64,
+        duration_ms: get_usize(&flags, "duration", 1000)? as u64,
+        zipf: get_shape_f64(&flags, "zipf", 1.1)?,
+        ingresses: get_usize(&flags, "ingresses", 4)?,
+        width: get_usize(&flags, "width", 16)? as u32,
+        flows_per_ingress: get_usize(&flags, "flows", 64)?,
+        flowlet_len: get_usize(&flags, "flowlet", 4)? as u64,
+        burst,
+    };
+    if config.ingresses == 0 || config.flows_per_ingress == 0 {
+        return Err("--ingresses and --flows must be positive".into());
+    }
+    if config.width == 0 || config.width > 128 {
+        return Err("--width must be in 1..=128".into());
+    }
+    let flows = generate(&config);
+    let text = format_flows(&flows);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} flow events to {path}", flows.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
 }
 
 fn obs_cmd(args: &[String]) -> ExitCode {

@@ -24,7 +24,9 @@
 //! * [`obs`] — deterministic observability: hierarchical spans on a
 //!   virtual clock plus a typed metrics registry, dumped as canonical
 //!   `flowplace.obs.v1` JSON;
-//! * [`rng`] — seedable, registry-free pseudo-random number generation.
+//! * [`rng`] — seedable, registry-free pseudo-random number generation;
+//! * [`traffic`] — deterministic Zipf-skewed flow-arrival generation
+//!   driving the TCAM rule-caching tier.
 //!
 //! The most common entry points are re-exported at the root:
 //! [`Instance`], [`RulePlacer`], [`PlacementOptions`], [`Objective`].
@@ -66,6 +68,7 @@ pub use flowplace_pbsat as pbsat;
 pub use flowplace_rng as rng;
 pub use flowplace_routing as routing;
 pub use flowplace_topo as topo;
+pub use flowplace_traffic as traffic;
 
 pub use flowplace_core::{
     DependencyEncoding, Instance, Objective, Placement, PlacementOptions, PlacementOutcome,

@@ -214,6 +214,97 @@ fn chaos_trace_is_a_real_workout() {
     assert!(stats.reconcile_runs >= 1, "nothing reconciled: {stats:?}");
 }
 
+/// Cache tier under fire: a switch crashes in the middle of a warmed
+/// flow stream (mid-eviction churn, tiny cache), recovers, and the
+/// stream resumes. Degradation must be fail-closed the whole way —
+/// flows across the crashed switch count as unrouted rather than
+/// consulting a dead cache, the dependency audit stays green through
+/// the safe-mode fencing and the recovery re-sync, and no eviction ever
+/// strands a shield.
+#[test]
+fn cache_stays_dependency_safe_across_switch_crash() {
+    use flowplace::ctrl::{CacheConfig, CachePolicy};
+    use flowplace::traffic::{generate, TrafficConfig};
+
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E ^ seed);
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(8);
+        let policy = if seed % 2 == 0 {
+            CachePolicy::Lru
+        } else {
+            CachePolicy::DepFreq
+        };
+        let mut ctrl = Controller::new(
+            topo,
+            CtrlOptions {
+                cache: CacheConfig {
+                    enabled: true,
+                    // 2–3 entries: eviction churn on every phase.
+                    capacity: 2 + (seed % 2) as usize,
+                    policy,
+                    ..CacheConfig::default()
+                },
+                ..CtrlOptions::default()
+            },
+        );
+        ctrl.submit(install(&mut rng, 0, vec![0, 1, 2])).unwrap();
+        ctrl.submit(install(&mut rng, 1, vec![2, 1, 0])).unwrap();
+        ctrl.run_to_idle()
+            .unwrap_or_else(|e| panic!("seed {seed}: install failed: {e}"));
+
+        let stream = |s: u64| {
+            generate(&TrafficConfig {
+                seed: s,
+                rate: 1_000,
+                duration_ms: 50,
+                ingresses: 2,
+                width: WIDTH,
+                flows_per_ingress: 16,
+                ..TrafficConfig::default()
+            })
+        };
+
+        // Warm phase, then the crash lands mid-churn.
+        let warm = ctrl.process_flows(&stream(seed));
+        assert!(warm.lookups > 0, "seed {seed}: stream never looked up");
+        let victim = SwitchId(rng.gen_range(0..3usize));
+        ctrl.submit(Event::SwitchFail { switch: victim }).unwrap();
+        ctrl.run_to_idle()
+            .unwrap_or_else(|e| panic!("seed {seed}: crash epoch failed: {e}"));
+
+        // Degraded phase: flows whose route crosses the dead switch
+        // must be unrouted, never served from a stale cache.
+        let degraded = ctrl.process_flows(&stream(seed ^ 0xBEEF));
+        assert_eq!(
+            degraded.dep_violations, 0,
+            "seed {seed}: violation while degraded"
+        );
+        ctrl.cache()
+            .audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: degraded structural audit: {e}"));
+        ctrl.cache_fail_closed_audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: degraded fail-closed audit: {e}"));
+
+        // Recovery re-syncs the cache target; the invariant must hold
+        // again with traffic flowing.
+        ctrl.submit(Event::SwitchRecover { switch: victim })
+            .unwrap();
+        ctrl.run_to_idle()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery epoch failed: {e}"));
+        let recovered = ctrl.process_flows(&stream(seed ^ 0xF00D));
+        assert_eq!(recovered.dep_violations, 0, "seed {seed}");
+        assert_eq!(ctrl.stats().cache_dep_violations, 0, "seed {seed}");
+        ctrl.cache()
+            .audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovered structural audit: {e}"));
+        ctrl.cache_fail_closed_audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovered fail-closed audit: {e}"));
+        ctrl.fail_closed_audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: final audit failed: {e}"));
+    }
+}
+
 /// Backpressure under overload stays observable (counted, reported) and
 /// recoverable: once the queue drains, new submissions are accepted
 /// again and the run still ends fail-closed.

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke obs-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
@@ -47,9 +47,10 @@ bench-json:
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --threads 4
 
 ## bench-json-smoke: single-sample schema-validation run (CI), plus the
-## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps)
-## and the cache-tier smoke (the flowplace.bench.cache.v1 validator).
-bench-json-smoke: obs-smoke bench-cache-smoke
+## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps),
+## the cache-tier smoke (the flowplace.bench.cache.v1 validator), and the
+## delegation smoke (the flowplace.bench.delegation.v1 validator).
+bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
@@ -83,6 +84,17 @@ bench-cache:
 ## bench-cache-smoke: short schema-validation run (CI).
 bench-cache-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin cache_bench -- --smoke
+
+## bench-delegation: drop-all avoidance rate and delegated-rule overhead
+## vs capacity-revocation pressure (BENCH_delegation.json) on the
+## 256/1k/4k ClassBench scenarios; each cell runs the identical storm
+## with the rung on and off and aborts unless both arms audit fail-closed.
+bench-delegation:
+	$(CARGO) run --release --offline -p flowplace-bench --bin delegation_bench
+
+## bench-delegation-smoke: short schema-validation run (CI).
+bench-delegation-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin delegation_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

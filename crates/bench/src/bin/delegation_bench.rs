@@ -1,0 +1,68 @@
+//! Emits `BENCH_delegation.json`: drop-all avoidance rate and
+//! delegated-rule overhead vs TCAM capacity pressure.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin delegation_bench -- \
+//!     [--out PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the smallest scenario on two pressure points — CI
+//! uses it to validate the JSON schema without paying for the full
+//! sweep. The document is validated against
+//! `flowplace.bench.delegation.v1` before it is written; a schema bug
+//! fails the run instead of producing a corrupt artifact. The benchmark
+//! itself panics if either arm of any cell ends with a failing
+//! fail-closed audit, so a delegation safety bug also fails the run.
+
+use std::process::ExitCode;
+
+use flowplace_bench::delegation::{self, DelegationBenchConfig};
+use flowplace_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = DelegationBenchConfig::default();
+    let mut out_path = String::from("BENCH_delegation.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("delegation bench: smoke={}", cfg.smoke);
+    let rows = delegation::run_with_progress(&cfg, &mut |msg| eprintln!("  {msg}"));
+    print!("{}", delegation::rows_table(&rows));
+
+    let doc = delegation::to_json(&rows);
+    if let Err(reason) = report::validate_delegation_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}

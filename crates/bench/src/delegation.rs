@@ -1,0 +1,404 @@
+//! Machine-readable flow-delegation benchmark (`BENCH_delegation.json`).
+//!
+//! Measures what the delegation rung buys under TCAM pressure: each
+//! ClassBench scenario is solved and deployed once, then hit with a
+//! capacity-revocation storm — the first `pct`% of every route's
+//! switches (ingress side first) are revoked to zero — twice, under
+//! the identical schedule: once with the rung enabled and once with it
+//! disabled. Pressure is swept by deepening the storm along the
+//! routes: 25% takes out the edge layer under every ingress, 100%
+//! takes out every on-route switch, leaving off-route neighbors as the
+//! only TCAM left.
+//!
+//! Reported per (scenario, pressure) cell: how many ingresses went
+//! drop-all in each arm, the **avoidance rate** (victims the rung saved
+//! from drop-all), and the **delegated-rule overhead** (entries parked
+//! on delegates plus the redirect stubs the anchors carry).
+//!
+//! Fail-closed is part of the measurement contract: both arms must end
+//! every run with a green audit and zero `failclosed_violations` (the
+//! schema validator enforces the field), and the rung arm must never
+//! fail *more* closed than the baseline — strictly less in aggregate.
+//!
+//! Schema stability is enforced by
+//! [`crate::report::validate_delegation_json`]; bump [`SCHEMA`] when
+//! the shape changes.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use flowplace_core::PlacementOptions;
+use flowplace_ctrl::{Controller, CtrlOptions, Event};
+use flowplace_topo::SwitchId;
+
+use crate::cache::scenarios;
+use crate::scenario::build_instance;
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.delegation.v1";
+
+/// Storm depth sweep: percent of each route's switches (ingress side
+/// first) revoked to zero.
+pub const PRESSURE_PCTS: [f64; 4] = [25.0, 50.0, 75.0, 100.0];
+
+/// Runner parameters (CLI flags of the `delegation_bench` binary).
+#[derive(Clone, Debug, Default)]
+pub struct DelegationBenchConfig {
+    /// Smoke mode: smallest scenario, two pressure points — used by CI
+    /// to validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+/// One (scenario, pressure) measurement: the same revocation storm run
+/// with and without the delegation rung.
+#[derive(Clone, Debug)]
+pub struct DelegationRow {
+    /// Scenario label (`classbench-256` …).
+    pub scenario: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Storm depth, in percent of each route's switches.
+    pub pressure_pct: f64,
+    /// Ingresses whose routes the storm touched (all of them — the
+    /// storm is network-wide; the depth is what varies).
+    pub victims: usize,
+    /// Distinct switches the storm revoked.
+    pub revoked_switches: usize,
+    /// Ingresses fail-closed (drop-all) with the rung disabled.
+    pub dropall_baseline: u64,
+    /// Ingresses fail-closed (drop-all) with the rung enabled.
+    pub dropall_delegated: u64,
+    /// `dropall_baseline - dropall_delegated`.
+    pub avoided: u64,
+    /// `avoided / dropall_baseline` (0.0 when the baseline never
+    /// dropped — nothing to avoid).
+    pub avoidance_rate: f64,
+    /// Delegations recorded by the rung arm.
+    pub delegations: u64,
+    /// Placement entries parked on delegate switches at the end.
+    pub delegated_entries: u64,
+    /// Redirect stubs installed on anchors (reserved bank).
+    pub stub_entries: u64,
+    /// `delegated_entries` as a percentage of all placed entries.
+    pub overhead_pct: f64,
+    /// Fail-closed violations across both arms (must be zero;
+    /// validated).
+    pub failclosed_violations: u64,
+}
+
+/// Pressure points for a run (smoke keeps the interesting half).
+pub fn pressures(smoke: bool) -> Vec<f64> {
+    if smoke {
+        vec![50.0, 100.0]
+    } else {
+        PRESSURE_PCTS.to_vec()
+    }
+}
+
+/// Runs the full benchmark: one deployed controller per scenario,
+/// cloned across every (pressure, arm) combination so both arms see the
+/// byte-identical starting state and storm schedule.
+///
+/// # Panics
+///
+/// Panics if a scenario is infeasible or either arm of any cell ends
+/// with a failing fail-closed audit — delegation's correctness
+/// contract.
+pub fn run(cfg: &DelegationBenchConfig) -> Vec<DelegationRow> {
+    run_with_progress(cfg, &mut |_| {})
+}
+
+/// [`run`] with a progress sink: one message per deployed scenario and
+/// per finished storm arm, so the long sweeps stay observable from the
+/// binary without the library printing anything itself.
+pub fn run_with_progress(
+    cfg: &DelegationBenchConfig,
+    progress: &mut dyn FnMut(&str),
+) -> Vec<DelegationRow> {
+    // Same solver posture as the cache bench: greedy warm start plus a
+    // wall-clock budget keeps the classbench-4k initial solve at
+    // seconds; the storm re-solves ride the warm path after that.
+    let mut placement = PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    };
+    placement.mip.time_limit = Some(Duration::from_secs(10));
+    let options = CtrlOptions {
+        placement,
+        ..CtrlOptions::default()
+    };
+    let mut rows = Vec::new();
+    for (name, scenario) in scenarios(cfg.smoke) {
+        let instance = build_instance(&scenario);
+        let base = Controller::with_instance(instance.clone(), options.clone())
+            .expect("benchmark scenarios are feasible");
+        progress(&format!("{name}: deployed"));
+        for pct in pressures(cfg.smoke) {
+            let mut revoked: BTreeSet<SwitchId> = BTreeSet::new();
+            for r in instance.routes().iter() {
+                let depth =
+                    ((r.switches.len() as f64 * pct / 100.0).ceil() as usize).min(r.switches.len());
+                revoked.extend(r.switches.iter().take(depth).copied());
+            }
+            // The whole storm is submitted up front and drained in
+            // batched epochs: identical deterministic schedule for both
+            // arms, without paying a full degrade cycle per revoked
+            // switch on the large scenarios.
+            let mut storm = |delegation: bool| -> Controller {
+                let mut ctrl = base.clone();
+                ctrl.set_delegation_enabled(delegation);
+                for &s in &revoked {
+                    ctrl.submit(Event::CapacityChange {
+                        switch: s,
+                        capacity: 0,
+                    })
+                    .expect("storm event fits the queue");
+                }
+                ctrl.run_to_idle()
+                    .unwrap_or_else(|e| panic!("{name} {pct}%: storm epoch: {e}"));
+                assert_eq!(
+                    ctrl.stats().failclosed_violations,
+                    0,
+                    "{name} {pct}% (delegation={delegation}): violation"
+                );
+                ctrl.fail_closed_audit().unwrap_or_else(|e| {
+                    panic!("{name} {pct}% (delegation={delegation}): audit: {e}")
+                });
+                progress(&format!(
+                    "{name} {pct}% delegation={delegation}: {} drop-all",
+                    ctrl.safe_mode_ingresses().len()
+                ));
+                ctrl
+            };
+            let baseline = storm(false);
+            let delegated = storm(true);
+            let dropall_baseline = baseline.safe_mode_ingresses().len() as u64;
+            let dropall_delegated = delegated.safe_mode_ingresses().len() as u64;
+            let avoided = dropall_baseline.saturating_sub(dropall_delegated);
+            let total_entries: usize = delegated
+                .placement()
+                .iter()
+                .map(|(_, switches)| switches.len())
+                .sum();
+            let delegated_entries = delegated.delegated_entries() as u64;
+            rows.push(DelegationRow {
+                scenario: name.clone(),
+                rules: instance.total_policy_rules(),
+                pressure_pct: pct,
+                victims: scenario.ingresses,
+                revoked_switches: revoked.len(),
+                dropall_baseline,
+                dropall_delegated,
+                avoided,
+                avoidance_rate: if dropall_baseline == 0 {
+                    0.0
+                } else {
+                    avoided as f64 / dropall_baseline as f64
+                },
+                delegations: delegated.stats().delegations,
+                delegated_entries,
+                stub_entries: delegated.stats().delegation_stub_entries,
+                overhead_pct: if total_entries == 0 {
+                    0.0
+                } else {
+                    delegated_entries as f64 * 100.0 / total_entries as f64
+                },
+                failclosed_violations: baseline.stats().failclosed_violations
+                    + delegated.stats().failclosed_violations,
+            });
+        }
+    }
+    rows
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_delegation.json` document.
+pub fn to_json(rows: &[DelegationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(
+        out,
+        "  \"dropall_baseline\": {},",
+        rows.iter().map(|r| r.dropall_baseline).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"dropall_delegated\": {},",
+        rows.iter().map(|r| r.dropall_delegated).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"failclosed_violations\": {},",
+        rows.iter().map(|r| r.failclosed_violations).sum::<u64>()
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(out, "      \"pressure_pct\": {},", json_num(r.pressure_pct));
+        let _ = writeln!(out, "      \"victims\": {},", r.victims);
+        let _ = writeln!(out, "      \"revoked_switches\": {},", r.revoked_switches);
+        let _ = writeln!(out, "      \"dropall_baseline\": {},", r.dropall_baseline);
+        let _ = writeln!(out, "      \"dropall_delegated\": {},", r.dropall_delegated);
+        let _ = writeln!(out, "      \"avoided\": {},", r.avoided);
+        let _ = writeln!(
+            out,
+            "      \"avoidance_rate\": {},",
+            json_num(r.avoidance_rate)
+        );
+        let _ = writeln!(out, "      \"delegations\": {},", r.delegations);
+        let _ = writeln!(out, "      \"delegated_entries\": {},", r.delegated_entries);
+        let _ = writeln!(out, "      \"stub_entries\": {},", r.stub_entries);
+        let _ = writeln!(out, "      \"overhead_pct\": {},", json_num(r.overhead_pct));
+        let _ = writeln!(
+            out,
+            "      \"failclosed_violations\": {}",
+            r.failclosed_violations
+        );
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[DelegationRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9}\n",
+        "scenario",
+        "press %",
+        "victims",
+        "revoked",
+        "drop:off",
+        "drop:on",
+        "avoided",
+        "avoid%",
+        "delegs",
+        "stubs",
+        "overhd %"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8.1}% {:>8} {:>8} {:>9} {:>9} {:>8} {:>6.1}% {:>8} {:>8} {:>8.2}%",
+            r.scenario,
+            r.pressure_pct,
+            r.victims,
+            r.revoked_switches,
+            r.dropall_baseline,
+            r.dropall_delegated,
+            r.avoided,
+            r.avoidance_rate * 100.0,
+            r.delegations,
+            r.stub_entries,
+            r.overhead_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_delegation_json;
+
+    fn sample_row() -> DelegationRow {
+        DelegationRow {
+            scenario: "classbench-256".into(),
+            rules: 256,
+            pressure_pct: 50.0,
+            victims: 4,
+            revoked_switches: 10,
+            dropall_baseline: 4,
+            dropall_delegated: 1,
+            avoided: 3,
+            avoidance_rate: 0.75,
+            delegations: 3,
+            delegated_entries: 96,
+            stub_entries: 6,
+            overhead_pct: 37.5,
+            failclosed_violations: 0,
+        }
+    }
+
+    #[test]
+    fn json_document_passes_schema_check() {
+        let doc = to_json(&[sample_row()]);
+        validate_delegation_json(&doc).expect("emitted document is schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_failclosed_violations() {
+        let mut bad = sample_row();
+        bad.failclosed_violations = 1;
+        let doc = to_json(&[bad]);
+        assert!(validate_delegation_json(&doc).is_err());
+    }
+
+    #[test]
+    fn validator_requires_strict_dropall_reduction() {
+        let mut row = sample_row();
+        row.dropall_delegated = row.dropall_baseline;
+        row.avoided = 0;
+        row.avoidance_rate = 0.0;
+        let doc = to_json(&[row]);
+        assert!(
+            validate_delegation_json(&doc).is_err(),
+            "a rung that saves nothing must not validate"
+        );
+    }
+
+    #[test]
+    fn smoke_run_shows_strict_avoidance() {
+        let cfg = DelegationBenchConfig { smoke: true };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), pressures(true).len());
+        assert!(rows.iter().all(|r| r.failclosed_violations == 0));
+        assert!(
+            rows.iter()
+                .all(|r| r.dropall_delegated <= r.dropall_baseline),
+            "the rung made degradation worse: {rows:?}"
+        );
+        let doc = to_json(&rows);
+        validate_delegation_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let t = rows_table(&[sample_row()]);
+        assert!(t.contains("classbench-256"));
+        assert!(t.contains("75.0%"));
+    }
+}

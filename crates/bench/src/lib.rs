@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delegation;
 pub mod experiments;
 pub mod harness;
 pub mod incremental;

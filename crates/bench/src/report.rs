@@ -728,6 +728,132 @@ pub fn validate_cache_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_delegation.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_delegation_json`] requires (re-exported
+/// from [`crate::delegation::SCHEMA`] so the two cannot drift).
+pub const DELEGATION_SCHEMA: &str = crate::delegation::SCHEMA;
+
+const DELEGATION_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "pressure_pct",
+    "victims",
+    "revoked_switches",
+    "dropall_baseline",
+    "dropall_delegated",
+    "avoided",
+    "avoidance_rate",
+    "delegations",
+    "delegated_entries",
+    "stub_entries",
+    "overhead_pct",
+    "failclosed_violations",
+];
+
+/// Validates a `BENCH_delegation.json` document against the
+/// `flowplace.bench.delegation.v1` schema: the tag itself, the
+/// aggregate drop-all counts, and every row's fields, types, and value
+/// ranges. The robustness contract is part of the schema:
+/// `failclosed_violations` must be zero at the top level and in every
+/// row, no row may fail *more* closed with the rung enabled than
+/// without, `avoidance_rate` must lie in `[0, 1]`, and in aggregate
+/// the rung must strictly reduce drop-all events whenever the baseline
+/// produced any. Returns a human-readable reason on the first
+/// violation.
+pub fn validate_delegation_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != DELEGATION_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {DELEGATION_SCHEMA:?}"
+        ));
+    }
+    let mut totals = [0.0f64; 2];
+    for (slot, field) in ["dropall_baseline", "dropall_delegated"].iter().enumerate() {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {field:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("field {field:?} must be finite and >= 0, got {v}"));
+        }
+        totals[slot] = v;
+    }
+    let total_violations = doc
+        .get("failclosed_violations")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"failclosed_violations\"")?;
+    if total_violations != 0.0 {
+        return Err(format!(
+            "fail-closed contract broken: failclosed_violations = {total_violations}"
+        ));
+    }
+    if totals[0] > 0.0 && totals[1] >= totals[0] {
+        return Err(format!(
+            "delegation must strictly reduce drop-all events: baseline {} vs delegated {}",
+            totals[0], totals[1]
+        ));
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        row.get("scenario")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"scenario\"".into()))?;
+        for field in DELEGATION_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+        let baseline = row
+            .get("dropall_baseline")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        let delegated = row
+            .get("dropall_delegated")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if delegated > baseline {
+            return Err(ctx(format!(
+                "the rung must never fail more closed: baseline {baseline} vs delegated {delegated}"
+            )));
+        }
+        let rate = row
+            .get("avoidance_rate")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if rate > 1.0 {
+            return Err(ctx(format!("\"avoidance_rate\" must be <= 1, got {rate}")));
+        }
+        let violations = row
+            .get("failclosed_violations")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if violations != 0.0 {
+            return Err(ctx(format!(
+                "fail-closed contract broken: failclosed_violations = {violations}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -123,19 +123,33 @@ impl CacheConfig {
     ///
     /// A human-readable reason for a malformed spec.
     pub fn parse_spec(spec: &str) -> Result<CacheConfig, String> {
+        if spec.is_empty() {
+            return Err("empty cache spec (want N or lru:N|depfreq:N)".into());
+        }
         let (policy, cap) = match spec.split_once(':') {
             None => (CachePolicy::Lru, spec),
             Some(("lru", cap)) => (CachePolicy::Lru, cap),
             Some(("depfreq", cap)) => (CachePolicy::DepFreq, cap),
             Some((other, _)) => {
-                return Err(format!("unknown cache policy {other:?} (want lru|depfreq)"))
+                return Err(format!(
+                    "unknown cache policy {other:?} in {spec:?} (want lru|depfreq)"
+                ))
             }
         };
-        let capacity: usize = cap
-            .parse()
-            .map_err(|_| format!("bad cache capacity {cap:?}"))?;
+        // Reject zero before parsing so "0", "00", "lru:0" all get the
+        // positivity message, not a generic parse failure.
+        if !cap.is_empty() && cap.bytes().all(|b| b == b'0') {
+            return Err(format!(
+                "cache capacity must be positive, got {cap:?} in {spec:?}"
+            ));
+        }
+        let capacity: usize = cap.parse().map_err(|_| {
+            format!("bad cache capacity {cap:?} in {spec:?} (want a positive integer)")
+        })?;
         if capacity == 0 {
-            return Err("cache capacity must be positive".into());
+            return Err(format!(
+                "cache capacity must be positive, got {cap:?} in {spec:?}"
+            ));
         }
         Ok(CacheConfig {
             enabled: true,
@@ -672,6 +686,25 @@ mod tests {
         assert!(CacheConfig::parse_spec("fifo:4").is_err());
         assert!(CacheConfig::parse_spec("lru:x").is_err());
         assert!(CacheConfig::parse_spec("0").is_err());
+    }
+
+    #[test]
+    fn parse_spec_errors_name_the_offending_token() {
+        let err = CacheConfig::parse_spec("fifo:4").unwrap_err();
+        assert!(
+            err.contains("\"fifo\"") && err.contains("\"fifo:4\""),
+            "{err}"
+        );
+        let err = CacheConfig::parse_spec("lru:x").unwrap_err();
+        assert!(err.contains("\"x\"") && err.contains("\"lru:x\""), "{err}");
+        for zero in ["0", "00", "lru:0", "depfreq:0"] {
+            let err = CacheConfig::parse_spec(zero).unwrap_err();
+            assert!(err.contains("must be positive"), "{zero}: {err}");
+        }
+        let err = CacheConfig::parse_spec("").unwrap_err();
+        assert!(err.contains("empty cache spec"), "{err}");
+        let err = CacheConfig::parse_spec("lru:").unwrap_err();
+        assert!(err.contains("\"\""), "{err}");
     }
 
     #[test]

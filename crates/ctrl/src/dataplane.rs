@@ -47,6 +47,23 @@ impl TcamEntry {
     pub fn is_safe_mode(&self) -> bool {
         self.priority == u32::MAX && self.match_field.care() == 0 && self.action == Action::Drop
     }
+
+    /// True for a delegation redirect stub: a minimum-priority
+    /// all-wildcard PERMIT (see [`crate::delegate`]). Semantically
+    /// neutral in the pipeline model — a PERMIT forwards, exactly like
+    /// no-match — it models the TCAM slot the hardware redirect rule
+    /// occupies while a delegation is active.
+    pub fn is_delegation_stub(&self) -> bool {
+        self.priority == 0 && self.match_field.care() == 0 && self.action == Action::Permit
+    }
+
+    /// True for any reserved-system-bank entry (the safe-mode fence or
+    /// a delegation redirect stub): exempt from the capacity check and
+    /// surviving capacity revocations, so the controller's fail-closed
+    /// fallbacks can never themselves be infeasible.
+    pub fn is_reserved(&self) -> bool {
+        self.is_safe_mode() || self.is_delegation_stub()
+    }
 }
 
 impl fmt::Display for TcamEntry {
@@ -87,9 +104,10 @@ impl SwitchTcam {
         self.entries.len()
     }
 
-    /// Entries that count against capacity (safe-mode slots excluded).
+    /// Entries that count against capacity (reserved system slots —
+    /// safe-mode fences and delegation stubs — excluded).
     pub fn billable_occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| !e.is_safe_mode()).count()
+        self.entries.iter().filter(|e| !e.is_reserved()).count()
     }
 
     /// Capacity in entries.
@@ -470,8 +488,8 @@ impl DataPlane {
 
     /// TCAM bank failure: shrinks `s`'s capacity to `capacity` and
     /// evicts the lowest-priority entries that no longer fit (safe-mode
-    /// slots are in the reserved bank and always survive). Returns the
-    /// number of entries lost.
+    /// fences and delegation stubs are in the reserved bank and always
+    /// survive). Returns the number of entries lost.
     ///
     /// # Panics
     ///
@@ -480,11 +498,11 @@ impl DataPlane {
         let tcam = &mut self.switches[s.0];
         tcam.capacity = capacity;
         // Entries are sorted by descending priority, so survivors are
-        // the safe-mode slots plus the first `capacity` billable ones.
+        // the reserved slots plus the first `capacity` billable ones.
         let mut kept = 0usize;
         let before = tcam.entries.len();
         tcam.entries.retain(|e| {
-            if e.is_safe_mode() {
+            if e.is_reserved() {
                 return true;
             }
             kept += 1;
@@ -692,6 +710,38 @@ mod tests {
         dp.apply(&diff).unwrap();
         assert_eq!(dp.switch(SwitchId(0)).occupancy(), 2);
         assert_eq!(dp.switch(SwitchId(0)).billable_occupancy(), 1);
+        dp.validate_capacities().unwrap();
+    }
+
+    #[test]
+    fn delegation_stub_is_reserved_and_survives_revocation() {
+        let stub = TcamEntry {
+            priority: 0,
+            tags: BTreeSet::from([EntryPortId(0)]),
+            match_field: Ternary::parse("****").unwrap(),
+            action: Action::Permit,
+        };
+        assert!(stub.is_delegation_stub());
+        assert!(stub.is_reserved());
+        assert!(!stub.is_safe_mode());
+        // A priority-0 wildcard DROP is a fence candidate, not a stub.
+        let drop = TcamEntry {
+            action: Action::Drop,
+            ..stub.clone()
+        };
+        assert!(!drop.is_delegation_stub());
+        let mut dp = DataPlane::new(vec![1]);
+        dp.install(SwitchId(0), &stub).unwrap();
+        dp.install(SwitchId(0), &entry(2, "10**", Action::Drop))
+            .unwrap();
+        assert_eq!(dp.switch(SwitchId(0)).occupancy(), 2);
+        assert_eq!(dp.switch(SwitchId(0)).billable_occupancy(), 1);
+        dp.validate_capacities().unwrap();
+        // Revoking to zero evicts the billable entry but keeps the stub.
+        assert_eq!(dp.revoke_capacity(SwitchId(0), 0), 1);
+        let survivors = dp.switch(SwitchId(0)).entries();
+        assert_eq!(survivors.len(), 1);
+        assert!(survivors[0].is_delegation_stub());
         dp.validate_capacities().unwrap();
     }
 

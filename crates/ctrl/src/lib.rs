@@ -59,6 +59,7 @@
 
 pub mod cache;
 pub mod dataplane;
+pub mod delegate;
 pub mod epoch;
 pub mod event;
 pub mod faults;
@@ -81,6 +82,7 @@ use flowplace_traffic::FlowEvent;
 
 pub use cache::{CacheConfig, CacheCounters, CacheLookup, CachePolicy, RuleCache};
 pub use dataplane::{ApplyReport, DataPlane, DataPlaneError, RuleDiff, SwitchTcam, TcamEntry};
+pub use delegate::{Delegation, DelegationConfig};
 pub use epoch::{EpochLog, Snapshot};
 pub use event::{format_trace, parse_trace, Event, TraceError};
 pub use faults::{
@@ -98,6 +100,17 @@ pub enum Tier {
     Restricted,
     /// Full re-solve of the whole instance.
     Full,
+    /// Delegation rung: routes detoured through an off-route delegate
+    /// with spare TCAM, then re-solved (see [`delegate`]).
+    Delegated,
+}
+
+impl Tier {
+    /// Every rung, in escalation order. Kept exhaustive by
+    /// `tier_all_is_complete` in the tests: adding a variant without
+    /// extending this array (and the [`CtrlStats`] counter mapping)
+    /// fails the build or the completeness tests.
+    pub const ALL: [Tier; 4] = [Tier::Greedy, Tier::Restricted, Tier::Full, Tier::Delegated];
 }
 
 impl fmt::Display for Tier {
@@ -106,6 +119,7 @@ impl fmt::Display for Tier {
             Tier::Greedy => write!(f, "greedy"),
             Tier::Restricted => write!(f, "restricted"),
             Tier::Full => write!(f, "full"),
+            Tier::Delegated => write!(f, "delegated"),
         }
     }
 }
@@ -149,6 +163,7 @@ impl EventOutcome {
             EventOutcome::Applied(Tier::Greedy) => "applied:greedy",
             EventOutcome::Applied(Tier::Restricted) => "applied:restricted",
             EventOutcome::Applied(Tier::Full) => "applied:full",
+            EventOutcome::Applied(Tier::Delegated) => "applied:delegated",
             EventOutcome::Checkpoint => "checkpoint",
             EventOutcome::RolledBack { .. } => "rolled-back",
             EventOutcome::Rejected { .. } => "rejected",
@@ -156,6 +171,22 @@ impl EventOutcome {
             EventOutcome::SwitchRecovered { .. } => "switch-recovered",
         }
     }
+
+    /// Every label [`label`](EventOutcome::label) can produce. The
+    /// match above is exhaustive (a new variant fails to compile
+    /// without a label); the completeness test pins that each label
+    /// also reaches the `ctrl.outcomes` metrics mirror.
+    pub const ALL_LABELS: [&'static str; 9] = [
+        "applied:greedy",
+        "applied:restricted",
+        "applied:full",
+        "applied:delegated",
+        "checkpoint",
+        "rolled-back",
+        "rejected",
+        "switch-failed",
+        "switch-recovered",
+    ];
 }
 
 /// The result of committing one epoch.
@@ -176,6 +207,9 @@ pub struct EpochReport {
     /// Ingresses in safe mode (fail-closed drop-all fence) after this
     /// epoch.
     pub safe_mode: Vec<EntryPortId>,
+    /// Ingresses with an active delegation (routes detoured through an
+    /// off-route delegate) after this epoch.
+    pub delegated: Vec<EntryPortId>,
     /// Dataplane faults injected during this epoch.
     pub injected: usize,
 }
@@ -278,6 +312,10 @@ pub struct CtrlOptions {
     /// default: the dataplane then *is* the physical TCAM, exactly as
     /// before the cache tier existed.
     pub cache: CacheConfig,
+    /// Delegation rung configuration (see [`delegate`]). Enabled by
+    /// default; on topologies whose routes span every reachable switch
+    /// (no off-route neighbors) the rung is inert.
+    pub delegation: DelegationConfig,
 }
 
 impl Default for CtrlOptions {
@@ -295,6 +333,7 @@ impl Default for CtrlOptions {
             reconcile_rounds: 3,
             warm: WarmConfig::default(),
             cache: CacheConfig::default(),
+            delegation: DelegationConfig::default(),
         }
     }
 }
@@ -383,6 +422,8 @@ struct FaultRuntime {
     breakers: BTreeMap<SwitchId, CircuitBreaker>,
     unmanageable: BTreeMap<SwitchId, Outage>,
     safe_mode: BTreeSet<EntryPortId>,
+    /// Active delegations, keyed by the detoured ingress.
+    delegations: BTreeMap<EntryPortId, Delegation>,
 }
 
 /// The single-threaded, deterministic placement controller.
@@ -410,6 +451,15 @@ fn with_capacity(instance: &Instance, switch: SwitchId, capacity: usize) -> Inst
         instance.policies().map(|(l, q)| (l, q.clone())).collect();
     Instance::new(topology, instance.routes().clone(), policies)
         .expect("a capacity-only change keeps the instance valid")
+}
+
+/// Whether any switch's placed load exceeds its capacity — true after
+/// a committed-anyway capacity shrink, until the degradation ladder
+/// re-places or fails-closed the overflowing ingresses.
+fn capacity_pressure(instance: &Instance, placement: &Placement) -> bool {
+    let load = placement.per_switch_load(instance);
+    let capacities = instance.topology().capacities();
+    load.iter().zip(capacities.iter()).any(|(l, c)| l > c)
 }
 
 /// The ingress an event targets, for the safe-mode gate.
@@ -445,6 +495,7 @@ impl Controller {
                 breakers: BTreeMap::new(),
                 unmanageable: BTreeMap::new(),
                 safe_mode: BTreeSet::new(),
+                delegations: BTreeMap::new(),
             },
             warm: WarmCache::new(options.warm.clone()),
             cache: RuleCache::new(options.cache.clone(), switch_count),
@@ -563,6 +614,39 @@ impl Controller {
     /// Ingresses currently degraded to the safe-mode drop-all fence.
     pub fn safe_mode_ingresses(&self) -> Vec<EntryPortId> {
         self.faults.safe_mode.iter().copied().collect()
+    }
+
+    /// Active delegations: each detoured ingress with its delegate and
+    /// anchors.
+    pub fn delegations(&self) -> Vec<(EntryPortId, Delegation)> {
+        self.faults
+            .delegations
+            .iter()
+            .map(|(l, d)| (*l, d.clone()))
+            .collect()
+    }
+
+    /// TCAM entries currently offloaded onto delegate switches (the
+    /// delegated-rule overhead on top of the redirect stubs).
+    pub fn delegated_entries(&self) -> usize {
+        self.faults
+            .delegations
+            .iter()
+            .map(|(l, d)| {
+                self.placement
+                    .iter()
+                    .filter(|((pl, _), switches)| pl == l && switches.contains(&d.delegate))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Toggles the delegation rung (used by the benchmark to sweep the
+    /// same deployment with and without delegation). Disabling does not
+    /// tear down active delegations; they unwind through the normal
+    /// lift rounds.
+    pub fn set_delegation_enabled(&mut self, enabled: bool) {
+        self.options.delegation.enabled = enabled;
     }
 
     /// Current virtual time in milliseconds (advanced only by retry
@@ -702,17 +786,41 @@ impl Controller {
                                 Tier::Greedy => self.stats.greedy_ok += 1,
                                 Tier::Restricted => self.stats.restricted_ok += 1,
                                 Tier::Full => self.stats.full_ok += 1,
+                                Tier::Delegated => self.stats.delegated_ok += 1,
                             }
                             EventOutcome::Applied(tier)
                         }
-                        Err(reason) => {
-                            self.stats.events_failed += 1;
-                            EventOutcome::Rejected { reason }
-                        }
+                        Err(reason) => match self.rescue_rejected(&event, &instance, &placement) {
+                            Some((ni, np)) => {
+                                instance = ni;
+                                placement = np;
+                                self.stats.delegated_ok += 1;
+                                EventOutcome::Applied(Tier::Delegated)
+                            }
+                            None => {
+                                // A capacity shrink is committed even
+                                // when re-placement fails: the hardware
+                                // has already lost the bank, so the old
+                                // capacity must not be resurrected. The
+                                // resilient commit degrades the
+                                // overloaded ingresses fail-closed.
+                                if let Event::CapacityChange { switch, capacity } = &event {
+                                    if switch.0 < instance.topology().switch_count() {
+                                        instance = with_capacity(&instance, *switch, *capacity);
+                                    }
+                                }
+                                self.stats.events_failed += 1;
+                                EventOutcome::Rejected { reason }
+                            }
+                        },
                     },
                 },
             };
             self.span_attr(event_span, "outcome", outcome.label());
+            if let Some(o) = &self.obs {
+                o.metrics
+                    .counter_add_with("ctrl.outcomes", &[("outcome", outcome.label())], 1);
+            }
             self.span_end(event_span);
             outcomes.push((event, outcome));
         }
@@ -722,7 +830,9 @@ impl Controller {
         // controller behaves exactly like the atomic one.
         let resilient = self.faults.injector.plan().is_active()
             || !self.faults.unmanageable.is_empty()
-            || !self.faults.safe_mode.is_empty();
+            || !self.faults.safe_mode.is_empty()
+            || !self.faults.delegations.is_empty()
+            || capacity_pressure(&instance, &placement);
 
         let commit_span = self.span_begin("ctrl.commit");
         self.span_attr(
@@ -769,6 +879,7 @@ impl Controller {
             peak_occupancy: report.peak_occupancy,
             quarantined,
             safe_mode: self.faults.safe_mode.iter().copied().collect(),
+            delegated: self.faults.delegations.keys().copied().collect(),
             injected: (self.stats.faults_injected - faults_before) as usize,
         })
     }
@@ -1472,13 +1583,94 @@ impl Controller {
     }
 
     /// Graceful-degradation ladder: re-place every ingress touching an
-    /// out-of-service switch (and, on the first round of an epoch, every
-    /// safe-mode ingress, attempting to lift the fence) via a batched
-    /// restricted re-solve → full re-solve → per-ingress salvage; what
-    /// cannot be placed at all goes (or stays) fail-closed in safe mode.
+    /// out-of-service or over-budget switch (and, on the first round of
+    /// an epoch, every safe-mode ingress, attempting to lift the fence)
+    /// via a batched restricted re-solve → full re-solve → per-ingress
+    /// delegation → per-ingress salvage; what cannot be placed at all
+    /// goes (or stays) fail-closed in safe mode.
+    ///
+    /// Delegation maintenance runs first: a delegation whose delegate
+    /// or anchor went out of service — quarantine treats delegated
+    /// entries pessimally — whose routes no longer visit the delegate,
+    /// or whose ingress went fail-closed is torn down (routes restored,
+    /// entries stripped) and the ingress re-enters the ladder, which
+    /// may re-home it on a new delegate or fail it closed. Lift rounds
+    /// probe opportunistic undelegation instead: a shadow re-solve
+    /// without the detour, committed only when it fits, so a still-
+    /// necessary delegation is left untouched.
     fn degrade(&mut self, instance: &mut Instance, placement: &mut Placement, lift: bool) {
+        let mut seeded: BTreeSet<EntryPortId> = BTreeSet::new();
+        let mut torn: BTreeSet<EntryPortId> = BTreeSet::new();
+        for (l, d) in self.faults.delegations.clone() {
+            let faulted = self.faults.unmanageable.contains_key(&d.delegate)
+                || !self.dataplane.is_online(d.delegate)
+                || d.anchors
+                    .iter()
+                    .any(|a| self.faults.unmanageable.contains_key(a));
+            let detached = !instance
+                .routes()
+                .iter()
+                .any(|r| r.ingress == l && r.contains(d.delegate));
+            if faulted || detached || self.faults.safe_mode.contains(&l) {
+                *instance = delegate::restore_instance(instance, l, d.delegate);
+                self.faults.delegations.remove(&l);
+                placement.remove_ingress(l);
+                seeded.insert(l);
+                self.stats.delegation_teardowns += 1;
+                torn.insert(l);
+                self.note_delegate_event("torn-down");
+            } else if lift {
+                self.try_undelegate(instance, placement, l, &d);
+            }
+        }
+        self.degrade_inner(instance, placement, lift, seeded, &torn);
+    }
+
+    /// Opportunistic undelegation: re-solve `ingress` against its
+    /// original (detour-free) routes and commit only if it fits —
+    /// capacity came back, the delegation is no longer needed.
+    fn try_undelegate(
+        &mut self,
+        instance: &mut Instance,
+        placement: &mut Placement,
+        ingress: EntryPortId,
+        d: &Delegation,
+    ) {
+        let restored = delegate::restore_instance(instance, ingress, d.delegate);
+        let mut stripped = placement.clone();
+        stripped.remove_ingress(ingress);
         let excluded: Vec<SwitchId> = self.faults.unmanageable.keys().copied().collect();
-        let mut affected: BTreeSet<EntryPortId> = BTreeSet::new();
+        if let Ok(out) = incremental::replace_ingresses_cached(
+            &restored,
+            &stripped,
+            &[ingress],
+            &excluded,
+            &self.options.placement,
+            self.options.objective.clone(),
+            Some(&self.warm),
+        ) {
+            if let Some(p) = out.placement {
+                *instance = out.instance;
+                *placement = p;
+                self.faults.delegations.remove(&ingress);
+                self.stats.undelegations += 1;
+                self.note_delegate_event("undelegated");
+            }
+        }
+    }
+
+    /// The ladder proper; `seeded` carries the ingresses the delegation
+    /// maintenance pass already stripped.
+    fn degrade_inner(
+        &mut self,
+        instance: &mut Instance,
+        placement: &mut Placement,
+        lift: bool,
+        seeded: BTreeSet<EntryPortId>,
+        torn: &BTreeSet<EntryPortId>,
+    ) {
+        let excluded: Vec<SwitchId> = self.faults.unmanageable.keys().copied().collect();
+        let mut affected: BTreeSet<EntryPortId> = seeded;
         for ((ingress, _), switches) in placement.iter() {
             if switches
                 .iter()
@@ -1491,6 +1683,19 @@ impl Controller {
         // rollback can resurrect some).
         for l in &self.faults.safe_mode {
             placement.remove_ingress(*l);
+        }
+        // Capacity pressure: a committed shrink (or cache resync) can
+        // leave a switch's placed load over budget; those ingresses
+        // must re-place before the commit check would reject the epoch.
+        let load = placement.per_switch_load(instance);
+        let capacities = instance.topology().capacities();
+        for ((ingress, _), switches) in placement.iter() {
+            if switches
+                .iter()
+                .any(|s| load.get(s.0).copied().unwrap_or(0) > capacities[s.0])
+            {
+                affected.insert(*ingress);
+            }
         }
         if lift {
             affected.extend(self.faults.safe_mode.iter().copied());
@@ -1529,8 +1734,14 @@ impl Controller {
             self.faults.safe_mode.clear();
             return;
         }
-        // Tier 3: salvage ingress-by-ingress; the rest go fail-closed.
+        // Tier 3: the delegation rung — detour through an off-route
+        // neighbor with spare TCAM — then salvage; the rest go
+        // fail-closed.
         for l in targets {
+            if self.try_delegate(instance, placement, l, &excluded, torn) {
+                self.faults.safe_mode.remove(&l);
+                continue;
+            }
             let mut salvaged = false;
             if let Ok(out) = incremental::replace_ingresses_cached(
                 instance,
@@ -1551,6 +1762,198 @@ impl Controller {
             if !salvaged {
                 self.enter_safe_mode(l, placement);
             }
+        }
+    }
+
+    /// The delegation rung: detour `ingress`'s routes through an
+    /// off-route neighbor with spare TCAM (the delegate) and re-solve
+    /// just that ingress against the detoured instance, reaching
+    /// capacity the on-route solver never could. Returns whether the
+    /// ingress ended up placed. The delegation is only recorded when
+    /// the solution actually uses the delegate; a solution that ignores
+    /// it keeps the placement but drops the detour.
+    fn try_delegate(
+        &mut self,
+        instance: &mut Instance,
+        placement: &mut Placement,
+        ingress: EntryPortId,
+        excluded: &[SwitchId],
+        torn: &BTreeSet<EntryPortId>,
+    ) -> bool {
+        if !self.options.delegation.enabled {
+            return false;
+        }
+        let load = placement.per_switch_load(instance);
+        let capacities = instance.topology().capacities();
+        let usable =
+            |s: SwitchId| !self.faults.unmanageable.contains_key(&s) && self.dataplane.is_online(s);
+        let spare =
+            |s: SwitchId| usable(s) && load.get(s.0).copied().unwrap_or(0) < capacities[s.0];
+        let Some(d) = delegate::plan_delegation(instance, ingress, &usable, &spare) else {
+            return false;
+        };
+        let Some(detoured) = delegate::detour_instance(instance, ingress, &d) else {
+            return false;
+        };
+        let span = self.span_begin("ctrl.delegate");
+        self.span_attr(span, "ingress", ingress.to_string());
+        self.span_attr(span, "delegate", d.delegate.to_string());
+        let mut placed = false;
+        if let Ok(out) = incremental::replace_ingresses_cached(
+            &detoured,
+            placement,
+            &[ingress],
+            excluded,
+            &self.options.placement,
+            self.options.objective.clone(),
+            Some(&self.warm),
+        ) {
+            if let Some(p) = out.placement {
+                let used = p
+                    .iter()
+                    .any(|((l, _), sw)| *l == ingress && sw.contains(&d.delegate));
+                if used {
+                    *instance = out.instance;
+                    self.stats.delegations += 1;
+                    if torn.contains(&ingress) {
+                        self.stats.delegation_rehomes += 1;
+                        self.note_delegate_event("rehomed");
+                    } else {
+                        self.note_delegate_event("created");
+                    }
+                    self.faults.delegations.insert(ingress, d);
+                } else {
+                    // The solver fit without the delegate: keep the
+                    // placement, roll the detour back unrecorded.
+                    *instance = delegate::restore_instance(&out.instance, ingress, d.delegate);
+                }
+                *placement = p;
+                placed = true;
+            }
+        }
+        self.span_attr(
+            span,
+            "recorded",
+            self.faults.delegations.contains_key(&ingress),
+        );
+        self.span_end(span);
+        placed
+    }
+
+    /// Event-level delegation rescue: when a `CapacityChange` shrink is
+    /// rejected by the dispatch ladder, delegate the victims (the
+    /// ingresses placed on the shrunk switch, ascending) one by one
+    /// until the shrunk instance fits again. `None` leaves the event
+    /// rejected — the shrink still commits and the degradation ladder
+    /// settles the overflow fail-closed.
+    fn rescue_rejected(
+        &mut self,
+        event: &Event,
+        instance: &Instance,
+        placement: &Placement,
+    ) -> Option<(Instance, Placement)> {
+        match event {
+            Event::CapacityChange { switch, capacity } => {
+                self.delegate_capacity_rescue(instance, placement, *switch, *capacity)
+            }
+            _ => None,
+        }
+    }
+
+    /// The body of the `CapacityChange` rescue; see
+    /// [`rescue_rejected`](Controller::rescue_rejected).
+    fn delegate_capacity_rescue(
+        &mut self,
+        instance: &Instance,
+        placement: &Placement,
+        switch: SwitchId,
+        capacity: usize,
+    ) -> Option<(Instance, Placement)> {
+        if !self.options.delegation.enabled
+            || switch.0 >= instance.topology().switch_count()
+            || self.faults.unmanageable.contains_key(&switch)
+        {
+            return None;
+        }
+        let excluded: Vec<SwitchId> = self.faults.unmanageable.keys().copied().collect();
+        let mut inst = with_capacity(instance, switch, capacity);
+        let mut p = placement.clone();
+        // Victims: ingresses with entries on the shrunk switch, minus
+        // the already-delegated (their detours are live in `inst`).
+        let victims: BTreeSet<EntryPortId> = p
+            .iter()
+            .filter(|(_, sw)| sw.contains(&switch))
+            .map(|((l, _), _)| *l)
+            .filter(|l| !self.faults.delegations.contains_key(l))
+            .collect();
+        if victims.is_empty() {
+            return None;
+        }
+        let span = self.span_begin("ctrl.delegate.rescue");
+        self.span_attr(span, "switch", switch.to_string());
+        let mut planned: Vec<(EntryPortId, Delegation)> = Vec::new();
+        let mut rescued: Option<(Instance, Placement)> = None;
+        for l in victims {
+            // Plan against the still-placed state: the delegate is off
+            // the victim's routes, so its headroom is what matters.
+            let load = p.per_switch_load(&inst);
+            let capacities = inst.topology().capacities();
+            let usable = |s: SwitchId| {
+                !self.faults.unmanageable.contains_key(&s) && self.dataplane.is_online(s)
+            };
+            let spare =
+                |s: SwitchId| usable(s) && load.get(s.0).copied().unwrap_or(0) < capacities[s.0];
+            let Some(d) = delegate::plan_delegation(&inst, l, &usable, &spare) else {
+                continue;
+            };
+            let Some(detoured) = delegate::detour_instance(&inst, l, &d) else {
+                continue;
+            };
+            inst = detoured;
+            p.remove_ingress(l);
+            planned.push((l, d));
+            let targets: Vec<EntryPortId> = planned.iter().map(|(l, _)| *l).collect();
+            if let Ok(out) = incremental::replace_ingresses_cached(
+                &inst,
+                &p,
+                &targets,
+                &excluded,
+                &self.options.placement,
+                self.options.objective.clone(),
+                Some(&self.warm),
+            ) {
+                if let Some(np) = out.placement {
+                    // It fits again: record the delegations the
+                    // solution uses, roll back the detours it ignored.
+                    let mut ni = out.instance;
+                    for (l, d) in &planned {
+                        let used = np
+                            .iter()
+                            .any(|((vl, _), sw)| vl == l && sw.contains(&d.delegate));
+                        if used {
+                            self.faults.delegations.insert(*l, d.clone());
+                            self.stats.delegations += 1;
+                            self.note_delegate_event("created");
+                        } else {
+                            ni = delegate::restore_instance(&ni, *l, d.delegate);
+                        }
+                    }
+                    rescued = Some((ni, np));
+                    break;
+                }
+            }
+        }
+        self.span_attr(span, "rescued", rescued.is_some());
+        self.span_end(span);
+        rescued
+    }
+
+    /// Bumps the `ctrl.delegate.events` obs counter for one lifecycle
+    /// transition (`created`, `rehomed`, `torn-down`, `undelegated`).
+    fn note_delegate_event(&self, kind: &str) {
+        if let Some(o) = &self.obs {
+            o.metrics
+                .counter_add_with("ctrl.delegate.events", &[("kind", kind)], 1);
         }
     }
 
@@ -1599,6 +2002,28 @@ impl Controller {
                 match_field: Ternary::new(width, 0, 0),
                 action: Action::Drop,
             });
+        }
+        // Delegation stubs: a low-priority match-all PERMIT on each
+        // manageable anchor models the TCAM slot the hardware redirect
+        // rule occupies. A PERMIT forwards exactly like no-match, so a
+        // stale stub can never flip a packet's fate, and the reserved
+        // bank keeps it outside billable capacity.
+        for (l, d) in &self.faults.delegations {
+            let width = instance.policy(*l).map(|p| p.width()).unwrap_or(1).max(1);
+            for a in &d.anchors {
+                if self.faults.unmanageable.contains_key(a) || a.0 >= target.len() {
+                    continue;
+                }
+                let stub = TcamEntry {
+                    priority: 0,
+                    tags: BTreeSet::from([*l]),
+                    match_field: Ternary::new(width, 0, 0),
+                    action: Action::Permit,
+                };
+                if !target[a.0].contains(&stub) {
+                    target[a.0].push(stub);
+                }
+            }
         }
         Ok(target)
     }
@@ -1718,6 +2143,9 @@ impl Controller {
                     .max(self.dataplane.switch(*s).occupancy());
                 if e.is_safe_mode() {
                     self.stats.safe_mode_entries += 1;
+                }
+                if e.is_delegation_stub() {
+                    self.stats.delegation_stub_entries += 1;
                 }
                 self.faults.breakers.entry(*s).or_default().record_success();
             } else {
@@ -2362,5 +2790,227 @@ add-rule l0 11** drop 4
         let (dump_b, stats_b) = run(1);
         assert_eq!(dump_a, dump_b);
         assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn tier_all_is_complete() {
+        // Compile-time exhaustiveness: adding a Tier variant breaks
+        // this match, forcing ALL (and CtrlStats::tier_counter, which
+        // matches exhaustively too) to follow.
+        let index = |t: Tier| match t {
+            Tier::Greedy => 0usize,
+            Tier::Restricted => 1,
+            Tier::Full => 2,
+            Tier::Delegated => 3,
+        };
+        assert_eq!(Tier::ALL.len(), 4);
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(index(*t), i, "Tier::ALL out of order at {i}");
+        }
+    }
+
+    #[test]
+    fn event_outcome_labels_are_complete() {
+        // One sample per variant; a new variant without a label breaks
+        // the exhaustive match inside label() first, then this count.
+        let samples = [
+            EventOutcome::Applied(Tier::Greedy),
+            EventOutcome::Applied(Tier::Restricted),
+            EventOutcome::Applied(Tier::Full),
+            EventOutcome::Applied(Tier::Delegated),
+            EventOutcome::Checkpoint,
+            EventOutcome::RolledBack { to_epoch: 0 },
+            EventOutcome::Rejected {
+                reason: String::new(),
+            },
+            EventOutcome::SwitchFailed {
+                switch: SwitchId(0),
+            },
+            EventOutcome::SwitchRecovered {
+                switch: SwitchId(0),
+            },
+        ];
+        assert_eq!(samples.len(), EventOutcome::ALL_LABELS.len());
+        for s in &samples {
+            assert!(EventOutcome::ALL_LABELS.contains(&s.label()), "{s:?}");
+        }
+        let distinct: BTreeSet<&str> = EventOutcome::ALL_LABELS.into_iter().collect();
+        assert_eq!(distinct.len(), EventOutcome::ALL_LABELS.len());
+    }
+
+    /// Hub s0, leaves s1..=s4; routes through the hub leave s3/s4 as
+    /// off-route delegation candidates.
+    fn star_controller(capacity: usize, options: CtrlOptions) -> Controller {
+        let mut topo = Topology::star(4);
+        topo.set_uniform_capacity(capacity);
+        Controller::new(topo, options)
+    }
+
+    /// An install whose policy carries `drops` disjoint exact-match
+    /// DROP rules (each one a billable TCAM entry) over one route.
+    fn install_drops(ingress: usize, egress: usize, switches: &[usize], drops: usize) -> Event {
+        assert!(drops < 16);
+        let mut rules: Vec<Rule> = (0..drops)
+            .map(|i| Rule::new(t(&format!("{i:04b}")), Action::Drop, (i + 2) as u32))
+            .collect();
+        rules.push(Rule::new(t("****"), Action::Permit, 1));
+        Event::InstallPolicy {
+            ingress: EntryPortId(ingress),
+            policy: Policy::from_rules(rules).unwrap(),
+            routes: vec![Route::new(
+                EntryPortId(ingress),
+                EntryPortId(egress),
+                switches.iter().map(|&s| SwitchId(s)).collect(),
+            )],
+        }
+    }
+
+    /// 10 entries fit the on-route 12 slots of s1-s0-s2; revoking the
+    /// hub to zero leaves 8, forcing the shrink through delegation.
+    fn delegation_pressure(ctrl: &mut Controller) -> Vec<EpochReport> {
+        ctrl.submit(install_drops(0, 2, &[1, 0, 2], 10)).unwrap();
+        ctrl.run_to_idle().unwrap();
+        assert!(ctrl.delegations().is_empty());
+        ctrl.submit(Event::CapacityChange {
+            switch: SwitchId(0),
+            capacity: 0,
+        })
+        .unwrap();
+        ctrl.run_to_idle().unwrap()
+    }
+
+    #[test]
+    fn capacity_shrink_delegates_instead_of_failing_closed() {
+        let mut ctrl = star_controller(4, CtrlOptions::default());
+        let reports = delegation_pressure(&mut ctrl);
+        assert_eq!(
+            reports.last().unwrap().tiers(),
+            vec![Tier::Delegated],
+            "the shrink settles via the delegation rung"
+        );
+        let delegations = ctrl.delegations();
+        assert_eq!(delegations.len(), 1);
+        assert_eq!(delegations[0].0, EntryPortId(0));
+        assert_eq!(
+            delegations[0].1.delegate,
+            SwitchId(3),
+            "smallest off-route neighbor wins"
+        );
+        assert_eq!(delegations[0].1.anchors, BTreeSet::from([SwitchId(0)]));
+        assert_eq!(reports.last().unwrap().delegated, vec![EntryPortId(0)]);
+        // The overflow lives on the delegate; the anchor carries a
+        // reserved-bank redirect stub.
+        assert!(
+            ctrl.delegated_entries() >= 2,
+            "{}",
+            ctrl.delegated_entries()
+        );
+        assert!(ctrl
+            .dataplane()
+            .switch(SwitchId(0))
+            .entries()
+            .iter()
+            .any(|e| e.is_delegation_stub()));
+        assert_eq!(ctrl.stats().delegations, 1);
+        assert_eq!(ctrl.stats().delegated_ok, 1);
+        assert!(ctrl.stats().delegation_stub_entries >= 1);
+        assert!(ctrl.safe_mode_ingresses().is_empty());
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+        ctrl.fail_closed_audit().unwrap();
+    }
+
+    #[test]
+    fn delegation_off_fails_closed_under_the_same_shrink() {
+        let mut ctrl = star_controller(
+            4,
+            CtrlOptions {
+                delegation: DelegationConfig { enabled: false },
+                ..CtrlOptions::default()
+            },
+        );
+        let reports = delegation_pressure(&mut ctrl);
+        // Without the rung the shrink is rejected, still committed, and
+        // the overflowing ingress settles drop-all.
+        assert_eq!(
+            reports.last().unwrap().safe_mode,
+            vec![EntryPortId(0)],
+            "no rung: fail closed"
+        );
+        assert!(ctrl.delegations().is_empty());
+        assert_eq!(ctrl.stats().delegations, 0);
+        assert!(ctrl.stats().safe_mode_entries >= 1);
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+        ctrl.fail_closed_audit().unwrap();
+    }
+
+    #[test]
+    fn delegate_crash_tears_down_and_rehomes() {
+        let mut ctrl = star_controller(4, CtrlOptions::default());
+        delegation_pressure(&mut ctrl);
+        ctrl.submit(Event::SwitchFail {
+            switch: SwitchId(3),
+        })
+        .unwrap();
+        ctrl.run_to_idle().unwrap();
+        assert_eq!(ctrl.stats().delegation_teardowns, 1);
+        assert_eq!(ctrl.stats().delegation_rehomes, 1);
+        let delegations = ctrl.delegations();
+        assert_eq!(delegations.len(), 1);
+        assert_eq!(
+            delegations[0].1.delegate,
+            SwitchId(4),
+            "re-homed on the surviving neighbor"
+        );
+        assert!(ctrl.safe_mode_ingresses().is_empty());
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+        ctrl.fail_closed_audit().unwrap();
+    }
+
+    #[test]
+    fn capacity_return_undelegates_opportunistically() {
+        let mut ctrl = star_controller(4, CtrlOptions::default());
+        delegation_pressure(&mut ctrl);
+        ctrl.submit(Event::CapacityChange {
+            switch: SwitchId(0),
+            capacity: 4,
+        })
+        .unwrap();
+        ctrl.run_to_idle().unwrap();
+        assert!(ctrl.delegations().is_empty(), "capacity came back");
+        assert_eq!(ctrl.stats().undelegations, 1);
+        assert_eq!(ctrl.dataplane().switch(SwitchId(3)).occupancy(), 0);
+        assert!(!ctrl
+            .dataplane()
+            .switch(SwitchId(0))
+            .entries()
+            .iter()
+            .any(|e| e.is_delegation_stub()));
+        assert_eq!(ctrl.stats().failclosed_violations, 0);
+        ctrl.fail_closed_audit().unwrap();
+    }
+
+    #[test]
+    fn delegation_lifecycle_mirrors_through_obs() {
+        let mut ctrl = star_controller(4, CtrlOptions::default());
+        ctrl.attach_obs(Obs::new());
+        delegation_pressure(&mut ctrl);
+        let obs = ctrl.obs().unwrap();
+        assert_eq!(
+            obs.metrics
+                .counter_value("ctrl.outcomes", &[("outcome", "applied:delegated")]),
+            1
+        );
+        assert_eq!(
+            obs.metrics
+                .counter_value("ctrl.delegate.events", &[("kind", "created")]),
+            1
+        );
+        assert!(obs
+            .spans
+            .spans()
+            .iter()
+            .any(|s| s.name == "ctrl.delegate.rescue"));
+        flowplace_obs::validate_obs_json(&obs.trace_json()).expect("trace validates");
+        flowplace_obs::validate_obs_json(&obs.metrics_json()).expect("metrics validate");
     }
 }

@@ -1,5 +1,6 @@
 //! Controller counters.
 
+use crate::Tier;
 use flowplace_obs::Registry;
 use std::fmt;
 
@@ -27,6 +28,9 @@ pub struct CtrlStats {
     pub restricted_ok: u64,
     /// Events settled at the full re-solve tier.
     pub full_ok: u64,
+    /// Events settled at the delegation rung (routes detoured through
+    /// an off-route delegate with spare TCAM).
+    pub delegated_ok: u64,
     /// Commits whose golden-model verification failed (the epoch is
     /// discarded, never deployed).
     pub verify_failures: u64,
@@ -53,6 +57,21 @@ pub struct CtrlStats {
     pub switch_recoveries: u64,
     /// Safe-mode drop-all entries installed, cumulative.
     pub safe_mode_entries: u64,
+    /// Delegations established (commit-level rung + event-level
+    /// capacity rescues).
+    pub delegations: u64,
+    /// Delegations re-established for an ingress whose previous
+    /// delegation was torn down in the same degradation pass
+    /// (delegate/anchor crash or quarantine cascaded a re-home).
+    pub delegation_rehomes: u64,
+    /// Delegations torn down fail-closed because the delegate or an
+    /// anchor left the controller's reach (or the routes moved away).
+    pub delegation_teardowns: u64,
+    /// Delegations retired opportunistically: a lift-round re-solve
+    /// placed the ingress without the detour (capacity returned).
+    pub undelegations: u64,
+    /// Delegation redirect stubs installed, cumulative.
+    pub delegation_stub_entries: u64,
     /// Anti-entropy reconciliation passes that applied repairs.
     pub reconcile_runs: u64,
     /// TCAM entries churned by reconciliation repairs.
@@ -116,7 +135,20 @@ impl CtrlStats {
 
     /// Events that escalated past the greedy tier.
     pub fn escalations(&self) -> u64 {
-        self.restricted_ok + self.full_ok
+        self.restricted_ok + self.full_ok + self.delegated_ok
+    }
+
+    /// The counter tracking events settled at `tier`. The match is
+    /// exhaustive on purpose: adding a ladder rung without a counter
+    /// fails to compile, and the completeness test pins each counter's
+    /// presence in the [`export`](CtrlStats::export) mirror.
+    pub fn tier_counter(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Greedy => self.greedy_ok,
+            Tier::Restricted => self.restricted_ok,
+            Tier::Full => self.full_ok,
+            Tier::Delegated => self.delegated_ok,
+        }
     }
 
     /// Mirrors every counter onto an observability registry under the
@@ -135,6 +167,7 @@ impl CtrlStats {
             ("ctrl.greedy_ok", self.greedy_ok),
             ("ctrl.restricted_ok", self.restricted_ok),
             ("ctrl.full_ok", self.full_ok),
+            ("ctrl.delegated_ok", self.delegated_ok),
             ("ctrl.verify_failures", self.verify_failures),
             ("ctrl.checkpoints", self.checkpoints),
             ("ctrl.rollbacks", self.rollbacks),
@@ -145,6 +178,11 @@ impl CtrlStats {
             ("ctrl.switch_crashes", self.switch_crashes),
             ("ctrl.switch_recoveries", self.switch_recoveries),
             ("ctrl.safe_mode_entries", self.safe_mode_entries),
+            ("ctrl.delegate.delegations", self.delegations),
+            ("ctrl.delegate.rehomes", self.delegation_rehomes),
+            ("ctrl.delegate.teardowns", self.delegation_teardowns),
+            ("ctrl.delegate.undelegations", self.undelegations),
+            ("ctrl.delegate.stub_entries", self.delegation_stub_entries),
             ("ctrl.reconcile_runs", self.reconcile_runs),
             ("ctrl.reconcile_churn", self.reconcile_churn),
             ("ctrl.failclosed_violations", self.failclosed_violations),
@@ -188,8 +226,8 @@ impl fmt::Display for CtrlStats {
         )?;
         writeln!(
             f,
-            "tiers: {} greedy, {} restricted, {} full",
-            self.greedy_ok, self.restricted_ok, self.full_ok
+            "tiers: {} greedy, {} restricted, {} full, {} delegated",
+            self.greedy_ok, self.restricted_ok, self.full_ok, self.delegated_ok
         )?;
         writeln!(
             f,
@@ -227,6 +265,15 @@ impl fmt::Display for CtrlStats {
             self.reconcile_runs,
             self.reconcile_churn,
             self.failclosed_violations
+        )?;
+        writeln!(
+            f,
+            "delegation: {} delegations ({} rehomed), {} teardowns, {} undelegations, {} stubs installed",
+            self.delegations,
+            self.delegation_rehomes,
+            self.delegation_teardowns,
+            self.undelegations,
+            self.delegation_stub_entries
         )?;
         writeln!(
             f,
@@ -312,6 +359,62 @@ mod tests {
         // Absolute-value sync: re-exporting must not double count.
         stats.export(&reg);
         assert_eq!(reg.counter_value("ctrl.events_in", &[]), 5);
+    }
+
+    #[test]
+    fn every_tier_round_trips_through_the_metrics_mirror() {
+        // Completeness guard: a new ladder rung must get a counter
+        // (tier_counter's exhaustive match), an entry in Tier::ALL
+        // (pinned in the lib tests), and an export line named after its
+        // Display form — this test fails on a missing export line.
+        let stats = CtrlStats {
+            greedy_ok: 1,
+            restricted_ok: 2,
+            full_ok: 3,
+            delegated_ok: 4,
+            ..CtrlStats::default()
+        };
+        let reg = Registry::new();
+        stats.export(&reg);
+        for tier in Tier::ALL {
+            let name = format!("ctrl.{tier}_ok");
+            assert!(
+                stats.tier_counter(tier) > 0,
+                "test must give {tier} a distinct value"
+            );
+            assert_eq!(
+                reg.counter_value(&name, &[]),
+                stats.tier_counter(tier),
+                "{name} missing from the export mirror"
+            );
+        }
+    }
+
+    #[test]
+    fn delegation_counters_render_and_export() {
+        let stats = CtrlStats {
+            delegated_ok: 2,
+            delegations: 5,
+            delegation_rehomes: 1,
+            delegation_teardowns: 3,
+            undelegations: 2,
+            delegation_stub_entries: 4,
+            ..CtrlStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("2 delegated"), "{text}");
+        assert!(
+            text.contains("delegation: 5 delegations (1 rehomed), 3 teardowns, 2 undelegations, 4 stubs installed"),
+            "{text}"
+        );
+        let reg = Registry::new();
+        stats.export(&reg);
+        assert_eq!(reg.counter_value("ctrl.delegated_ok", &[]), 2);
+        assert_eq!(reg.counter_value("ctrl.delegate.delegations", &[]), 5);
+        assert_eq!(reg.counter_value("ctrl.delegate.rehomes", &[]), 1);
+        assert_eq!(reg.counter_value("ctrl.delegate.teardowns", &[]), 3);
+        assert_eq!(reg.counter_value("ctrl.delegate.undelegations", &[]), 2);
+        assert_eq!(reg.counter_value("ctrl.delegate.stub_entries", &[]), 4);
     }
 
     #[test]

@@ -191,6 +191,34 @@ mod tests {
     }
 
     #[test]
+    fn labeled_counter_families_render_one_series_per_label() {
+        // The controller's delegation lifecycle is mirrored as one
+        // labeled counter family (ctrl.delegate.events) plus labeled
+        // outcome counts; the summary must keep each label a distinct,
+        // greppable series rather than collapsing the family.
+        let obs = Obs::new();
+        for kind in ["created", "rehomed", "torn-down", "undelegated"] {
+            obs.metrics
+                .counter_add_with("ctrl.delegate.events", &[("kind", kind)], 1);
+        }
+        obs.metrics
+            .counter_add_with("ctrl.outcomes", &[("outcome", "applied:delegated")], 2);
+        let doc = validate_obs_json(&obs.metrics_json()).unwrap();
+        let text = summarize(&doc);
+        assert!(text.contains("metrics: 5 series"), "{text}");
+        for kind in ["created", "rehomed", "torn-down", "undelegated"] {
+            assert!(
+                text.contains(&format!("ctrl.delegate.events{{kind={kind}}}")),
+                "missing {kind} series in:\n{text}"
+            );
+        }
+        assert!(
+            text.contains("ctrl.outcomes{outcome=applied:delegated}"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn summary_is_deterministic() {
         let build = || {
             let obs = Obs::new();

@@ -8,6 +8,12 @@
 //! through all of it the fail-closed audit stays green: a packet the
 //! policy drops never crosses a live route un-dropped.
 //!
+//! The second scenario is a capacity-revocation storm on a star: the
+//! hub loses its whole TCAM mid-run, and the delegation rung
+//! (DESIGN.md §14) detours the pressured ingress through an off-route
+//! leaf with spare capacity instead of dropping it — the same storm
+//! with `--delegation off` ends fail-closed in drop-all safe mode.
+//!
 //! Run with: `cargo run --release --example fault_tolerance`
 
 use flowplace::ctrl::{parse_fault_schedule, FaultPlan, RetryPolicy};
@@ -97,5 +103,64 @@ solve
         .map_err(|e| format!("fail-closed audit: {e}"))?;
     assert_eq!(ctrl.stats().failclosed_violations, 0);
     println!("fail-closed audit: ok");
+
+    capacity_storm_delegation()
+}
+
+/// A TCAM capacity storm the escalation ladder cannot absorb on-route:
+/// the star's hub drops to zero entries, leaving the tenant's ten drop
+/// rules with eight slots across its two remaining route switches. The
+/// delegation rung parks the overflow on an idle off-route leaf behind
+/// a reserved redirect stub; the identical storm with the rung disabled
+/// degrades to drop-all instead. Both endings are fail-closed.
+fn capacity_storm_delegation() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n=== capacity storm: delegation vs drop-all ===");
+    let mut topo = Topology::star(4);
+    topo.set_uniform_capacity(4);
+
+    // One tenant routed leaf1 -> hub -> leaf2; leaves s3/s4 stay idle
+    // off-route — exactly the spare TCAM delegation can borrow.
+    let trace = "\
+install-policy l0 via l1:s1-s0-s2 rules \
+0000:drop:2,0001:drop:3,0010:drop:4,0011:drop:5,0100:drop:6,\
+0101:drop:7,0110:drop:8,0111:drop:9,1000:drop:10,1001:drop:11,\
+****:permit:1
+
+# the storm: the hub's TCAM bank is revoked outright
+capacity s0 0
+";
+
+    let mut delegated = Controller::new(topo.clone(), CtrlOptions::default());
+    let reports = delegated.replay_trace(trace)?;
+    for r in reports.iter().filter(|r| !r.delegated.is_empty()) {
+        println!("epoch {}: delegated ingresses {:?}", r.epoch, r.delegated);
+    }
+    println!(
+        "with the rung: {} delegation(s), {} entries parked off-route, \
+         {} redirect stub(s), safe-mode ingresses {:?}",
+        delegated.stats().delegations,
+        delegated.delegated_entries(),
+        delegated.stats().delegation_stub_entries,
+        delegated.safe_mode_ingresses()
+    );
+
+    let mut baseline = Controller::new(topo, CtrlOptions::default());
+    baseline.set_delegation_enabled(false);
+    baseline.replay_trace(trace)?;
+    println!(
+        "without it:    safe-mode (drop-all) ingresses {:?}",
+        baseline.safe_mode_ingresses()
+    );
+
+    // Both arms are fail-closed; only one of them still forwards.
+    delegated
+        .fail_closed_audit()
+        .map_err(|e| format!("delegated fail-closed audit: {e}"))?;
+    baseline
+        .fail_closed_audit()
+        .map_err(|e| format!("baseline fail-closed audit: {e}"))?;
+    assert!(delegated.safe_mode_ingresses().is_empty());
+    assert!(!baseline.safe_mode_ingresses().is_empty());
+    println!("fail-closed audit: ok in both arms");
     Ok(())
 }

@@ -81,6 +81,9 @@ ctrl replay flags:
   --metrics-out FILE   write the metrics registry dump (flowplace.obs.v1)
   --cache SPEC         enable the TCAM-as-cache tier: N | lru:N | depfreq:N
                        (per-switch resident entries; dependency-safe eviction)
+  --delegation on|off  the flow-delegation rung: detour saturated
+                       ingresses through a neighbor with spare TCAM
+                       before falling back to drop-all             [on]
   --traffic FILE       after the replay, run this flow trace (see
                        `traffic gen`) through the cache tier; exits non-zero
                        if the dependency-safety audit detects a violating
@@ -520,11 +523,17 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     let caching = cache.enabled;
+    let delegation = match flags.get("delegation") {
+        None => flowplace::ctrl::DelegationConfig::default(),
+        Some(spec) => flowplace::ctrl::DelegationConfig::parse_spec(spec)
+            .map_err(|e| format!("--delegation: {e}"))?,
+    };
     let options = CtrlOptions {
         batch_size: get_usize(&flags, "batch", 8)?,
         placement,
         warm,
         cache,
+        delegation,
         faults,
         retry: RetryPolicy {
             max_attempts: get_usize(&flags, "retries", 4)? as u32,
@@ -555,6 +564,9 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         }
         if !r.quarantined.is_empty() {
             print!(", out of service {:?}", r.quarantined);
+        }
+        if !r.delegated.is_empty() {
+            print!(", delegated {:?}", r.delegated);
         }
         if !r.safe_mode.is_empty() {
             print!(", safe mode {:?}", r.safe_mode);

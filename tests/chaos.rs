@@ -15,8 +15,8 @@
 
 use flowplace::acl::{Action, Policy, Rule, Ternary};
 use flowplace::ctrl::{
-    parse_fault_schedule, Controller, CtrlOptions, Event, FaultKind, FaultPlan, RetryPolicy,
-    ScheduledFault,
+    parse_fault_schedule, Controller, CtrlOptions, CtrlStats, DelegationConfig, Event, FaultKind,
+    FaultPlan, RetryPolicy, ScheduledFault,
 };
 use flowplace::prelude::*;
 use flowplace::rng::{Rng, StdRng};
@@ -302,6 +302,272 @@ fn cache_stays_dependency_safe_across_switch_crash() {
             .unwrap_or_else(|e| panic!("seed {seed}: recovered fail-closed audit: {e}"));
         ctrl.fail_closed_audit()
             .unwrap_or_else(|e| panic!("seed {seed}: final audit failed: {e}"));
+    }
+}
+
+/// One cell of the fault × pressure matrix: a star topology (hub s0,
+/// leaves s1..s4 — so s3/s4 are off-route delegation candidates), two
+/// ingresses routed through the hub, then a seed-selected combination
+/// of capacity-revocation storm intensity, delegate crash/recover, and
+/// cache-enabled traffic replay. Returns a replay fingerprint plus the
+/// final counters and safe-mode census.
+fn matrix_run(seed: u64, delegation_on: bool) -> (String, CtrlStats, usize) {
+    let storm = seed % 3; // revocation intensity
+    let crash = (seed / 3) % 2 == 1; // crash/recover the delegate
+    let cache_on = (seed / 6) % 2 == 1; // cache-enabled traffic replay
+    let mut rng = StdRng::seed_from_u64(0xDE1E_6000 ^ seed);
+
+    let mut topo = Topology::star(4);
+    topo.set_uniform_capacity(4);
+    let mut options = CtrlOptions {
+        batch_size: 4,
+        verify_packets: 4,
+        delegation: DelegationConfig {
+            enabled: delegation_on,
+        },
+        ..CtrlOptions::default()
+    };
+    if cache_on {
+        options.cache = flowplace::ctrl::CacheConfig {
+            enabled: true,
+            capacity: 2,
+            ..flowplace::ctrl::CacheConfig::default()
+        };
+    }
+    let mut ctrl = Controller::new(topo, options);
+    let mut reports = Vec::new();
+
+    // Five billable DROP entries per ingress: 10 total against the 12
+    // on-route slots of s1-s0-s2 — tight, not yet over.
+    let pressure_install = |ingress: usize, switches: Vec<usize>| {
+        let mut rules: Vec<Rule> = (0..5)
+            .map(|i| {
+                Rule::new(
+                    Ternary::new(WIDTH, (1 << WIDTH) - 1, i as u128 + 8),
+                    Action::Drop,
+                    i as u32 + 2,
+                )
+            })
+            .collect();
+        rules.push(Rule::new(Ternary::new(WIDTH, 0, 0), Action::Permit, 1));
+        Event::InstallPolicy {
+            ingress: EntryPortId(ingress),
+            policy: Policy::from_rules(rules).expect("distinct priorities"),
+            routes: vec![Route::new(
+                EntryPortId(ingress),
+                EntryPortId(ingress ^ 1),
+                switches.into_iter().map(SwitchId).collect(),
+            )],
+        }
+    };
+    ctrl.submit(pressure_install(0, vec![1, 0, 2])).unwrap();
+    ctrl.submit(pressure_install(1, vec![2, 0, 1])).unwrap();
+    reports.extend(ctrl.run_to_idle().expect("install epoch"));
+
+    // Revocation storm on the shared hub (and a leaf when harsh).
+    let revocations: &[(usize, usize)] = match storm {
+        0 => &[(0, 2)],
+        1 => &[(0, 0)],
+        _ => &[(0, 0), (1, 2)],
+    };
+    for &(switch, capacity) in revocations {
+        ctrl.submit(Event::CapacityChange {
+            switch: SwitchId(switch),
+            capacity,
+        })
+        .unwrap();
+        reports.extend(
+            ctrl.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed}: storm epoch: {e}")),
+        );
+    }
+
+    if crash {
+        // s3 is the deterministic first-choice delegate; killing it
+        // forces a re-home (or clean teardown) when delegation is on,
+        // and is a harmless off-route crash when it is off.
+        ctrl.submit(Event::SwitchFail {
+            switch: SwitchId(3),
+        })
+        .unwrap();
+        reports.extend(
+            ctrl.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed}: crash epoch: {e}")),
+        );
+        ctrl.submit(Event::SwitchRecover {
+            switch: SwitchId(3),
+        })
+        .unwrap();
+        reports.extend(
+            ctrl.run_to_idle()
+                .unwrap_or_else(|e| panic!("seed {seed}: recover epoch: {e}")),
+        );
+    }
+
+    if cache_on {
+        let flows = flowplace::traffic::generate(&flowplace::traffic::TrafficConfig {
+            seed: rng.gen_range(0..1_000u64),
+            rate: 1_000,
+            duration_ms: 30,
+            ingresses: 2,
+            width: WIDTH,
+            flows_per_ingress: 8,
+            ..flowplace::traffic::TrafficConfig::default()
+        });
+        ctrl.process_flows(&flows);
+        ctrl.cache()
+            .audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: cache audit: {e}"));
+        ctrl.cache_fail_closed_audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: cache fail-closed audit: {e}"));
+    }
+
+    assert_eq!(
+        ctrl.stats().failclosed_violations,
+        0,
+        "seed {seed}: fail-closed violated (delegation={delegation_on})"
+    );
+    ctrl.fail_closed_audit()
+        .unwrap_or_else(|e| panic!("seed {seed}: final audit (delegation={delegation_on}): {e}"));
+
+    let fingerprint = format!(
+        "{reports:?}\n{}\n{}\n{}",
+        ctrl.dataplane().dump(),
+        ctrl.stats(),
+        ctrl.virtual_time_ms()
+    );
+    let safe = ctrl.safe_mode_ingresses().len();
+    (fingerprint, ctrl.stats().clone(), safe)
+}
+
+/// The fault × pressure chaos matrix: 36 seeds spanning revocation
+/// storms × delegate crash/recover × cache traffic replay. Every cell
+/// must stay fail-closed and replay byte-identically; delegation must
+/// actually fire across the matrix and never fail more closed than the
+/// rung-less baseline under the identical schedule — strictly less in
+/// aggregate.
+#[test]
+fn delegation_matrix_is_fail_closed_and_deterministic() {
+    let mut delegations_total = 0u64;
+    let mut safe_with = 0usize;
+    let mut safe_without = 0usize;
+    for seed in 0..36u64 {
+        let (fp_a, stats_on, safe_on) = matrix_run(seed, true);
+        let (fp_b, _, _) = matrix_run(seed, true);
+        assert_eq!(fp_a, fp_b, "seed {seed}: replay is not byte-identical");
+        let (_, _, safe_off) = matrix_run(seed, false);
+        assert!(
+            safe_on <= safe_off,
+            "seed {seed}: delegation made degradation worse ({safe_on} > {safe_off})"
+        );
+        delegations_total += stats_on.delegations;
+        safe_with += safe_on;
+        safe_without += safe_off;
+    }
+    assert!(
+        delegations_total > 0,
+        "the matrix never exercised the delegation rung"
+    );
+    assert!(
+        safe_with < safe_without,
+        "delegation should strictly reduce drop-all across the matrix \
+         ({safe_with} vs {safe_without})"
+    );
+}
+
+/// Capacity-revocation edge cases (each settles fail-closed and replays
+/// byte-identically): revoke-to-zero mid-epoch, revoke landing in the
+/// same batch as a staged-but-uncommitted install, and revoke on a
+/// quarantined switch.
+#[test]
+fn capacity_revocation_edge_cases_settle_fail_closed() {
+    let run = |scenario: usize| {
+        let mut rng = StdRng::seed_from_u64(0xCA9_0000 ^ scenario as u64);
+        let mut topo = Topology::linear(3);
+        topo.set_uniform_capacity(4);
+        let mut ctrl = Controller::new(
+            topo,
+            CtrlOptions {
+                batch_size: 4,
+                verify_packets: 4,
+                ..CtrlOptions::default()
+            },
+        );
+        let mut reports = Vec::new();
+        match scenario {
+            0 => {
+                // Revoke-to-zero mid-epoch: the shrink lands in the
+                // middle of a batch, between two rule adds.
+                ctrl.submit(install(&mut rng, 0, vec![0, 1, 2])).unwrap();
+                reports.extend(ctrl.run_to_idle().unwrap());
+                ctrl.submit(Event::AddRule {
+                    ingress: EntryPortId(0),
+                    rule: rand_rule(&mut rng, 20),
+                })
+                .unwrap();
+                ctrl.submit(Event::CapacityChange {
+                    switch: SwitchId(1),
+                    capacity: 0,
+                })
+                .unwrap();
+                ctrl.submit(Event::AddRule {
+                    ingress: EntryPortId(0),
+                    rule: rand_rule(&mut rng, 21),
+                })
+                .unwrap();
+            }
+            1 => {
+                // Revoke during a staged-but-uncommitted transaction:
+                // the install stages entries in the same epoch's
+                // working state, then the revoke yanks the capacity
+                // before anything commits.
+                ctrl.submit(install(&mut rng, 0, vec![0, 1, 2])).unwrap();
+                ctrl.submit(Event::CapacityChange {
+                    switch: SwitchId(1),
+                    capacity: 0,
+                })
+                .unwrap();
+            }
+            _ => {
+                // Revoke on a quarantined switch: the crash makes s1
+                // unmanageable, the revoke must park in saved_capacity
+                // and apply on recovery, never resurrecting the old
+                // bank.
+                ctrl.submit(install(&mut rng, 0, vec![0, 1, 2])).unwrap();
+                reports.extend(ctrl.run_to_idle().unwrap());
+                ctrl.submit(Event::SwitchFail {
+                    switch: SwitchId(1),
+                })
+                .unwrap();
+                reports.extend(ctrl.run_to_idle().unwrap());
+                ctrl.submit(Event::CapacityChange {
+                    switch: SwitchId(1),
+                    capacity: 1,
+                })
+                .unwrap();
+                reports.extend(ctrl.run_to_idle().unwrap());
+                ctrl.submit(Event::SwitchRecover {
+                    switch: SwitchId(1),
+                })
+                .unwrap();
+            }
+        }
+        reports.extend(ctrl.run_to_idle().unwrap());
+        assert_eq!(
+            ctrl.stats().failclosed_violations,
+            0,
+            "scenario {scenario}: violation"
+        );
+        ctrl.fail_closed_audit()
+            .unwrap_or_else(|e| panic!("scenario {scenario}: audit: {e}"));
+        format!("{reports:?}\n{}\n{}", ctrl.dataplane().dump(), ctrl.stats())
+    };
+    for scenario in 0..3usize {
+        assert_eq!(
+            run(scenario),
+            run(scenario),
+            "scenario {scenario}: replay diverged"
+        );
     }
 }
 

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke obs-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke bench-sat bench-sat-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
@@ -48,9 +48,11 @@ bench-json:
 
 ## bench-json-smoke: single-sample schema-validation run (CI), plus the
 ## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps),
-## the cache-tier smoke (the flowplace.bench.cache.v1 validator), and the
-## delegation smoke (the flowplace.bench.delegation.v1 validator).
-bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke
+## the cache-tier smoke (the flowplace.bench.cache.v1 validator), the
+## delegation smoke (the flowplace.bench.delegation.v1 validator), and
+## the CDCL solver smoke (the flowplace.bench.sat.v1 validator, which
+## also enforces baseline/modern placement identity).
+bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke bench-sat-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
@@ -95,6 +97,17 @@ bench-delegation:
 ## bench-delegation-smoke: short schema-validation run (CI).
 bench-delegation-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin delegation_bench -- --smoke
+
+## bench-sat: modern CDCL (glucose restarts + learnt-DB reduction) vs
+## baseline CDCL (Luby, no reduction) on the SAT placement engine
+## (BENCH_sat.json) over the 256/1k/4k ClassBench scenarios; the
+## validator aborts unless both arms decoded identical placements.
+bench-sat:
+	$(CARGO) run --release --offline -p flowplace-bench --bin sat_bench
+
+## bench-sat-smoke: short schema-validation run (CI).
+bench-sat-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin sat_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

@@ -1,0 +1,81 @@
+//! Emits `BENCH_sat.json`: modern CDCL (glucose restarts + learnt-DB
+//! reduction) vs baseline CDCL (Luby, no reduction) on the SAT
+//! placement engine.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin sat_bench -- \
+//!     [--out PATH] [--samples N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a single sample on the smallest scenario — CI uses it
+//! to validate the JSON schema without paying for the full sweep. The
+//! document is validated against `flowplace.bench.sat.v1` before it is
+//! written; that validator *requires* the two solver configurations to
+//! have decoded identical placements, so a determinism regression fails
+//! the run instead of silently shipping a divergent artifact.
+
+use std::process::ExitCode;
+
+use flowplace_bench::report;
+use flowplace_bench::sat::{self, SatBenchConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SatBenchConfig::default();
+    let mut out_path = String::from("BENCH_sat.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--samples" => {
+                cfg.samples = parse_num(&take_value(&args, &mut i, "--samples"));
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.samples = 1;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("sat bench: samples={} smoke={}", cfg.samples, cfg.smoke);
+    let rows = sat::run(&cfg);
+    let stress = sat::stress();
+    print!("{}", sat::rows_table(&rows));
+    print!("{}", sat::stress_line(&stress));
+
+    let doc = sat::to_json(&cfg, &rows, &stress);
+    if let Err(reason) = report::validate_sat_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got {s:?}");
+        std::process::exit(2);
+    })
+}

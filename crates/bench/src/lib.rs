@@ -32,6 +32,7 @@ pub mod harness;
 pub mod incremental;
 pub mod pipeline;
 pub mod report;
+pub mod sat;
 pub mod scenario;
 
 pub use scenario::{build_instance, ScenarioConfig};

@@ -854,6 +854,148 @@ pub fn validate_delegation_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_sat.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_sat_json`] requires (re-exported from
+/// [`crate::sat::SCHEMA`] so the two cannot drift).
+pub const SAT_SCHEMA: &str = crate::sat::SCHEMA;
+
+const SAT_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "baseline_ms",
+    "modern_ms",
+    "speedup",
+    "baseline_conflicts",
+    "conflicts",
+    "restarts",
+    "blocked_restarts",
+    "db_reductions",
+    "learnt",
+    "learnt_deleted",
+    "mean_lbd",
+];
+
+const SAT_STATUSES: &[&str] = &["optimal", "feasible", "infeasible", "timeout"];
+
+/// Validates a `BENCH_sat.json` document against the
+/// `flowplace.bench.sat.v1` schema: the tag, the run parameters, and
+/// every row's fields, types, and ranges — **including** the `identical`
+/// flags, which must all be `true`: the modern CDCL configuration must
+/// decode the exact placement the baseline configuration decodes on
+/// every scenario, or the document is rejected. Per-scenario counter
+/// values (restarts, reductions) are range-checked but deliberately not
+/// required to be nonzero — the CI smoke runs only the smallest
+/// scenario, where the adaptive machinery may legitimately never
+/// trigger. The proof the machinery *works* is the mandatory `stress`
+/// block (a pigeonhole solve under the modern configuration): its
+/// verdict must be `"unsat"` and its `restarts` and `db_reductions`
+/// counters must both be ≥ 1.
+pub fn validate_sat_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != SAT_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {SAT_SCHEMA:?}"
+        ));
+    }
+    let samples = doc
+        .get("samples")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"samples\"")?;
+    if samples <= 0.0 {
+        return Err(format!("field \"samples\" must be positive, got {samples}"));
+    }
+    match doc.get("identical") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("placement identity broken: top-level \"identical\" is false".into())
+        }
+        _ => return Err("missing boolean field \"identical\"".into()),
+    }
+    let stress = doc.get("stress").ok_or("missing object field \"stress\"")?;
+    let verdict = stress
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("stress: missing string \"verdict\"")?;
+    if verdict != "unsat" {
+        return Err(format!(
+            "stress: pigeonhole verdict must be \"unsat\", got {verdict:?}"
+        ));
+    }
+    for field in [
+        "pigeons",
+        "holes",
+        "solve_ms",
+        "conflicts",
+        "restarts",
+        "blocked_restarts",
+        "db_reductions",
+        "learnt",
+        "learnt_deleted",
+        "mean_lbd",
+    ] {
+        let v = stress
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("stress: missing numeric field {field:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "stress: {field:?} must be finite and >= 0, got {v}"
+            ));
+        }
+        if (field == "restarts" || field == "db_reductions") && v < 1.0 {
+            return Err(format!(
+                "stress: {field:?} must be >= 1 (the modern CDCL machinery must demonstrably fire), got {v}"
+            ));
+        }
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        row.get("scenario")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"scenario\"".into()))?;
+        let status = row
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string \"status\"".into()))?;
+        if !SAT_STATUSES.contains(&status) {
+            return Err(ctx(format!("\"status\" has unknown status {status:?}")));
+        }
+        match row.get("identical") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(ctx(
+                    "placement identity broken: baseline and modern arms diverged".into(),
+                ))
+            }
+            _ => return Err(ctx("missing boolean field \"identical\"".into())),
+        }
+        for field in SAT_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

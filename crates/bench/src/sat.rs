@@ -1,0 +1,478 @@
+//! CDCL solver benchmark (`BENCH_sat.json`).
+//!
+//! Races the modern CDCL configuration of `flowplace-pbsat` (glucose
+//! adaptive restarts + learnt-DB reduction, the default) against the
+//! baseline configuration (Luby restarts, no reduction) on the SAT
+//! placement engine over the ClassBench scenarios of 256 / 1k / 4k total
+//! rules. Both arms run the identical encoding on the identical
+//! instance; the report carries per-arm wall times, the modern arm's
+//! CDCL counters (restarts, blocked restarts, DB reductions, learnt
+//! clauses, mean LBD — the proof the machinery actually fired), and an
+//! `identical` flag asserting the two arms decoded the **same
+//! placement**. Placement identity is enforced by
+//! [`crate::report::validate_sat_json`]: a SAT model is not unique in
+//! general, so identity failing means the configurations diverged where
+//! they were expected to agree — a determinism regression worth failing
+//! CI over.
+//!
+//! Schema stability is enforced by [`crate::report::validate_sat_json`];
+//! bump [`SCHEMA`] when the shape changes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flowplace_core::{Objective, PlacementOptions, PlacerEngine, RulePlacer, SolveStatus};
+use flowplace_pbsat::{Lit, RestartStrategy, SatResult, Solver, SolverOptions, SolverStats};
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.sat.v1";
+
+/// The baseline CDCL arm: the pre-modernization schedule.
+pub fn baseline_options() -> SolverOptions {
+    SolverOptions {
+        restart: RestartStrategy::Luby,
+        db_reduction: false,
+    }
+}
+
+/// The modern CDCL arm (the solver default).
+pub fn modern_options() -> SolverOptions {
+    SolverOptions::default()
+}
+
+/// Runner parameters (CLI flags of the `sat_bench` binary).
+#[derive(Clone, Debug)]
+pub struct SatBenchConfig {
+    /// Samples per arm; the minimum wall time is reported.
+    pub samples: usize,
+    /// Smoke mode: single sample, smallest scenario only — used by CI to
+    /// validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+impl Default for SatBenchConfig {
+    fn default() -> Self {
+        SatBenchConfig {
+            samples: 3,
+            smoke: false,
+        }
+    }
+}
+
+/// One scenario measurement: baseline vs modern CDCL on the SAT engine.
+#[derive(Clone, Debug)]
+pub struct SatRow {
+    /// Scenario label (`classbench-256` …).
+    pub scenario: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Solve status of the modern arm (both arms must agree for
+    /// `identical` to hold).
+    pub status: SolveStatus,
+    /// Baseline (Luby, no reduction) end-to-end SAT solve, min ms.
+    pub baseline_ms: f64,
+    /// Modern (glucose + reduction) end-to-end SAT solve, min ms.
+    pub modern_ms: f64,
+    /// `baseline_ms / modern_ms`.
+    pub speedup: f64,
+    /// The two arms decoded byte-identical placements.
+    pub identical: bool,
+    /// Baseline-arm conflicts (search-effort comparison anchor).
+    pub baseline_conflicts: u64,
+    /// Modern-arm CDCL counters.
+    pub modern: SolverStats,
+}
+
+/// Counters from the pigeonhole stress solve — the proof the modern
+/// machinery (adaptive restarts, learnt-DB reduction) actually fires.
+///
+/// The placement scenarios encode generously-capacitated instances
+/// whose SAT solves finish in a handful of conflicts, far below the
+/// restart (50) and reduction (2000) thresholds. PHP(8,7) — 8 pigeons
+/// into 7 holes, provably UNSAT and exponentially hard for resolution
+/// — deterministically drives ~3k conflicts through the same solver,
+/// so [`crate::report::validate_sat_json`] can require
+/// `restarts ≥ 1 && db_reductions ≥ 1` here without depending on
+/// scenario difficulty.
+#[derive(Clone, Copy, Debug)]
+pub struct StressReport {
+    /// Pigeon count (holes + 1).
+    pub pigeons: u32,
+    /// Hole count.
+    pub holes: u32,
+    /// Wall time of the stress solve, ms.
+    pub solve_ms: f64,
+    /// CDCL counters under [`modern_options`].
+    pub stats: SolverStats,
+}
+
+/// Solves the PHP(8,7) pigeonhole instance under [`modern_options`]
+/// and returns its counters. Panics unless the verdict is UNSAT — a
+/// SAT verdict here would be a soundness bug, not a benchmark result.
+pub fn stress() -> StressReport {
+    const PIGEONS: u32 = 8;
+    const HOLES: u32 = 7;
+    let mut s = Solver::with_options(modern_options());
+    let vars: Vec<Vec<Lit>> = (0..PIGEONS)
+        .map(|_| (0..HOLES).map(|_| Lit::positive(s.new_var())).collect())
+        .collect();
+    for row in &vars {
+        s.add_clause(row);
+    }
+    for h in 0..HOLES as usize {
+        for (p1, row1) in vars.iter().enumerate() {
+            for row2 in &vars[p1 + 1..] {
+                s.add_clause(&[!row1[h], !row2[h]]);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let verdict = s.solve();
+    let solve_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        verdict,
+        SatResult::Unsat,
+        "PHP({PIGEONS},{HOLES}) must be UNSAT"
+    );
+    StressReport {
+        pigeons: PIGEONS,
+        holes: HOLES,
+        solve_ms,
+        stats: s.stats(),
+    }
+}
+
+fn solve_arm(
+    instance: &flowplace_core::Instance,
+    sat: SolverOptions,
+    samples: usize,
+) -> (f64, flowplace_core::par::ParOutcome) {
+    let options = PlacementOptions {
+        engine: PlacerEngine::Sat,
+        sat,
+        ..PlacementOptions::default()
+    };
+    let placer = RulePlacer::new(options);
+    let mut best_ms = f64::INFINITY;
+    let mut best = None;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let out = placer.place_par(instance, Objective::TotalRules);
+        let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+        if elapsed < best_ms {
+            best_ms = elapsed;
+            best = Some(out);
+        }
+    }
+    (best_ms, best.expect("at least one sample ran"))
+}
+
+/// Runs the full benchmark and returns one row per scenario.
+pub fn run(cfg: &SatBenchConfig) -> Vec<SatRow> {
+    crate::pipeline::scenarios(cfg.smoke)
+        .into_iter()
+        .map(|(name, scenario)| run_one(cfg, &name, &scenario))
+        .collect()
+}
+
+fn run_one(cfg: &SatBenchConfig, name: &str, scenario: &ScenarioConfig) -> SatRow {
+    let instance = build_instance(scenario);
+    let (baseline_ms, baseline) = solve_arm(&instance, baseline_options(), cfg.samples);
+    let (modern_ms, modern) = solve_arm(&instance, modern_options(), cfg.samples);
+
+    let identical = baseline.outcome.placement == modern.outcome.placement
+        && baseline.outcome.status == modern.outcome.status;
+    SatRow {
+        scenario: name.to_string(),
+        rules: instance.total_policy_rules(),
+        status: modern.outcome.status,
+        baseline_ms,
+        modern_ms,
+        speedup: baseline_ms / modern_ms,
+        identical,
+        baseline_conflicts: baseline.outcome.stats.sat.map(|s| s.conflicts).unwrap_or(0),
+        modern: modern.outcome.stats.sat.unwrap_or_default(),
+    }
+}
+
+fn status_str(s: SolveStatus) -> &'static str {
+    match s {
+        SolveStatus::Optimal => "optimal",
+        SolveStatus::Feasible => "feasible",
+        SolveStatus::Infeasible => "infeasible",
+        SolveStatus::Unknown => "timeout",
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_sat.json` document.
+pub fn to_json(cfg: &SatBenchConfig, rows: &[SatRow], stress: &StressReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(out, "  \"samples\": {},", cfg.samples);
+    let _ = writeln!(
+        out,
+        "  \"identical\": {},",
+        rows.iter().all(|r| r.identical)
+    );
+    out.push_str("  \"stress\": {\n");
+    let _ = writeln!(out, "    \"pigeons\": {},", stress.pigeons);
+    let _ = writeln!(out, "    \"holes\": {},", stress.holes);
+    let _ = writeln!(out, "    \"verdict\": \"unsat\",");
+    let _ = writeln!(out, "    \"solve_ms\": {},", json_num(stress.solve_ms));
+    let _ = writeln!(out, "    \"conflicts\": {},", stress.stats.conflicts);
+    let _ = writeln!(out, "    \"restarts\": {},", stress.stats.restarts);
+    let _ = writeln!(
+        out,
+        "    \"blocked_restarts\": {},",
+        stress.stats.blocked_restarts
+    );
+    let _ = writeln!(
+        out,
+        "    \"db_reductions\": {},",
+        stress.stats.db_reductions
+    );
+    let _ = writeln!(out, "    \"learnt\": {},", stress.stats.learnt_clauses);
+    let _ = writeln!(
+        out,
+        "    \"learnt_deleted\": {},",
+        stress.stats.learnt_deleted
+    );
+    let _ = writeln!(
+        out,
+        "    \"mean_lbd\": {}",
+        json_num(stress.stats.mean_lbd())
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(
+            out,
+            "      \"status\": {},",
+            json_string(status_str(r.status))
+        );
+        let _ = writeln!(out, "      \"baseline_ms\": {},", json_num(r.baseline_ms));
+        let _ = writeln!(out, "      \"modern_ms\": {},", json_num(r.modern_ms));
+        let _ = writeln!(out, "      \"speedup\": {},", json_num(r.speedup));
+        let _ = writeln!(out, "      \"identical\": {},", r.identical);
+        let _ = writeln!(
+            out,
+            "      \"baseline_conflicts\": {},",
+            r.baseline_conflicts
+        );
+        let _ = writeln!(out, "      \"conflicts\": {},", r.modern.conflicts);
+        let _ = writeln!(out, "      \"restarts\": {},", r.modern.restarts);
+        let _ = writeln!(
+            out,
+            "      \"blocked_restarts\": {},",
+            r.modern.blocked_restarts
+        );
+        let _ = writeln!(out, "      \"db_reductions\": {},", r.modern.db_reductions);
+        let _ = writeln!(out, "      \"learnt\": {},", r.modern.learnt_clauses);
+        let _ = writeln!(
+            out,
+            "      \"learnt_deleted\": {},",
+            r.modern.learnt_deleted
+        );
+        let _ = writeln!(out, "      \"mean_lbd\": {}", json_num(r.modern.mean_lbd()));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One-line ASCII summary of the stress solve.
+pub fn stress_line(s: &StressReport) -> String {
+    format!(
+        "stress PHP({},{}): unsat in {:.1} ms — conflicts={} restarts={} blocked={} reduces={} learnt={} deleted={} mean lbd={:.2}\n",
+        s.pigeons,
+        s.holes,
+        s.solve_ms,
+        s.stats.conflicts,
+        s.stats.restarts,
+        s.stats.blocked_restarts,
+        s.stats.db_reductions,
+        s.stats.learnt_clauses,
+        s.stats.learnt_deleted,
+        s.stats.mean_lbd()
+    )
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[SatRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>6} {:>11} {:>11} {:>8} {:>10} {:>9} {:>8} {:>8} {:>8}\n",
+        "scenario",
+        "rules",
+        "base ms",
+        "modern ms",
+        "speedup",
+        "conflicts",
+        "restarts",
+        "blocked",
+        "reduces",
+        "mean lbd"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>11.2} {:>11.2} {:>7.2}x {:>10} {:>9} {:>8} {:>8} {:>8.2}",
+            r.scenario,
+            r.rules,
+            r.baseline_ms,
+            r.modern_ms,
+            r.speedup,
+            r.modern.conflicts,
+            r.modern.restarts,
+            r.modern.blocked_restarts,
+            r.modern.db_reductions,
+            r.modern.mean_lbd()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_sat_json;
+
+    fn sample_row() -> SatRow {
+        SatRow {
+            scenario: "classbench-256".into(),
+            rules: 256,
+            status: SolveStatus::Optimal,
+            baseline_ms: 12.0,
+            modern_ms: 8.0,
+            speedup: 1.5,
+            identical: true,
+            baseline_conflicts: 120,
+            modern: SolverStats {
+                decisions: 400,
+                conflicts: 100,
+                propagations: 9000,
+                restarts: 2,
+                blocked_restarts: 1,
+                db_reductions: 0,
+                learnt_clauses: 90,
+                learnt_deleted: 0,
+                lbd_sum: 270,
+            },
+        }
+    }
+
+    fn sample_stress() -> StressReport {
+        StressReport {
+            pigeons: 8,
+            holes: 7,
+            solve_ms: 55.0,
+            stats: SolverStats {
+                decisions: 4000,
+                conflicts: 2992,
+                propagations: 90000,
+                restarts: 14,
+                blocked_restarts: 0,
+                db_reductions: 1,
+                learnt_clauses: 2985,
+                learnt_deleted: 998,
+                lbd_sum: 9000,
+            },
+        }
+    }
+
+    #[test]
+    fn json_document_passes_schema_check() {
+        let cfg = SatBenchConfig::default();
+        let doc = to_json(&cfg, &[sample_row()], &sample_stress());
+        validate_sat_json(&doc).expect("emitted document is schema-valid");
+    }
+
+    #[test]
+    fn divergent_placements_fail_validation() {
+        let cfg = SatBenchConfig::default();
+        let mut row = sample_row();
+        row.identical = false;
+        let doc = to_json(&cfg, &[row], &sample_stress());
+        assert!(validate_sat_json(&doc).is_err());
+    }
+
+    #[test]
+    fn stress_without_restarts_or_reductions_fails_validation() {
+        let cfg = SatBenchConfig::default();
+        let mut stress = sample_stress();
+        stress.stats.restarts = 0;
+        let doc = to_json(&cfg, &[sample_row()], &stress);
+        let err = validate_sat_json(&doc).unwrap_err();
+        assert!(err.contains("restarts"), "{err}");
+
+        let mut stress = sample_stress();
+        stress.stats.db_reductions = 0;
+        let doc = to_json(&cfg, &[sample_row()], &stress);
+        let err = validate_sat_json(&doc).unwrap_err();
+        assert!(err.contains("db_reductions"), "{err}");
+    }
+
+    #[test]
+    fn smoke_run_emits_valid_json_with_identical_arms() {
+        let cfg = SatBenchConfig {
+            samples: 1,
+            smoke: true,
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].identical, "baseline and modern arms diverged");
+        let doc = to_json(&cfg, &rows, &stress());
+        validate_sat_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn stress_solve_fires_restarts_and_reductions() {
+        let s = stress();
+        assert!(s.stats.conflicts >= 2000, "stress instance is hard");
+        assert!(s.stats.restarts >= 1, "adaptive restarts fired");
+        assert!(s.stats.db_reductions >= 1, "learnt-DB reduction fired");
+        assert!(s.stats.learnt_deleted > 0, "reduction deleted clauses");
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let t = rows_table(&[sample_row()]);
+        assert!(t.contains("classbench-256"));
+        assert!(t.contains("1.50x"));
+    }
+}

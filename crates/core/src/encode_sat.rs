@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use flowplace_acl::RuleId;
-use flowplace_pbsat::{Lit, SatResult, Solver, Var};
+use flowplace_pbsat::{Lit, SatResult, Solver, SolverOptions, Var};
 use flowplace_topo::{EntryPortId, SwitchId};
 
 use crate::candidates::{build_candidates, CandidateMap};
@@ -50,7 +50,18 @@ impl SatEncoding {
         merging: bool,
         candidates: &CandidateMap,
     ) -> Self {
-        let mut solver = Solver::new();
+        Self::build_with_candidates_opts(instance, merging, candidates, SolverOptions::default())
+    }
+
+    /// Like [`SatEncoding::build_with_candidates`] with explicit CDCL
+    /// search options (restart schedule, learnt-DB reduction).
+    pub fn build_with_candidates_opts(
+        instance: &Instance,
+        merging: bool,
+        candidates: &CandidateMap,
+        sat: SolverOptions,
+    ) -> Self {
+        let mut solver = Solver::with_options(sat);
         let mut ok = true;
         let mut constraint_count = 0usize;
         let mut vars: BTreeMap<(EntryPortId, RuleId, SwitchId), Var> = BTreeMap::new();

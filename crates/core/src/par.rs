@@ -348,6 +348,30 @@ fn record_solve_metrics(obs: &Obs, provenance: Provenance, outcome: &PlacementOu
         .gauge_set_with("solver.variables", labels, stats.variables as i64);
     obs.metrics
         .gauge_set_with("solver.constraints", labels, stats.constraints as i64);
+    // CDCL internals, present only for SAT-engine outcomes. Like
+    // `solver.nodes` these mirror the outcome's stats verbatim (the
+    // persistent warm session reports cumulative values); all are
+    // derived from integer solver counters, so dumps stay
+    // byte-reproducible.
+    if let Some(sat) = stats.sat {
+        obs.metrics
+            .counter_add_with("solver.sat.conflicts", labels, sat.conflicts);
+        obs.metrics
+            .counter_add_with("solver.sat.restarts", labels, sat.restarts);
+        obs.metrics
+            .counter_add_with("solver.sat.blocked_restarts", labels, sat.blocked_restarts);
+        obs.metrics
+            .counter_add_with("solver.sat.db_reductions", labels, sat.db_reductions);
+        obs.metrics
+            .counter_add_with("solver.sat.learnt", labels, sat.learnt_clauses);
+        obs.metrics
+            .counter_add_with("solver.sat.learnt_deleted", labels, sat.learnt_deleted);
+        obs.metrics.gauge_set_with(
+            "solver.sat.mean_lbd_milli",
+            labels,
+            (sat.mean_lbd() * 1000.0) as i64,
+        );
+    }
 }
 
 /// Attaches the built/reused delta of a warm-cache counter pair as span

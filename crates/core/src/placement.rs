@@ -181,6 +181,10 @@ pub struct PlacementStats {
     pub lazy_rows: usize,
     /// Wall-clock solve time.
     pub elapsed: Duration,
+    /// Full CDCL statistics when the SAT engine produced this outcome
+    /// (restarts, blocked restarts, DB reductions, learnt clauses, LBD
+    /// accounting); `None` for ILP/greedy/memo outcomes.
+    pub sat: Option<flowplace_pbsat::SolverStats>,
 }
 
 /// The result of [`RulePlacer::place`].
@@ -218,6 +222,11 @@ pub struct PlacementOptions {
     /// Parallel-pipeline configuration (threads, portfolio racing). The
     /// default (`threads: 1`, `portfolio: false`) is the serial path.
     pub parallel: ParallelConfig,
+    /// CDCL search options for the SAT engine (restart schedule,
+    /// learnt-DB reduction). The default is the modern configuration
+    /// (glucose restarts + reduction); `--sat-restart luby` selects the
+    /// baseline schedule.
+    pub sat: flowplace_pbsat::SolverOptions,
 }
 
 /// High-level facade: encode, solve, decode.
@@ -376,6 +385,7 @@ pub(crate) fn place_ilp_with(
             lp_iterations: out.lp_iterations,
             lazy_rows: out.lazy_rows_added,
             elapsed: start.elapsed(),
+            sat: None,
         },
     }
 }
@@ -390,7 +400,8 @@ pub(crate) fn place_sat_with(
     cancel: Option<&std::sync::atomic::AtomicBool>,
 ) -> PlacementOutcome {
     let start = Instant::now();
-    let mut enc = SatEncoding::build_with_candidates(instance, options.merging, candidates);
+    let mut enc =
+        SatEncoding::build_with_candidates_opts(instance, options.merging, candidates, options.sat);
     let (placement, status) = match enc.solve_interruptible(cancel) {
         Some(Some(p)) => (Some(p), SolveStatus::Optimal),
         Some(None) => (None, SolveStatus::Infeasible),
@@ -407,6 +418,7 @@ pub(crate) fn place_sat_with(
             lp_iterations: 0,
             lazy_rows: 0,
             elapsed: start.elapsed(),
+            sat: Some(enc.solver_stats()),
         },
     }
 }

@@ -227,6 +227,14 @@ fn fingerprint_options(options: &PlacementOptions, objective: &Objective) -> Fin
     h.usize(options.mip.lp.max_iterations);
     h.f64(options.mip.lp.tolerance);
     h.bool(options.parallel.portfolio);
+    // CDCL options steer the SAT search (and thus which model a SAT solve
+    // returns), so memo entries must not cross option boundaries. Thread
+    // count is deliberately not hashed — results are thread-invariant.
+    h.byte(match options.sat.restart {
+        flowplace_pbsat::RestartStrategy::Luby => 0,
+        flowplace_pbsat::RestartStrategy::Glucose => 1,
+    });
+    h.bool(options.sat.db_reduction);
     match objective {
         Objective::TotalRules => h.byte(0),
         Objective::DistanceWeighted => h.byte(1),
@@ -581,7 +589,11 @@ impl SessionState {
         // The session solver crosses into the scoped thread as a plain
         // `&mut`; the cold fallback needs no state.
         let mut sat_session = if sat_supported {
-            Some(self.sat.take().unwrap_or_default())
+            Some(
+                self.sat
+                    .take()
+                    .unwrap_or_else(|| SatSession::with_options(options.sat)),
+            )
         } else {
             None
         };
@@ -696,7 +708,10 @@ impl SessionState {
         if !sat_session_supported(options) {
             return place_sat_with(options, instance, candidates, cancel);
         }
-        let mut session = self.sat.take().unwrap_or_default();
+        let mut session = self
+            .sat
+            .take()
+            .unwrap_or_else(|| SatSession::with_options(options.sat));
         let (out, report) = session.solve(instance, candidates, ingress_fps, cancel);
         self.sat = Some(session);
         cache.bump(|s| {
@@ -843,6 +858,7 @@ fn ilp_seeded_solve(
                 lp_iterations: out.lp_iterations,
                 lazy_rows: out.lazy_rows_added,
                 elapsed: start.elapsed(),
+                sat: None,
             },
         },
         report,
@@ -886,6 +902,17 @@ struct SatSession {
 }
 
 impl SatSession {
+    /// A fresh session whose long-lived solver uses the given CDCL
+    /// options. (`Default` keeps the solver's own defaults and is only
+    /// used by tests.)
+    fn with_options(sat: flowplace_pbsat::SolverOptions) -> Self {
+        SatSession {
+            solver: Solver::with_options(sat),
+            groups: BTreeMap::new(),
+            capacity: None,
+        }
+    }
+
     /// Encodes this epoch's delta and solves under assumptions.
     fn solve(
         &mut self,
@@ -1012,6 +1039,7 @@ impl SatSession {
                     lp_iterations: 0,
                     lazy_rows: 0,
                     elapsed: start.elapsed(),
+                    sat: Some(stats),
                 },
             },
             report,

@@ -8,7 +8,13 @@
 //!   propagation,
 //! * native pseudo-Boolean constraints `Σ wᵢ·litᵢ ≤ k` with counter-based
 //!   propagation and eagerly materialized clausal reasons,
-//! * VSIDS-style variable activity, phase saving, and Luby restarts,
+//! * VSIDS-style variable activity and phase saving,
+//! * LBD (glue) scoring of learnt clauses with periodic learnt-DB
+//!   reduction (glue and locked clauses are never deleted),
+//! * recursive clause minimization of every learnt clause,
+//! * glucose-style adaptive restarts with trail-size blocking — built on
+//!   deterministic integer fixed-point EMAs — selectable alongside the
+//!   classic Luby schedule via [`SolverOptions`],
 //! * solving under assumptions (used by the incremental-deployment path).
 //!
 //! # Example
@@ -42,4 +48,4 @@ mod solver;
 
 pub use lit::{Lit, Var};
 pub use pb::PbConstraint;
-pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use solver::{Model, RestartStrategy, SatResult, Solver, SolverOptions, SolverStats};

@@ -1,4 +1,25 @@
 //! The CDCL search engine.
+//!
+//! Beyond the baseline CDCL loop (1UIP learning, two-watched-literal
+//! propagation, VSIDS activity, phase saving), the solver carries the
+//! modern-solver machinery of glucose/splr:
+//!
+//! * **LBD (glue) scoring** of learnt clauses — the number of distinct
+//!   decision levels in a clause at learn time;
+//! * **learnt-DB reduction**: once conflicts accumulate, the worst half
+//!   of the learnt clauses (highest LBD) is deleted. Glue clauses
+//!   (LBD ≤ 2) and *locked* clauses (currently the reason of an assigned
+//!   variable) are never deleted;
+//! * **recursive clause minimization** of every learnt clause before it
+//!   is attached;
+//! * **adaptive (glucose-style) restarts** with trail-size *blocking*,
+//!   selectable alongside the classic Luby schedule.
+//!
+//! Everything is deterministic: the restart and blocking conditions use
+//! integer fixed-point EMAs (no floats, no wall clock), so a solve is a
+//! pure function of the database, the options, and the assumption list —
+//! the property the byte-identical-replay and differential test suites
+//! rely on.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
@@ -61,6 +82,66 @@ impl SatResult {
     }
 }
 
+/// Restart schedule of the CDCL search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestartStrategy {
+    /// The classic Luby sequence (1,1,2,1,1,2,4,…) × 100 conflicts —
+    /// the original schedule of this solver, kept selectable as the
+    /// baseline arm of differential benchmarks.
+    Luby,
+    /// Glucose-style adaptive restarts: restart when the recent learnt-
+    /// clause LBD (fast EMA) exceeds the long-term LBD (slow EMA) by
+    /// 25%, *blocked* when the trail has grown well past its EMA (the
+    /// solver is likely closing in on a model). Both EMAs are integer
+    /// fixed-point, so the schedule is bit-reproducible.
+    #[default]
+    Glucose,
+}
+
+impl std::str::FromStr for RestartStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "luby" => Ok(RestartStrategy::Luby),
+            "glucose" => Ok(RestartStrategy::Glucose),
+            other => Err(format!(
+                "unknown restart strategy {other:?} (want luby|glucose)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for RestartStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestartStrategy::Luby => write!(f, "luby"),
+            RestartStrategy::Glucose => write!(f, "glucose"),
+        }
+    }
+}
+
+/// Tunables of the CDCL search. The default is the modern configuration
+/// (glucose restarts, learnt-DB reduction on); the baseline-CDCL
+/// behavior is `restart: Luby, db_reduction: false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Restart schedule.
+    pub restart: RestartStrategy,
+    /// Periodically delete the worst half of the learnt clauses
+    /// (glue ≤ 2 and locked clauses are always kept).
+    pub db_reduction: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            restart: RestartStrategy::Glucose,
+            db_reduction: true,
+        }
+    }
+}
+
 /// Search statistics of the last [`Solver::solve`] call (cumulative across
 /// calls).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -73,8 +154,16 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Restarts suppressed by the glucose trail-size blocking rule.
+    pub blocked_restarts: u64,
+    /// Learnt-DB reductions performed.
+    pub db_reductions: u64,
     /// Clauses learned.
     pub learnt_clauses: u64,
+    /// Learnt clauses deleted by DB reduction.
+    pub learnt_deleted: u64,
+    /// Sum of learn-time LBDs over all learnt clauses (for mean LBD).
+    pub lbd_sum: u64,
 }
 
 impl SolverStats {
@@ -83,6 +172,20 @@ impl SolverStats {
     /// is not reproducible across runs; this is).
     pub fn search_steps(&self) -> u64 {
         self.decisions + self.conflicts + self.propagations
+    }
+
+    /// Learnt clauses currently alive (learned minus deleted).
+    pub fn learnt_live(&self) -> u64 {
+        self.learnt_clauses - self.learnt_deleted
+    }
+
+    /// Mean learn-time LBD over all learnt clauses (0 if none).
+    pub fn mean_lbd(&self) -> f64 {
+        if self.learnt_clauses == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.learnt_clauses as f64
+        }
     }
 }
 
@@ -105,6 +208,10 @@ enum Reason {
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Learnt by conflict analysis (problem clauses are never deleted).
+    learnt: bool,
+    /// Learn-time literal-block distance (0 for problem clauses).
+    lbd: u32,
 }
 
 #[derive(Clone, Debug)]
@@ -114,10 +221,67 @@ struct PbState {
     sum_true: u64,
 }
 
+// --- glucose fixed-point EMA constants -------------------------------
+//
+// EMAs are Q48.16 fixed point (samples shifted left by EMA_SHIFT); the
+// update `ema += (sample − ema) >> α_shift` is exact integer arithmetic,
+// so the restart schedule is identical on every platform and run.
+
+/// Fixed-point scale shift of the restart EMAs.
+const EMA_SHIFT: u32 = 16;
+/// Fast LBD EMA smoothing (α = 1/32 ≈ the last ~50 conflicts).
+const LBD_FAST_SHIFT: u32 = 5;
+/// Slow LBD EMA smoothing (α = 1/1024 — the long-term average).
+const LBD_SLOW_SHIFT: u32 = 10;
+/// Trail-size EMA smoothing for restart blocking.
+const TRAIL_SHIFT: u32 = 10;
+/// Minimum conflicts between adaptive restarts (the glucose queue len).
+const RESTART_MIN_CONFLICTS: u64 = 50;
+/// Conflicts before the first learnt-DB reduction of a solve call.
+const REDUCE_FIRST: u64 = 2000;
+/// Cadence growth: each reduction pushes the next one this much further.
+const REDUCE_INC: u64 = 300;
+
+/// Per-solve-call restart/reduction state (reset on every `solve*` call
+/// so a solve is a pure function of database + options + assumptions).
+struct SearchPacing {
+    /// Luby: conflicts left before the next scheduled restart.
+    conflicts_until_restart: u64,
+    restart_idx: u64,
+    /// Glucose EMAs (Q48.16; `None` until the first conflict seeds them).
+    lbd_fast: i64,
+    lbd_slow: i64,
+    trail_ema: i64,
+    seeded: bool,
+    conflicts_since_restart: u64,
+    /// Conflicts in this call (drives the reduction cadence).
+    conflicts_this_call: u64,
+    next_reduce: u64,
+    reductions_this_call: u64,
+}
+
+impl SearchPacing {
+    fn new() -> Self {
+        SearchPacing {
+            conflicts_until_restart: 100 * luby(0),
+            restart_idx: 0,
+            lbd_fast: 0,
+            lbd_slow: 0,
+            trail_ema: 0,
+            seeded: false,
+            conflicts_since_restart: 0,
+            conflicts_this_call: 0,
+            next_reduce: REDUCE_FIRST,
+            reductions_this_call: 0,
+        }
+    }
+}
+
 /// A CDCL pseudo-Boolean solver. See the crate docs for an example.
 #[derive(Clone, Debug)]
 pub struct Solver {
     nvars: usize,
+    options: SolverOptions,
     clauses: Vec<Clause>,
     /// `watches[l.index()]` = clauses currently watching literal `l`.
     watches: Vec<Vec<usize>>,
@@ -149,10 +313,16 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default (modern) options.
     pub fn new() -> Self {
+        Solver::with_options(SolverOptions::default())
+    }
+
+    /// Creates an empty solver with explicit search options.
+    pub fn with_options(options: SolverOptions) -> Self {
         Solver {
             nvars: 0,
+            options,
             clauses: Vec::new(),
             watches: Vec::new(),
             pbs: Vec::new(),
@@ -170,6 +340,11 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
         }
+    }
+
+    /// The configured search options.
+    pub fn options(&self) -> SolverOptions {
+        self.options
     }
 
     /// Adds a fresh variable.
@@ -277,17 +452,17 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(ls);
+                self.attach_clause(ls, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> usize {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> usize {
         let ci = self.clauses.len();
         self.watches[lits[0].index()].push(ci);
         self.watches[lits[1].index()].push(ci);
-        self.clauses.push(Clause { lits });
+        self.clauses.push(Clause { lits, learnt, lbd });
         ci
     }
 
@@ -554,6 +729,7 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
+    /// Reason clause of the *assigned* literal `l`, with `l` first.
     fn reason_lits(&mut self, l: Lit) -> Vec<Lit> {
         match &self.reason[l.var().0 as usize] {
             Reason::Clause(ci) => {
@@ -579,9 +755,57 @@ impl Solver {
         }
     }
 
-    /// 1UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+    /// Literal-block distance: distinct decision levels among `lits`.
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// True if learnt-clause literal `l` (false under the current
+    /// assignment) is implied by the rest of the learnt clause plus
+    /// level-0 facts — the MiniSat recursive-minimization check. `seen`
+    /// marks "in the learnt clause or already proven redundant"; vars
+    /// marked during a failed probe are unmarked again so the marks
+    /// never over-approximate.
+    fn lit_redundant(&mut self, l: Lit, to_clear: &mut Vec<Var>) -> bool {
+        if matches!(self.reason[l.var().0 as usize], Reason::None) {
+            return false;
+        }
+        let top = to_clear.len();
+        let mut stack: Vec<Lit> = vec![l];
+        while let Some(p) = stack.pop() {
+            // `p` is false; the assigned literal is ¬p.
+            let rlits = self.reason_lits(!p);
+            for &q in &rlits[1..] {
+                let vi = q.var().0 as usize;
+                if self.seen[vi] || self.level[vi] == 0 {
+                    continue;
+                }
+                if matches!(self.reason[vi], Reason::None) {
+                    // Reached a decision outside the clause: not
+                    // redundant. Roll back the speculative marks.
+                    for v in to_clear.drain(top..) {
+                        self.seen[v.0 as usize] = false;
+                    }
+                    return false;
+                }
+                self.seen[vi] = true;
+                to_clear.push(q.var());
+                stack.push(q);
+            }
+        }
+        true
+    }
+
+    /// 1UIP conflict analysis with recursive minimization. Returns the
+    /// learnt clause (asserting literal first), the backtrack level, and
+    /// the clause's LBD.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32, u32) {
         let current = self.decision_level();
         let mut learnt: Vec<Lit> = Vec::new();
         let mut to_clear: Vec<Var> = Vec::new();
@@ -623,11 +847,23 @@ impl Solver {
             p = Some(pl);
             cls = self.reason_lits(pl);
         }
+        // Recursive minimization: drop literals implied by the others
+        // (plus level-0 facts). `seen` is still set exactly on the
+        // non-asserting learnt literals here, which is what
+        // `lit_redundant` keys on.
+        let mut kept: Vec<Lit> = Vec::with_capacity(learnt.len());
+        for &l in &learnt {
+            if !self.lit_redundant(l, &mut to_clear) {
+                kept.push(l);
+            }
+        }
+        let mut learnt = kept;
         let asserting = !p.expect("1UIP exists");
         learnt.insert(0, asserting);
         for v in to_clear {
             self.seen[v.0 as usize] = false;
         }
+        let lbd = self.clause_lbd(&learnt);
         // Backtrack to the second-highest level in the clause.
         let mut blevel = 0;
         let mut max_i = 1;
@@ -641,7 +877,83 @@ impl Solver {
         if learnt.len() > 1 {
             learnt.swap(1, max_i);
         }
-        (learnt, blevel)
+        (learnt, blevel, lbd)
+    }
+
+    /// Deletes the worst half of the deletable learnt clauses (highest
+    /// LBD first; ties broken by length, then recency). Glue clauses
+    /// (LBD ≤ 2), problem clauses, and *locked* clauses — those standing
+    /// as the reason of a currently-assigned variable — are never
+    /// deleted, so every reason index stays valid. The surviving clause
+    /// database is compacted and all clause indices (watch lists and
+    /// reasons) are remapped.
+    ///
+    /// Public so persistent sessions and tests can force a reduction at
+    /// a deterministic point; the search loop calls it on its own
+    /// cadence when [`SolverOptions::db_reduction`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (the solver is at decision level 0
+    /// between solves; internally it reduces only after backtracking to
+    /// level 0).
+    pub fn reduce_learnts(&mut self) {
+        assert_eq!(self.decision_level(), 0, "reduce_learnts only at level 0");
+        // Locked = reason of an assigned variable (level-0 implications
+        // included: their reasons must survive for conflict analysis and
+        // the assumption machinery).
+        let mut locked = vec![false; self.clauses.len()];
+        for r in &self.reason {
+            if let Reason::Clause(ci) = r {
+                locked[*ci] = true;
+            }
+        }
+        let mut cands: Vec<(u32, usize, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(ci, c)| c.learnt && c.lbd > 2 && !locked[*ci])
+            .map(|(ci, c)| (c.lbd, c.lits.len(), ci))
+            .collect();
+        // Worst last: ascending (lbd, len, index) then delete the upper
+        // half. Index as the final key keeps the order total and the
+        // deletion set deterministic.
+        cands.sort_unstable();
+        let keep = cands.len() - cands.len() / 2;
+        let doomed = &cands[keep..];
+        if doomed.is_empty() {
+            self.stats.db_reductions += 1;
+            return;
+        }
+        let mut delete = vec![false; self.clauses.len()];
+        for &(_, _, ci) in doomed {
+            delete[ci] = true;
+        }
+        // Compact, building old-index → new-index.
+        let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
+        let mut survivors: Vec<Clause> = Vec::with_capacity(self.clauses.len() - doomed.len());
+        for (ci, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !delete[ci] {
+                remap[ci] = survivors.len();
+                survivors.push(c);
+            }
+        }
+        self.clauses = survivors;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (ci, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(ci);
+            self.watches[c.lits[1].index()].push(ci);
+        }
+        for r in &mut self.reason {
+            if let Reason::Clause(ci) = r {
+                debug_assert_ne!(remap[*ci], usize::MAX, "locked clause deleted");
+                *r = Reason::Clause(remap[*ci]);
+            }
+        }
+        self.stats.db_reductions += 1;
+        self.stats.learnt_deleted += doomed.len() as u64;
     }
 
     fn pick_branch_var(&self) -> Option<Var> {
@@ -655,6 +967,62 @@ impl Solver {
             }
         }
         best.map(|(v, _)| Var(v as u32))
+    }
+
+    /// Restart/blocking bookkeeping after one conflict. `lbd` is the new
+    /// learnt clause's LBD; `trail_len` the trail size at conflict
+    /// detection. Returns `true` if the search should restart now.
+    fn after_conflict_pacing(
+        &mut self,
+        pacing: &mut SearchPacing,
+        lbd: u32,
+        trail_len: usize,
+    ) -> bool {
+        match self.options.restart {
+            RestartStrategy::Luby => {
+                if pacing.conflicts_until_restart == 0 {
+                    pacing.restart_idx += 1;
+                    pacing.conflicts_until_restart = 100 * luby(pacing.restart_idx);
+                    true
+                } else {
+                    pacing.conflicts_until_restart -= 1;
+                    false
+                }
+            }
+            RestartStrategy::Glucose => {
+                let lbd_fp = (lbd as i64) << EMA_SHIFT;
+                let trail_fp = (trail_len as i64) << EMA_SHIFT;
+                if !pacing.seeded {
+                    pacing.seeded = true;
+                    pacing.lbd_fast = lbd_fp;
+                    pacing.lbd_slow = lbd_fp;
+                    pacing.trail_ema = trail_fp;
+                } else {
+                    pacing.lbd_fast += (lbd_fp - pacing.lbd_fast) >> LBD_FAST_SHIFT;
+                    pacing.lbd_slow += (lbd_fp - pacing.lbd_slow) >> LBD_SLOW_SHIFT;
+                    pacing.trail_ema += (trail_fp - pacing.trail_ema) >> TRAIL_SHIFT;
+                }
+                pacing.conflicts_since_restart += 1;
+                if pacing.conflicts_since_restart < RESTART_MIN_CONFLICTS {
+                    return false;
+                }
+                // Restart when recent glue runs 25% above the long-term
+                // average (the search degraded)…
+                if 4 * pacing.lbd_fast > 5 * pacing.lbd_slow {
+                    pacing.conflicts_since_restart = 0;
+                    pacing.lbd_fast = pacing.lbd_slow;
+                    // …unless the trail is 40% above its average: the
+                    // solver is probably closing in on a model, so the
+                    // restart is blocked.
+                    if 5 * trail_fp > 7 * pacing.trail_ema {
+                        self.stats.blocked_restarts += 1;
+                        return false;
+                    }
+                    return true;
+                }
+                false
+            }
+        }
     }
 
     /// How many search steps (propagate/decide rounds) pass between two
@@ -726,8 +1094,7 @@ impl Solver {
             return Some(SatResult::Unsat);
         }
 
-        let mut restart_idx = 0u64;
-        let mut conflicts_until_restart = 100 * luby(restart_idx);
+        let mut pacing = SearchPacing::new();
         // Poll on the very first step (an already-set flag interrupts
         // deterministically), then every CANCEL_CHECK_INTERVAL steps.
         let mut steps_until_poll = 1;
@@ -746,28 +1113,36 @@ impl Solver {
             match self.propagate() {
                 Some(conflict) => {
                     self.stats.conflicts += 1;
+                    pacing.conflicts_this_call += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
                         return Some(SatResult::Unsat);
                     }
-                    let (learnt, blevel) = self.analyze(conflict);
+                    let trail_len = self.trail.len();
+                    let (learnt, blevel, lbd) = self.analyze(conflict);
                     self.cancel_until(blevel);
                     let asserting = learnt[0];
                     if learnt.len() == 1 {
                         self.uncheck_enqueue(asserting, Reason::None);
                     } else {
-                        let ci = self.attach_clause(learnt);
+                        let ci = self.attach_clause(learnt, true, lbd);
                         self.stats.learnt_clauses += 1;
+                        self.stats.lbd_sum += lbd as u64;
                         self.uncheck_enqueue(asserting, Reason::Clause(ci));
                     }
                     self.var_inc /= 0.95;
-                    if conflicts_until_restart == 0 {
+                    if self.after_conflict_pacing(&mut pacing, lbd, trail_len) {
                         self.stats.restarts += 1;
-                        restart_idx += 1;
-                        conflicts_until_restart = 100 * luby(restart_idx);
                         self.cancel_until(0);
-                    } else {
-                        conflicts_until_restart -= 1;
+                    }
+                    if self.options.db_reduction && pacing.conflicts_this_call >= pacing.next_reduce
+                    {
+                        pacing.reductions_this_call += 1;
+                        pacing.next_reduce = pacing.conflicts_this_call
+                            + REDUCE_FIRST
+                            + REDUCE_INC * pacing.reductions_this_call;
+                        self.cancel_until(0);
+                        self.reduce_learnts();
                     }
                 }
                 None => {
@@ -866,10 +1241,33 @@ mod tests {
         (0..n).map(|_| Lit::positive(s.new_var())).collect()
     }
 
+    /// Every solver configuration the differential suites cover.
+    fn all_options() -> Vec<SolverOptions> {
+        let mut out = Vec::new();
+        for restart in [RestartStrategy::Luby, RestartStrategy::Glucose] {
+            for db_reduction in [false, true] {
+                out.push(SolverOptions {
+                    restart,
+                    db_reduction,
+                });
+            }
+        }
+        out
+    }
+
     #[test]
     fn luby_sequence() {
         let seq: Vec<u64> = (0..15).map(luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn restart_strategy_parses_and_displays() {
+        assert_eq!("luby".parse(), Ok(RestartStrategy::Luby));
+        assert_eq!("glucose".parse(), Ok(RestartStrategy::Glucose));
+        assert!("geometric".parse::<RestartStrategy>().is_err());
+        assert_eq!(RestartStrategy::Luby.to_string(), "luby");
+        assert_eq!(RestartStrategy::Glucose.to_string(), "glucose");
     }
 
     #[test]
@@ -1219,60 +1617,63 @@ mod tests {
     #[test]
     fn exhaustive_equivalence_small_random() {
         // Compare against brute force on all assignments for a bundle of
-        // deterministic pseudo-random 6-var instances.
-        let mut seed = 0x12345678u64;
-        let mut next = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            seed
-        };
-        for _case in 0..40 {
-            let nv = 6usize;
-            let mut s = Solver::new();
-            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
-            let mut clauses: Vec<Vec<Lit>> = Vec::new();
-            let nc = 3 + (next() % 8) as usize;
-            for _ in 0..nc {
-                let len = 1 + (next() % 3) as usize;
-                let mut cl = Vec::new();
-                for _ in 0..len {
-                    let v = vars[(next() % nv as u64) as usize];
-                    let l = if next() % 2 == 0 {
-                        Lit::positive(v)
-                    } else {
-                        Lit::negative(v)
+        // deterministic pseudo-random 6-var instances — for every solver
+        // configuration.
+        for opts in all_options() {
+            let mut seed = 0x12345678u64;
+            let mut next = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            for _case in 0..40 {
+                let nv = 6usize;
+                let mut s = Solver::with_options(opts);
+                let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+                let mut clauses: Vec<Vec<Lit>> = Vec::new();
+                let nc = 3 + (next() % 8) as usize;
+                for _ in 0..nc {
+                    let len = 1 + (next() % 3) as usize;
+                    let mut cl = Vec::new();
+                    for _ in 0..len {
+                        let v = vars[(next() % nv as u64) as usize];
+                        let l = if next() % 2 == 0 {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        };
+                        cl.push(l);
+                    }
+                    clauses.push(cl);
+                }
+                // One random at-most-k.
+                let k = next() % 3;
+                let sub: Vec<Lit> = vars.iter().take(4).map(|&v| Lit::positive(v)).collect();
+
+                let mut ok = true;
+                for cl in &clauses {
+                    ok &= s.add_clause(cl);
+                }
+                ok &= s.add_at_most_k(&sub, k);
+
+                // Brute force.
+                let mut any = false;
+                for mask in 0u32..(1 << nv) {
+                    let val = |l: Lit| {
+                        let b = mask & (1 << l.var().0) != 0;
+                        b == l.is_positive()
                     };
-                    cl.push(l);
+                    let cls_ok = clauses.iter().all(|c| c.iter().any(|&l| val(l)));
+                    let pb_ok = sub.iter().filter(|&&l| val(l)).count() as u64 <= k;
+                    if cls_ok && pb_ok {
+                        any = true;
+                        break;
+                    }
                 }
-                clauses.push(cl);
+                let got = if ok { s.solve().is_sat() } else { false };
+                assert_eq!(got, any, "case with {nc} clauses k={k} opts={opts:?}");
             }
-            // One random at-most-k.
-            let k = next() % 3;
-            let sub: Vec<Lit> = vars.iter().take(4).map(|&v| Lit::positive(v)).collect();
-
-            let mut ok = true;
-            for cl in &clauses {
-                ok &= s.add_clause(cl);
-            }
-            ok &= s.add_at_most_k(&sub, k);
-
-            // Brute force.
-            let mut any = false;
-            for mask in 0u32..(1 << nv) {
-                let val = |l: Lit| {
-                    let b = mask & (1 << l.var().0) != 0;
-                    b == l.is_positive()
-                };
-                let cls_ok = clauses.iter().all(|c| c.iter().any(|&l| val(l)));
-                let pb_ok = sub.iter().filter(|&&l| val(l)).count() as u64 <= k;
-                if cls_ok && pb_ok {
-                    any = true;
-                    break;
-                }
-            }
-            let got = if ok { s.solve().is_sat() } else { false };
-            assert_eq!(got, any, "case with {nc} clauses k={k}");
         }
     }
 
@@ -1286,6 +1687,135 @@ mod tests {
         s.add_at_most_k(&v, 4);
         assert!(s.solve().is_sat());
         assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn learnt_clauses_carry_lbd() {
+        // Any instance that learns clauses must account their LBD: the
+        // mean is at least 1 and at most the variable count.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..5)
+            .map(|_| (0..4).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..4 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let st = s.stats();
+        assert!(st.learnt_clauses > 0);
+        assert!(st.lbd_sum >= st.learnt_clauses, "every LBD is at least 1");
+        assert!(st.mean_lbd() >= 1.0);
+        assert!(st.mean_lbd() <= s.num_vars() as f64);
+    }
+
+    #[test]
+    fn manual_reduction_preserves_verdicts_and_reasons() {
+        // Learn clauses, force a reduction, and re-solve: verdicts must
+        // be unchanged and the compaction must not have corrupted any
+        // watch list or reason index (the re-solve would derail).
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| (0..5).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..5 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let learnt_before = s.stats().learnt_live();
+        s.reduce_learnts();
+        let st = s.stats();
+        assert!(st.db_reductions >= 1);
+        assert!(st.learnt_live() <= learnt_before);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn reduction_never_deletes_glue_or_locked() {
+        // Build a satisfiable instance that learns clauses under
+        // assumptions, reduce, and check the assumption solve still
+        // works: locked (reason) clauses survived by construction, and
+        // the solver state stayed coherent.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..5)
+            .map(|_| (0..5).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..5 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        let assume: Vec<Lit> = (0..4).map(|h| !p[0][h]).collect();
+        assert!(s.solve_with_assumptions(&assume).is_sat());
+        for _ in 0..3 {
+            s.reduce_learnts();
+            let r = s.solve_with_assumptions(&assume);
+            assert!(r.model().expect("still satisfiable").lit_value(p[0][4]));
+        }
+        // Deleted clauses are implied by the database: a plain solve
+        // still reaches the right verdict.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn glucose_restarts_fire_on_hard_instances() {
+        let mut s = Solver::with_options(SolverOptions {
+            restart: RestartStrategy::Glucose,
+            db_reduction: true,
+        });
+        let p: Vec<Vec<Lit>> = (0..8)
+            .map(|_| (0..7).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for h in 0..7 {
+            let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+            s.add_at_most_k(&col, 1);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > RESTART_MIN_CONFLICTS, "instance is hard");
+        assert!(
+            st.restarts + st.blocked_restarts > 0,
+            "the adaptive schedule reacted: {st:?}"
+        );
+    }
+
+    #[test]
+    fn same_options_solves_are_byte_identical() {
+        // Determinism: two fresh solvers fed the same formula under the
+        // same options produce identical stats and identical models.
+        for opts in all_options() {
+            let build = |opts: SolverOptions| {
+                let mut s = Solver::with_options(opts);
+                let p: Vec<Vec<Lit>> = (0..6)
+                    .map(|_| (0..5).map(|_| Lit::positive(s.new_var())).collect())
+                    .collect();
+                for row in &p {
+                    s.add_clause(row);
+                }
+                for h in 0..5 {
+                    let col: Vec<Lit> = p.iter().map(|row| row[h]).collect();
+                    s.add_at_most_k(&col, 1);
+                }
+                let r = s.solve();
+                (r, s.stats())
+            };
+            let (r1, st1) = build(opts);
+            let (r2, st2) = build(opts);
+            assert_eq!(r1, r2, "verdict deterministic under {opts:?}");
+            assert_eq!(st1, st2, "stats deterministic under {opts:?}");
+        }
     }
 
     #[test]

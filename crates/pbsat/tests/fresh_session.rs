@@ -96,8 +96,8 @@ fn empty_assumptions_match_one_shot_solve_byte_for_byte() {
 
         // The constraint databases must match verbatim before solving.
         assert_eq!(
-            one_shot.export_formula().to_opb(),
-            session.export_formula().to_opb(),
+            one_shot.export_formula().to_opb().expect("no duplicates"),
+            session.export_formula().to_opb().expect("no duplicates"),
             "seed {seed}: construction paths drifted before the solve"
         );
 
@@ -149,5 +149,65 @@ fn session_resolve_is_stable_after_assumption_probes() {
                 "seed {seed} round {round}: settled session drifted"
             );
         }
+    }
+}
+
+#[test]
+fn mid_session_db_reduction_is_deterministic_and_verdict_preserving() {
+    // The warm path may now interleave learnt-DB reductions between
+    // incremental solves. Two sessions driven through the identical
+    // solve → reduce → solve(assumptions) sequence must stay
+    // byte-identical to each other (reduction is part of the replayable
+    // state machine), and every verdict must agree with a one-shot
+    // solver that never reduced — deleted clauses are all implied, so
+    // reduction can steer the search but never flip a verdict.
+    for seed in 0..16u64 {
+        let capacity = if seed % 4 == 3 { 1 } else { 3 };
+        let (rules, slots) = (8, 3);
+        let pin = Lit::positive(flowplace_pbsat::Var(seed as u32 % (rules * slots) as u32));
+        let drive = |s: &mut Solver| {
+            let first = result_bytes(&s.solve());
+            s.reduce_learnts();
+            let pinned = result_bytes(&s.solve_with_assumptions(&[pin]));
+            s.reduce_learnts();
+            let released = result_bytes(&s.solve_with_assumptions(&[]));
+            (first, pinned, released, s.stats())
+        };
+
+        let mut a = Solver::new();
+        build(&mut a, seed, rules, slots, capacity);
+        let mut b = Solver::new();
+        build(&mut b, seed, rules, slots, capacity);
+        let run_a = drive(&mut a);
+        let run_b = drive(&mut b);
+        assert_eq!(
+            run_a, run_b,
+            "seed {seed}: reduce-interleaved sessions diverged"
+        );
+
+        // Verdicts match one-shot solvers that never reduced.
+        let mut cold = Solver::new();
+        build(&mut cold, seed, rules, slots, capacity);
+        let cold_first = result_bytes(&cold.solve());
+        assert_eq!(
+            run_a.0.split(':').next(),
+            cold_first.split(':').next(),
+            "seed {seed}: reduction flipped the plain verdict"
+        );
+        let mut cold_pin = Solver::new();
+        build(&mut cold_pin, seed, rules, slots, capacity);
+        let cold_pinned = result_bytes(&cold_pin.solve_with_assumptions(&[pin]));
+        assert_eq!(
+            run_a.1.split(':').next(),
+            cold_pinned.split(':').next(),
+            "seed {seed}: reduction flipped the assumption verdict"
+        );
+        // The released solve must agree with the plain verdict again
+        // (assumptions never persist, reduced or not).
+        assert_eq!(
+            run_a.2.split(':').next(),
+            cold_first.split(':').next(),
+            "seed {seed}: released session verdict drifted"
+        );
     }
 }

@@ -45,6 +45,8 @@ place flags:
   --time-limit SECS    branch-and-bound budget                   [60]
   --threads N          pipeline worker threads (0 = auto-detect) [1]
   --portfolio          race ILP against PB-SAT, first verdict wins
+  --sat-restart luby|glucose   CDCL restart schedule for the PB-SAT
+                       engine (glucose = adaptive + blocking)     [glucose]
   --verify             golden-model check of the deployment
   --tables             print the emitted per-switch tables
   --export-lp FILE     also write the ILP in CPLEX LP format
@@ -66,6 +68,8 @@ ctrl replay flags:
   --batch N            events coalesced per epoch                [8]
   --threads N          pipeline worker threads (0 = auto-detect) [1]
   --portfolio          race ILP against PB-SAT on full solves
+  --sat-restart luby|glucose   CDCL restart schedule for PB-SAT
+                       solves (incl. warm sessions)               [glucose]
   --verbose            print every event outcome, not just epochs
   --faults FILE        scripted fault schedule (grammar below)
   --fault-seed N       seed for probabilistic fault draws        [0]
@@ -132,6 +136,18 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Builds the CDCL options from `--sat-restart luby|glucose` (the
+/// learnt-DB-reduction default rides along with the strategy's default).
+fn parse_sat_options(
+    flags: &BTreeMap<String, String>,
+) -> Result<flowplace::pbsat::SolverOptions, String> {
+    let mut sat = flowplace::pbsat::SolverOptions::default();
+    if let Some(spec) = flags.get("sat-restart") {
+        sat.restart = spec.parse().map_err(|e| format!("--sat-restart: {e}"))?;
+    }
+    Ok(sat)
 }
 
 /// Splits `args` into `--flag value` pairs and bare switches.
@@ -340,6 +356,7 @@ fn place_inner(args: &[String]) -> Result<ExitCode, String> {
             ..MipOptions::default()
         },
         parallel,
+        sat: parse_sat_options(&flags)?,
         ..PlacementOptions::default()
     };
 
@@ -506,6 +523,7 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
             threads: get_usize(&flags, "threads", 1)?,
             portfolio: flags.contains_key("portfolio"),
         },
+        sat: parse_sat_options(&flags)?,
         ..flowplace::core::PlacementOptions::default()
     };
     let warm = match flags.get("warm").map(String::as_str) {

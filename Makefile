@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke bench-sat bench-sat-smoke obs-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke bench-sat bench-sat-smoke bench-micro bench-micro-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
@@ -49,10 +49,11 @@ bench-json:
 ## bench-json-smoke: single-sample schema-validation run (CI), plus the
 ## obs telemetry smoke (the flowplace.obs.v1 validator gates both dumps),
 ## the cache-tier smoke (the flowplace.bench.cache.v1 validator), the
-## delegation smoke (the flowplace.bench.delegation.v1 validator), and
-## the CDCL solver smoke (the flowplace.bench.sat.v1 validator, which
-## also enforces baseline/modern placement identity).
-bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke bench-sat-smoke
+## delegation smoke (the flowplace.bench.delegation.v1 validator), the
+## CDCL solver smoke (the flowplace.bench.sat.v1 validator, which also
+## enforces baseline/modern placement identity), and the hot-path micro
+## smoke (the flowplace.bench.micro.v1 validator).
+bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke bench-sat-smoke bench-micro-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
@@ -108,6 +109,17 @@ bench-sat:
 ## bench-sat-smoke: short schema-validation run (CI).
 bench-sat-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin sat_bench -- --smoke
+
+## bench-micro: hot-path micro benchmarks (BENCH_micro.json) — arena
+## allocation counts, batch-vs-scalar classification throughput, and
+## verify-replay / epoch latency on the 4k ClassBench scenario; fails
+## unless the batch kernel holds its 2x throughput contract.
+bench-micro:
+	$(CARGO) run --release --offline -p flowplace-bench --bin micro_bench
+
+## bench-micro-smoke: short schema-validation run (CI).
+bench-micro-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin micro_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

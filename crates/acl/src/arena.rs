@@ -1,0 +1,191 @@
+//! Reusable buffer pool backing the cube-list algebra.
+//!
+//! The exact set operations in [`crate::CubeList`] are built on one
+//! primitive — the TCAM "sharp" split, which rewrites a cube list into a
+//! fresh buffer. Under redundancy removal and candidate rebuilds that
+//! primitive runs millions of times per epoch, and a fresh `Vec` per call
+//! dominates the allocator profile. [`CubeArena`] pools the scratch
+//! buffers so steady-state epochs allocate ~zero: a buffer is taken from
+//! the pool, used for one operation, cleared, and returned with its
+//! capacity intact.
+//!
+//! Every public `CubeList` operation routes through a thread-local arena
+//! automatically (see [`crate::CubeList::subtract`]), so existing callers
+//! pool without code changes. Hot loops that want isolated accounting —
+//! the redundancy pre-pass, the micro benchmark — hold their own arena
+//! and call the `*_in` variants.
+
+use crate::Ternary;
+
+/// Counters describing how well a [`CubeArena`] is amortising allocations.
+///
+/// Surfaced as observability gauges (`arena_*`) and in the committed
+/// `BENCH_micro.json` report; see DESIGN.md §16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Fresh buffers created because the pool was empty. In steady state
+    /// this stops growing: the pool high-water mark has been reached.
+    pub allocations: u64,
+    /// Buffers served from the pool instead of the allocator.
+    pub reuse_hits: u64,
+    /// High-water mark, in bytes, of backing storage retained by the
+    /// pool (measured at buffer return, when capacity is known).
+    pub peak_bytes: u64,
+}
+
+impl ArenaStats {
+    /// Fraction of buffer requests served from the pool, in `[0, 1]`.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.allocations + self.reuse_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.reuse_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A pool of `Vec<Ternary>` scratch buffers with reuse accounting.
+///
+/// Buffers are handed out empty ([`take`](Self::take)) and returned
+/// cleared but with capacity intact ([`put`](Self::put)), so repeated
+/// cube algebra reuses the same backing storage. The arena is a plain
+/// value — hold one per hot loop for isolated [`ArenaStats`], or rely on
+/// the thread-local arena behind the `CubeList` convenience methods.
+#[derive(Debug, Default)]
+pub struct CubeArena {
+    pool: Vec<Vec<Ternary>>,
+    pooled_bytes: u64,
+    stats: ArenaStats,
+}
+
+impl CubeArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated since construction or the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Zeroes the counters, keeping pooled buffers (and their capacity).
+    pub fn reset_stats(&mut self) {
+        self.stats = ArenaStats::default();
+    }
+
+    /// Number of buffers currently resting in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Takes an empty scratch buffer, reusing pooled capacity when
+    /// available.
+    pub fn take(&mut self) -> Vec<Ternary> {
+        match self.pool.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty());
+                self.pooled_bytes = self.pooled_bytes.saturating_sub(capacity_bytes(&buf));
+                self.stats.reuse_hits += 1;
+                buf
+            }
+            None => {
+                self.stats.allocations += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool. The contents are discarded; the
+    /// capacity is kept for the next [`take`](Self::take).
+    pub fn put(&mut self, mut buf: Vec<Ternary>) {
+        buf.clear();
+        self.pooled_bytes += capacity_bytes(&buf);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.pooled_bytes);
+        self.pool.push(buf);
+    }
+}
+
+fn capacity_bytes(buf: &Vec<Ternary>) -> u64 {
+    (buf.capacity() * std::mem::size_of::<Ternary>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_from_empty_pool_counts_allocation() {
+        let mut arena = CubeArena::new();
+        let buf = arena.take();
+        assert!(buf.is_empty());
+        assert_eq!(arena.stats().allocations, 1);
+        assert_eq!(arena.stats().reuse_hits, 0);
+        arena.put(buf);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn take_after_put_reuses_capacity() {
+        let mut arena = CubeArena::new();
+        let mut buf = arena.take();
+        buf.reserve(64);
+        let cap = buf.capacity();
+        arena.put(buf);
+        let buf = arena.take();
+        assert!(buf.capacity() >= cap, "pooled capacity was dropped");
+        assert!(buf.is_empty(), "pooled buffer not cleared");
+        assert_eq!(arena.stats().allocations, 1);
+        assert_eq!(arena.stats().reuse_hits, 1);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_pool_high_water_mark() {
+        let mut arena = CubeArena::new();
+        let mut a = arena.take();
+        let mut b = arena.take();
+        a.reserve_exact(10);
+        b.reserve_exact(20);
+        let elem = std::mem::size_of::<Ternary>() as u64;
+        arena.put(a);
+        arena.put(b);
+        let expected = 30 * elem;
+        assert!(
+            arena.stats().peak_bytes >= expected,
+            "peak {} < expected {}",
+            arena.stats().peak_bytes,
+            expected
+        );
+        // Taking both back out does not lower the recorded peak.
+        let peak = arena.stats().peak_bytes;
+        let _a = arena.take();
+        let _b = arena.take();
+        assert_eq!(arena.stats().peak_bytes, peak);
+    }
+
+    #[test]
+    fn reuse_ratio_bounds() {
+        let mut arena = CubeArena::new();
+        assert_eq!(arena.stats().reuse_ratio(), 0.0);
+        let buf = arena.take();
+        arena.put(buf);
+        let buf = arena.take();
+        arena.put(buf);
+        let ratio = arena.stats().reuse_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_keeps_pool() {
+        let mut arena = CubeArena::new();
+        let mut buf = arena.take();
+        buf.reserve(8);
+        arena.put(buf);
+        arena.reset_stats();
+        assert_eq!(arena.stats(), ArenaStats::default());
+        assert_eq!(arena.pooled(), 1);
+    }
+}

@@ -1,8 +1,31 @@
 //! Unions of ternary cubes with exact set operations.
 
+use std::cell::RefCell;
 use std::fmt;
 
-use crate::{Packet, Ternary};
+use crate::{CubeArena, Packet, Ternary};
+
+thread_local! {
+    /// Pool behind the convenience methods ([`CubeList::subtract`] and
+    /// friends), so every caller amortises scratch allocations without
+    /// threading an arena through its signature.
+    static THREAD_ARENA: RefCell<CubeArena> = RefCell::new(CubeArena::new());
+}
+
+/// Runs `f` with this thread's shared [`CubeArena`].
+///
+/// The convenience methods on [`CubeList`] borrow the arena for the
+/// duration of one operation, so `f` must not re-enter them — call the
+/// explicit `*_in` variants on the borrowed arena instead.
+pub fn with_thread_arena<R>(f: impl FnOnce(&mut CubeArena) -> R) -> R {
+    THREAD_ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Snapshot of the thread-local arena's counters, for observability
+/// gauges and the micro benchmark.
+pub fn thread_arena_stats() -> crate::ArenaStats {
+    with_thread_arena(|a| a.stats())
+}
 
 /// A set of packets represented as a union of pairwise-disjoint ternary
 /// cubes, supporting exact difference, intersection, and coverage queries.
@@ -10,6 +33,12 @@ use crate::{Packet, Ternary};
 /// This is the multi-dimensional packet-space machinery referenced by the
 /// paper's redundancy-removal pre-pass (refs [7–9]); it powers the exact
 /// all-match redundancy analysis in [`crate::redundancy`].
+///
+/// The mutating operations need scratch buffers for the TCAM "sharp"
+/// split. The plain methods ([`subtract`](Self::subtract),
+/// [`insert`](Self::insert), …) borrow a thread-local [`CubeArena`] so
+/// steady-state loops allocate ~zero; the `*_in` variants take an
+/// explicit arena for isolated accounting.
 ///
 /// # Example
 ///
@@ -40,6 +69,14 @@ impl CubeList {
         CubeList { cubes: vec![cube] }
     }
 
+    /// Resets the set to exactly one cube, keeping the backing storage.
+    /// The allocation-free way to restart a loop that re-seeds the same
+    /// `CubeList` per iteration (see [`crate::redundancy`]).
+    pub fn reset_to_cube(&mut self, cube: Ternary) {
+        self.cubes.clear();
+        self.cubes.push(cube);
+    }
+
     /// The cubes of this set. Invariant: pairwise disjoint.
     pub fn cubes(&self) -> &[Ternary] {
         &self.cubes
@@ -63,10 +100,18 @@ impl CubeList {
     }
 
     /// Removes every packet of `cube` from the set (the TCAM "sharp"
-    /// operation, applied cube-wise).
+    /// operation, applied cube-wise). Scratch comes from the thread-local
+    /// arena.
     pub fn subtract(&mut self, cube: &Ternary) {
-        let mut scratch = Vec::with_capacity(self.cubes.len());
+        with_thread_arena(|arena| self.subtract_in(cube, arena));
+    }
+
+    /// [`subtract`](Self::subtract) drawing scratch from an explicit
+    /// arena.
+    pub fn subtract_in(&mut self, cube: &Ternary, arena: &mut CubeArena) {
+        let mut scratch = arena.take();
         self.subtract_with(cube, &mut scratch);
+        arena.put(scratch);
     }
 
     /// [`subtract`](Self::subtract) writing through a caller-owned scratch
@@ -80,21 +125,33 @@ impl CubeList {
         std::mem::swap(&mut self.cubes, scratch);
     }
 
-    /// Removes every packet of `other` from the set.
+    /// Removes every packet of `other` from the set. Scratch comes from
+    /// the thread-local arena.
     pub fn subtract_all(&mut self, other: &CubeList) {
+        with_thread_arena(|arena| self.subtract_all_in(other, arena));
+    }
+
+    /// [`subtract_all`](Self::subtract_all) drawing scratch from an
+    /// explicit arena.
+    pub fn subtract_all_in(&mut self, other: &CubeList, arena: &mut CubeArena) {
         // One scratch buffer swapped back and forth across the loop —
         // this runs hot under candidate rebuilds, and a fresh Vec per
         // subtracted cube showed up as allocator churn.
-        let mut scratch: Vec<Ternary> = Vec::with_capacity(self.cubes.len());
+        let mut scratch = arena.take();
         for cube in &other.cubes {
             self.subtract_with(cube, &mut scratch);
             if self.cubes.is_empty() {
-                return;
+                break;
             }
         }
+        arena.put(scratch);
     }
 
     /// The subset of this set that intersects `cube`, as a new set.
+    ///
+    /// Allocates the result; when only emptiness matters, use
+    /// [`is_disjoint_from`](Self::is_disjoint_from) instead — it probes
+    /// without allocating.
     pub fn intersection_with_cube(&self, cube: &Ternary) -> CubeList {
         CubeList {
             cubes: self
@@ -110,26 +167,49 @@ impl CubeList {
         self.cubes.iter().all(|c| !c.intersects(cube))
     }
 
-    /// True if every packet of `cube` is in the set.
+    /// True if every packet of `cube` is in the set. Scratch comes from
+    /// the thread-local arena.
     pub fn contains_cube(&self, cube: &Ternary) -> bool {
-        // cube ⊆ self  ⇔  cube \ self = ∅
-        let mut rest = CubeList::from_cube(*cube);
+        with_thread_arena(|arena| self.contains_cube_in(cube, arena))
+    }
+
+    /// [`contains_cube`](Self::contains_cube) drawing scratch from an
+    /// explicit arena.
+    pub fn contains_cube_in(&self, cube: &Ternary, arena: &mut CubeArena) -> bool {
+        // cube ⊆ self  ⇔  cube \ self = ∅. Ping-pong between two pooled
+        // buffers instead of re-taking the remainder vector per fragment,
+        // which reallocated on every iteration.
+        let mut cur = arena.take();
+        let mut next = arena.take();
+        cur.push(*cube);
         for c in &self.cubes {
-            for r in std::mem::take(&mut rest.cubes) {
-                sharp_into(&r, c, &mut rest.cubes);
+            next.clear();
+            for r in cur.drain(..) {
+                sharp_into(&r, c, &mut next);
             }
-            if rest.cubes.is_empty() {
-                return true;
+            std::mem::swap(&mut cur, &mut next);
+            if cur.is_empty() {
+                break;
             }
         }
-        rest.cubes.is_empty()
+        let contained = cur.is_empty();
+        arena.put(cur);
+        arena.put(next);
+        contained
     }
 
     /// Adds `cube` to the set, keeping cubes disjoint by inserting only the
-    /// part of `cube` not already covered.
+    /// part of `cube` not already covered. Scratch comes from the
+    /// thread-local arena.
     pub fn insert(&mut self, cube: &Ternary) {
-        let mut fresh = vec![*cube];
-        let mut scratch: Vec<Ternary> = Vec::new();
+        with_thread_arena(|arena| self.insert_in(cube, arena));
+    }
+
+    /// [`insert`](Self::insert) drawing scratch from an explicit arena.
+    pub fn insert_in(&mut self, cube: &Ternary, arena: &mut CubeArena) {
+        let mut fresh = arena.take();
+        let mut scratch = arena.take();
+        fresh.push(*cube);
         for existing in &self.cubes {
             scratch.clear();
             for f in fresh.drain(..) {
@@ -137,10 +217,12 @@ impl CubeList {
             }
             std::mem::swap(&mut fresh, &mut scratch);
             if fresh.is_empty() {
-                return;
+                break;
             }
         }
-        self.cubes.extend(fresh);
+        self.cubes.append(&mut fresh);
+        arena.put(fresh);
+        arena.put(scratch);
     }
 }
 
@@ -160,18 +242,18 @@ impl fmt::Display for CubeList {
 impl FromIterator<Ternary> for CubeList {
     fn from_iter<I: IntoIterator<Item = Ternary>>(iter: I) -> Self {
         let mut list = CubeList::new();
-        for c in iter {
-            list.insert(&c);
-        }
+        list.extend(iter);
         list
     }
 }
 
 impl Extend<Ternary> for CubeList {
     fn extend<I: IntoIterator<Item = Ternary>>(&mut self, iter: I) {
-        for c in iter {
-            self.insert(&c);
-        }
+        with_thread_arena(|arena| {
+            for c in iter {
+                self.insert_in(&c, arena);
+            }
+        });
     }
 }
 
@@ -335,5 +417,65 @@ mod tests {
         let s = CubeList::from_cube(t("1*"));
         assert_eq!(s.to_string(), "{1*}");
         assert_eq!(CubeList::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn explicit_arena_variants_match_thread_local_results() {
+        let mut arena = CubeArena::new();
+        let mut a = CubeList::from_cube(t("****"));
+        let mut b = CubeList::from_cube(t("****"));
+        a.subtract(&t("10**"));
+        b.subtract_in(&t("10**"), &mut arena);
+        assert_eq!(a, b);
+        assert!(b.contains_cube_in(&t("11**"), &mut arena));
+        let mut ia = CubeList::new();
+        let mut ib = CubeList::new();
+        for c in [t("1***"), t("**11")] {
+            ia.insert(&c);
+            ib.insert_in(&c, &mut arena);
+        }
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn explicit_arena_reuses_buffers_in_steady_state() {
+        let mut arena = CubeArena::new();
+        let mut s = CubeList::from_cube(t("****"));
+        s.subtract_in(&t("10**"), &mut arena);
+        let after_first = arena.stats().allocations;
+        for _ in 0..100 {
+            s.reset_to_cube(t("****"));
+            s.subtract_in(&t("10**"), &mut arena);
+            s.subtract_all_in(&CubeList::from_cube(t("0***")), &mut arena);
+            assert!(s.contains_cube_in(&t("111*"), &mut arena));
+        }
+        // Steady state: the warm pool serves every further request.
+        assert_eq!(
+            arena.stats().allocations,
+            after_first + 1, // contains_cube ping-pongs two buffers
+            "steady-state loop created fresh buffers: {:?}",
+            arena.stats()
+        );
+        assert!(arena.stats().reuse_hits >= 300);
+    }
+
+    #[test]
+    fn reset_to_cube_keeps_capacity() {
+        let mut s = CubeList::from_cube(t("****"));
+        s.subtract(&t("1010"));
+        let cap = s.cubes.capacity();
+        assert!(cap >= 4);
+        s.reset_to_cube(t("****"));
+        assert_eq!(s.cubes().len(), 1);
+        assert!(s.cubes.capacity() >= cap);
+    }
+
+    #[test]
+    fn thread_arena_stats_accumulate() {
+        let before = thread_arena_stats();
+        let mut s = CubeList::from_cube(t("****"));
+        s.subtract(&t("10**"));
+        let after = thread_arena_stats();
+        assert!(after.allocations + after.reuse_hits > before.allocations + before.reuse_hits);
     }
 }

@@ -12,6 +12,10 @@
 //!   semantics and a default-PERMIT fallthrough.
 //! * [`CubeList`] — a union of ternary cubes supporting exact set
 //!   difference, used for redundancy analysis.
+//! * [`CubeArena`] — a reusable scratch-buffer pool behind the cube
+//!   algebra, so steady-state epochs allocate ~zero.
+//! * [`classify`] — a batched first-match classification kernel
+//!   ([`classify::classify_batch`]) with a structure-of-arrays layout.
 //! * [`redundancy`] — exact (all-match) redundancy removal, the optional
 //!   pre-pass from the paper's Figure 4 flow chart.
 //!
@@ -36,8 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classify;
 pub mod fivetuple;
 
+mod arena;
 mod cube;
 mod packet;
 mod policy;
@@ -46,7 +52,8 @@ mod rule;
 mod ternary;
 pub mod textfmt;
 
-pub use cube::CubeList;
+pub use arena::{ArenaStats, CubeArena};
+pub use cube::{thread_arena_stats, with_thread_arena, CubeList};
 pub use packet::Packet;
 pub use policy::{Policy, PolicyError, PolicyId};
 pub use rule::{Action, Rule, RuleId};

@@ -15,8 +15,14 @@
 //! * **Masked (downward-redundant) rules** — every packet for which the rule
 //!   is the first match would receive the same action from the rules below
 //!   it (or the default PERMIT), so removing it changes nothing.
+//!
+//! The cube algebra here is the hottest allocation site in an epoch, so
+//! the pass is arena-backed: one `region`/`rest` pair of [`CubeList`]s is
+//! re-seeded per rule (keeping its backing storage) and all sharp-split
+//! scratch comes from a [`CubeArena`]. Use [`remove_redundant_with`] to
+//! supply your own arena and read back its [`crate::ArenaStats`].
 
-use crate::{Action, CubeList, Policy, Rule, RuleId};
+use crate::{Action, CubeArena, CubeList, Policy, Rule, RuleId};
 
 /// Why a rule was removed by [`remove_redundant`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,10 +77,24 @@ impl RemovalReport {
 /// # }
 /// ```
 pub fn remove_redundant(policy: &Policy) -> RemovalReport {
+    let mut arena = CubeArena::new();
+    remove_redundant_with(policy, &mut arena)
+}
+
+/// [`remove_redundant`] drawing all cube-algebra scratch from `arena`.
+///
+/// The arena's [`crate::ArenaStats`] afterwards describe exactly this
+/// removal's allocation behaviour — the hook used by the observability
+/// gauges and the committed micro benchmark.
+pub fn remove_redundant_with(policy: &Policy, arena: &mut CubeArena) -> RemovalReport {
     let mut current = policy.clone();
     let mut all_removed: Vec<(RuleId, Rule, RedundancyKind)> = Vec::new();
+    // One region/rest pair re-seeded per rule across every pass, so the
+    // fixpoint loop reuses the same cube storage throughout.
+    let mut region = CubeList::new();
+    let mut rest = CubeList::new();
     loop {
-        let pass = remove_redundant_pass(&current);
+        let pass = remove_redundant_pass(&current, arena, &mut region, &mut rest);
         let done = pass.removed.is_empty();
         // Report removed rules by their ids in the *original* policy.
         for (_, rule, kind) in pass.removed {
@@ -98,7 +118,12 @@ pub fn remove_redundant(policy: &Policy) -> RemovalReport {
 }
 
 /// One top-down removal pass (see [`remove_redundant`]).
-fn remove_redundant_pass(policy: &Policy) -> RemovalReport {
+fn remove_redundant_pass(
+    policy: &Policy,
+    arena: &mut CubeArena,
+    region: &mut CubeList,
+    rest: &mut CubeList,
+) -> RemovalReport {
     let mut removed = Vec::new();
     // Indices (into the original descending-priority order) of rules kept.
     let mut kept: Vec<usize> = Vec::with_capacity(policy.len());
@@ -108,9 +133,9 @@ fn remove_redundant_pass(policy: &Policy) -> RemovalReport {
         let rule = &rules[i];
         // Effective region: packets for which this rule is the first match
         // among the rules kept above it.
-        let mut region = CubeList::from_cube(*rule.match_field());
+        region.reset_to_cube(*rule.match_field());
         for &k in &kept {
-            region.subtract(rules[k].match_field());
+            region.subtract_in(rules[k].match_field(), arena);
             if region.is_empty() {
                 break;
             }
@@ -119,7 +144,7 @@ fn remove_redundant_pass(policy: &Policy) -> RemovalReport {
             removed.push((RuleId(i), *rule, RedundancyKind::Shadowed));
             continue;
         }
-        if falls_through_to_same_action(&region, rule.action(), &rules[i + 1..]) {
+        if falls_through_to_same_action(region, rule.action(), &rules[i + 1..], rest, arena) {
             removed.push((RuleId(i), *rule, RedundancyKind::Masked));
             continue;
         }
@@ -133,18 +158,28 @@ fn remove_redundant_pass(policy: &Policy) -> RemovalReport {
 
 /// True if every packet in `region` receives `action` from the first
 /// matching rule in `below` (or the default PERMIT when none matches).
-fn falls_through_to_same_action(region: &CubeList, action: Action, below: &[Rule]) -> bool {
-    let mut rest = region.clone();
+///
+/// `rest` is caller-owned working storage (overwritten, contents
+/// unspecified on return) so repeated calls reuse one cube buffer.
+fn falls_through_to_same_action(
+    region: &CubeList,
+    action: Action,
+    below: &[Rule],
+    rest: &mut CubeList,
+    arena: &mut CubeArena,
+) -> bool {
+    rest.clone_from(region);
     for lower in below {
         if rest.is_empty() {
             return true;
         }
-        let hit = rest.intersection_with_cube(lower.match_field());
-        if !hit.is_empty() {
+        // An allocation-free emptiness probe — the old code materialised
+        // the intersection just to test it.
+        if !rest.is_disjoint_from(lower.match_field()) {
             if lower.action() != action {
                 return false;
             }
-            rest.subtract(lower.match_field());
+            rest.subtract_in(lower.match_field(), arena);
         }
     }
     // Whatever remains falls through to the default PERMIT.
@@ -279,5 +314,29 @@ mod tests {
         let r = remove_redundant(&p);
         assert!(r.policy.is_empty());
         assert!(r.removed.is_empty());
+    }
+
+    #[test]
+    fn explicit_arena_matches_default_and_reports_stats() {
+        let p = pol(vec![
+            ("111*", Action::Drop),
+            ("11**", Action::Drop),
+            ("1***", Action::Drop),
+            ("0***", Action::Permit),
+            ("00**", Action::Permit),
+        ]);
+        let mut arena = CubeArena::new();
+        let with = remove_redundant_with(&p, &mut arena);
+        let plain = remove_redundant(&p);
+        assert_eq!(with.policy.rules(), plain.policy.rules());
+        assert_eq!(with.removed.len(), plain.removed.len());
+        let stats = arena.stats();
+        assert!(stats.allocations + stats.reuse_hits > 0);
+        // The pool must be bounded: a handful of buffers serve the whole
+        // fixpoint, everything else is reuse.
+        assert!(
+            stats.allocations <= 4,
+            "redundancy pass over-allocated: {stats:?}"
+        );
     }
 }

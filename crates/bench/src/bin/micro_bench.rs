@@ -1,0 +1,100 @@
+//! Emits `BENCH_micro.json`: hot-path micro benchmarks — arena
+//! allocation counts, batch-vs-scalar classification throughput, and
+//! verify-replay / epoch latency.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin micro_bench -- \
+//!     [--out PATH] [--samples N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the smallest scenario with short batches — CI uses it
+//! to validate the JSON schema without paying for the full 4k run. The
+//! document is validated against `flowplace.bench.micro.v1` before it
+//! is written; a schema bug fails the run instead of producing a
+//! corrupt artifact. Outside smoke mode the run additionally fails
+//! unless the batch kernel shows at least a 2× throughput advantage
+//! over the scalar scan — the performance contract the committed
+//! artifact carries.
+
+use std::process::ExitCode;
+
+use flowplace_bench::micro::{self, MicroBenchConfig};
+use flowplace_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = MicroBenchConfig::default();
+    let mut out_path = String::from("BENCH_micro.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--samples" => {
+                cfg.samples =
+                    parse_num(&take_value(&args, &mut i, "--samples"), "--samples") as usize;
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if cfg.samples == 0 {
+        eprintln!("--samples must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("micro bench: samples={} smoke={}", cfg.samples, cfg.smoke);
+    let report = micro::run(&cfg);
+    print!("{}", micro::rows_table(&report));
+
+    if !cfg.smoke {
+        let classify = report
+            .rows
+            .iter()
+            .find(|r| r.bench == "classify_throughput")
+            .expect("run always emits the classify row");
+        if classify.ratio < 2.0 {
+            eprintln!(
+                "performance contract broken: batch/scalar throughput ratio {:.2} < 2.0",
+                classify.ratio
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let doc = micro::to_json(&cfg, &report);
+    if let Err(reason) = report::validate_micro_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", report.rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num(text: &str, flag: &str) -> u64 {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got {text:?}");
+        std::process::exit(2);
+    })
+}

@@ -30,6 +30,7 @@ pub mod delegation;
 pub mod experiments;
 pub mod harness;
 pub mod incremental;
+pub mod micro;
 pub mod pipeline;
 pub mod report;
 pub mod sat;

@@ -1,0 +1,441 @@
+//! Hot-path micro benchmark (`BENCH_micro.json`).
+//!
+//! Quantifies the three hot-path overhauls on the ClassBench scenarios:
+//!
+//! * **Arena allocation counts** — the redundancy pre-pass runs over
+//!   every tenant policy with one [`CubeArena`]; `before` is what the
+//!   same workload allocated pre-arena (every scratch-buffer request
+//!   was a fresh `Vec`, i.e. `allocations + reuse_hits`), `after` is
+//!   the fresh allocations that remain. Both are deterministic integer
+//!   counters, so this row is byte-stable across machines.
+//! * **Batch vs scalar classification throughput** — the same packet
+//!   batch against the same priority-ordered cube list, first through
+//!   the scalar `Ternary::matches` scan and then through
+//!   [`classify_batch`]'s structure-of-arrays kernel. The committed
+//!   full-mode artifact must show a ≥ 2× ratio (the `micro_bench`
+//!   binary enforces this outside `--smoke`).
+//! * **Verify replay & epoch latency** — per-route packet replay via
+//!   the scalar [`evaluate_route`] walk vs the batched
+//!   [`evaluate_route_batch`] wiring used by `verify_tables`, plus the
+//!   end-to-end controller bring-up (solve + deploy) latency on the
+//!   4k-rule scenario as a tracking number (`before == after`).
+//!
+//! Timing rows are machine-dependent; only the committed *ratios* and
+//! the deterministic allocation row carry the regression contract.
+//! Schema stability is enforced by [`crate::report::validate_micro_json`];
+//! bump [`SCHEMA`] when the shape changes.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use flowplace_acl::classify::{classify_batch, BatchClassifier};
+use flowplace_acl::{redundancy, ArenaStats, CubeArena, Packet, Ternary};
+use flowplace_core::verify::{evaluate_route, evaluate_route_batch};
+use flowplace_core::{tables::emit_tables, PlacementOptions};
+use flowplace_ctrl::{Controller, CtrlOptions};
+use flowplace_rng::{Rng, StdRng};
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.micro.v1";
+
+/// The benches every document must carry (validated).
+pub const REQUIRED_BENCHES: [&str; 4] = [
+    "redundancy_alloc",
+    "classify_throughput",
+    "verify_replay",
+    "epoch_latency",
+];
+
+/// Runner parameters (CLI flags of the `micro_bench` binary).
+#[derive(Clone, Debug)]
+pub struct MicroBenchConfig {
+    /// Timing repetitions per measurement; the best (minimum) time wins,
+    /// damping scheduler noise.
+    pub samples: usize,
+    /// Smoke mode: the smallest scenario and short batches — used by CI
+    /// to validate the JSON schema cheaply.
+    pub smoke: bool,
+}
+
+impl Default for MicroBenchConfig {
+    fn default() -> Self {
+        MicroBenchConfig {
+            samples: 5,
+            smoke: false,
+        }
+    }
+}
+
+/// One before/after measurement.
+#[derive(Clone, Debug)]
+pub struct MicroRow {
+    /// Measurement label (see [`REQUIRED_BENCHES`]).
+    pub bench: String,
+    /// Unit of `before`/`after` (`buffers`, `packets_per_sec`, `ms`).
+    pub unit: String,
+    /// The pre-overhaul number.
+    pub before: f64,
+    /// The post-overhaul number.
+    pub after: f64,
+    /// Improvement factor, oriented so bigger is better (allocation and
+    /// latency rows use `before / after`; throughput uses
+    /// `after / before`).
+    pub ratio: f64,
+}
+
+/// The full benchmark result.
+#[derive(Clone, Debug)]
+pub struct MicroReport {
+    /// Arena counters from the redundancy run (deterministic).
+    pub arena: ArenaStats,
+    /// All measurements, in [`REQUIRED_BENCHES`] order.
+    pub rows: Vec<MicroRow>,
+}
+
+/// The measurement scenario: the cache bench's `classbench-4k` shape
+/// (16 tenants × 256 rules on a k=4 fat-tree), or its smallest sibling
+/// in smoke mode.
+pub fn scenario(smoke: bool) -> ScenarioConfig {
+    if smoke {
+        ScenarioConfig {
+            k: 4,
+            ingresses: 8,
+            paths_per_ingress: 2,
+            rules_per_policy: 32,
+            shared_rules: 0,
+            capacity: 100,
+            seed: 7,
+        }
+    } else {
+        ScenarioConfig {
+            k: 4,
+            ingresses: 16,
+            paths_per_ingress: 2,
+            rules_per_policy: 256,
+            shared_rules: 0,
+            capacity: 500,
+            seed: 7,
+        }
+    }
+}
+
+fn best_of(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn random_packets(width: u32, count: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    (0..count)
+        .map(|_| {
+            let bits: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+            Packet::from_bits(bits & mask, width)
+        })
+        .collect()
+}
+
+/// Runs the full benchmark.
+///
+/// # Panics
+///
+/// Panics if the scenario is infeasible (it is not) or a measured
+/// duration underflows the clock (nanosecond floor applied).
+pub fn run(cfg: &MicroBenchConfig) -> MicroReport {
+    let scenario = scenario(cfg.smoke);
+    let instance = build_instance(&scenario);
+    let mut rows = Vec::new();
+
+    // --- redundancy_alloc: deterministic arena counters ---------------
+    let mut arena = CubeArena::new();
+    for (_, policy) in instance.policies() {
+        let _ = redundancy::remove_redundant_with(policy, &mut arena);
+    }
+    let stats = arena.stats();
+    // Pre-arena, every scratch request was a fresh allocation.
+    let before = (stats.allocations + stats.reuse_hits) as f64;
+    let after = (stats.allocations).max(1) as f64;
+    rows.push(MicroRow {
+        bench: "redundancy_alloc".into(),
+        unit: "buffers".into(),
+        before,
+        after,
+        ratio: before / after,
+    });
+
+    // --- classify_throughput: batch vs scalar kernel ------------------
+    let (_, policy) = instance
+        .policies()
+        .next()
+        .expect("scenario has at least one policy");
+    let cubes: Vec<Ternary> = policy.rules().iter().map(|r| *r.match_field()).collect();
+    let n_packets = if cfg.smoke { 512 } else { 4096 };
+    let packets = random_packets(policy.width(), n_packets, scenario.seed);
+    // Correctness cross-check before timing anything.
+    let scalar_verdicts: Vec<Option<usize>> = packets
+        .iter()
+        .map(|p| cubes.iter().position(|c| c.matches(p)))
+        .collect();
+    assert_eq!(
+        classify_batch(&packets, &cubes),
+        scalar_verdicts,
+        "batch kernel diverged from the scalar scan"
+    );
+    let scalar_time = best_of(cfg.samples, || {
+        let mut matched = 0usize;
+        for p in &packets {
+            if cubes.iter().any(|c| c.matches(p)) {
+                matched += 1;
+            }
+        }
+        std::hint::black_box(matched);
+    });
+    let classifier = BatchClassifier::new(&cubes);
+    let mut verdicts = Vec::new();
+    let mut worklist = Vec::new();
+    let batch_time = best_of(cfg.samples, || {
+        classifier.classify_into(&packets, &mut verdicts, &mut worklist);
+        std::hint::black_box(verdicts.len());
+    });
+    let pkts_per_sec = |d: Duration| n_packets as f64 / d.as_secs_f64().max(1e-9);
+    let (scalar_tput, batch_tput) = (pkts_per_sec(scalar_time), pkts_per_sec(batch_time));
+    rows.push(MicroRow {
+        bench: "classify_throughput".into(),
+        unit: "packets_per_sec".into(),
+        before: scalar_tput,
+        after: batch_tput,
+        ratio: batch_tput / scalar_tput.max(1e-9),
+    });
+
+    // --- verify_replay: scalar route walk vs batched kernel wiring ----
+    // Deploy once via the controller so the replay runs over real
+    // emitted tables, then time both replay paths per route.
+    let options = epoch_options();
+    let start = Instant::now();
+    let ctrl = Controller::with_instance(instance.clone(), options)
+        .expect("benchmark scenario is feasible");
+    let epoch_ms = start.elapsed().as_secs_f64() * 1e3;
+    let placement = ctrl.placement().clone();
+    let tables = emit_tables(&instance, &placement).expect("deployed placement emits");
+    let replay_packets: Vec<Vec<Packet>> = instance
+        .routes()
+        .iter()
+        .enumerate()
+        .map(|(i, route)| {
+            let policy = instance.policy(route.ingress).expect("policy per route");
+            random_packets(
+                policy.width(),
+                if cfg.smoke { 128 } else { 1024 },
+                scenario.seed ^ ((i as u64) << 8),
+            )
+        })
+        .collect();
+    let scalar_replay = best_of(cfg.samples, || {
+        let mut drops = 0usize;
+        for (route, packets) in instance.routes().iter().zip(&replay_packets) {
+            for p in packets {
+                if evaluate_route(&tables, route, p) == flowplace_acl::Action::Drop {
+                    drops += 1;
+                }
+            }
+        }
+        std::hint::black_box(drops);
+    });
+    let batch_replay = best_of(cfg.samples, || {
+        let mut drops = 0usize;
+        for (route, packets) in instance.routes().iter().zip(&replay_packets) {
+            drops += evaluate_route_batch(&tables, route, packets)
+                .iter()
+                .filter(|a| **a == flowplace_acl::Action::Drop)
+                .count();
+        }
+        std::hint::black_box(drops);
+    });
+    let (scalar_ms, batch_ms) = (
+        scalar_replay.as_secs_f64() * 1e3,
+        batch_replay.as_secs_f64() * 1e3,
+    );
+    rows.push(MicroRow {
+        bench: "verify_replay".into(),
+        unit: "ms".into(),
+        before: scalar_ms.max(1e-6),
+        after: batch_ms.max(1e-6),
+        ratio: scalar_ms.max(1e-6) / batch_ms.max(1e-6),
+    });
+
+    // --- epoch_latency: end-to-end bring-up tracking number -----------
+    rows.push(MicroRow {
+        bench: "epoch_latency".into(),
+        unit: "ms".into(),
+        before: epoch_ms.max(1e-6),
+        after: epoch_ms.max(1e-6),
+        ratio: 1.0,
+    });
+
+    MicroReport { arena: stats, rows }
+}
+
+/// Same solver posture as the cache bench: greedy warm start plus a
+/// wall-clock budget keeps the 4k initial solve at seconds.
+fn epoch_options() -> CtrlOptions {
+    let mut placement = PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    };
+    placement.mip.time_limit = Some(Duration::from_secs(10));
+    CtrlOptions {
+        placement,
+        ..CtrlOptions::default()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0000".to_string()
+    }
+}
+
+/// Renders the report as the `BENCH_micro.json` document.
+pub fn to_json(cfg: &MicroBenchConfig, report: &MicroReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(out, "  \"samples\": {},", cfg.samples.max(1));
+    let _ = writeln!(
+        out,
+        "  \"mode\": {},",
+        json_string(if cfg.smoke { "smoke" } else { "full" })
+    );
+    out.push_str("  \"arena\": {\n");
+    let _ = writeln!(out, "    \"allocations\": {},", report.arena.allocations);
+    let _ = writeln!(out, "    \"reuse_hits\": {},", report.arena.reuse_hits);
+    let _ = writeln!(out, "    \"peak_bytes\": {}", report.arena.peak_bytes);
+    out.push_str("  },\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"bench\": {},", json_string(&r.bench));
+        let _ = writeln!(out, "      \"unit\": {},", json_string(&r.unit));
+        let _ = writeln!(out, "      \"before\": {},", json_num(r.before));
+        let _ = writeln!(out, "      \"after\": {},", json_num(r.after));
+        let _ = writeln!(out, "      \"ratio\": {}", json_num(r.ratio));
+        out.push_str(if i + 1 == report.rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(report: &MicroReport) -> String {
+    let mut out = format!(
+        "{:<20} {:<16} {:>14} {:>14} {:>8}\n",
+        "bench", "unit", "before", "after", "ratio"
+    );
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:<16} {:>14.2} {:>14.2} {:>7.2}x",
+            r.bench, r.unit, r.before, r.after, r.ratio
+        );
+    }
+    let _ = writeln!(
+        out,
+        "arena: {} allocations, {} reuse hits, {} peak bytes ({:.1}% reuse)",
+        report.arena.allocations,
+        report.arena.reuse_hits,
+        report.arena.peak_bytes,
+        report.arena.reuse_ratio() * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_micro_json;
+
+    fn smoke_report() -> (MicroBenchConfig, MicroReport) {
+        let cfg = MicroBenchConfig {
+            samples: 1,
+            smoke: true,
+        };
+        let report = run(&cfg);
+        (cfg, report)
+    }
+
+    #[test]
+    fn smoke_run_emits_valid_document() {
+        let (cfg, report) = smoke_report();
+        let doc = to_json(&cfg, &report);
+        validate_micro_json(&doc).expect("smoke document validates");
+        for bench in REQUIRED_BENCHES {
+            assert!(
+                report.rows.iter().any(|r| r.bench == bench),
+                "missing bench {bench}"
+            );
+        }
+        // The allocation row is deterministic: the arena must have
+        // served most requests from the pool.
+        let alloc = report
+            .rows
+            .iter()
+            .find(|r| r.bench == "redundancy_alloc")
+            .unwrap();
+        assert!(
+            alloc.after < alloc.before,
+            "arena did not reduce allocations: {alloc:?}"
+        );
+        assert!(report.arena.reuse_hits > report.arena.allocations);
+        assert!(rows_table(&report).contains("redundancy_alloc"));
+    }
+
+    #[test]
+    fn allocation_row_is_deterministic_across_runs() {
+        let (_, a) = smoke_report();
+        let (_, b) = smoke_report();
+        assert_eq!(a.arena, b.arena);
+        let row = |r: &MicroReport| {
+            r.rows
+                .iter()
+                .find(|x| x.bench == "redundancy_alloc")
+                .map(|x| (x.before as u64, x.after as u64))
+                .unwrap()
+        };
+        assert_eq!(row(&a), row(&b));
+    }
+}

@@ -996,6 +996,120 @@ pub fn validate_sat_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_micro.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_micro_json`] requires (re-exported from
+/// [`crate::micro::SCHEMA`] so the two cannot drift).
+pub const MICRO_SCHEMA: &str = crate::micro::SCHEMA;
+
+const MICRO_ROW_NUM_FIELDS: &[&str] = &["before", "after", "ratio"];
+
+/// Validates a `BENCH_micro.json` document against the
+/// `flowplace.bench.micro.v1` schema: the tag itself, the run
+/// parameters, the arena counters, and every row's fields, types, and
+/// value ranges. Two contracts are part of the schema:
+///
+/// * every bench of [`crate::micro::REQUIRED_BENCHES`] must be present;
+/// * the deterministic `redundancy_alloc` row must show a real
+///   allocation reduction (`after < before`, and the arena must have
+///   served more requests from the pool than from the allocator).
+///
+/// Returns a human-readable reason on the first violation.
+pub fn validate_micro_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != MICRO_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {MICRO_SCHEMA:?}"
+        ));
+    }
+    let samples = doc
+        .get("samples")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"samples\"")?;
+    if samples < 1.0 {
+        return Err(format!("field \"samples\" must be >= 1, got {samples}"));
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"mode\"")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!(
+            "field \"mode\" must be \"smoke\" or \"full\", got {mode:?}"
+        ));
+    }
+    let arena = doc.get("arena").ok_or("missing object field \"arena\"")?;
+    let arena_num = |field: &str| -> Result<f64, String> {
+        let v = arena
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("arena: missing numeric field {field:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("arena: {field:?} must be finite and >= 0, got {v}"));
+        }
+        Ok(v)
+    };
+    let allocations = arena_num("allocations")?;
+    let reuse_hits = arena_num("reuse_hits")?;
+    arena_num("peak_bytes")?;
+    if reuse_hits <= allocations {
+        return Err(format!(
+            "arena reuse contract broken: reuse_hits ({reuse_hits}) must exceed allocations ({allocations})"
+        ));
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    let mut seen: Vec<String> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        let bench = row
+            .get("bench")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"bench\"".into()))?;
+        seen.push(bench.to_string());
+        row.get("unit")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"unit\"".into()))?;
+        for field in MICRO_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and > 0, got {v}")));
+            }
+        }
+        if bench == "redundancy_alloc" {
+            let before = row.get("before").and_then(Json::as_num).unwrap_or(0.0);
+            let after = row.get("after").and_then(Json::as_num).unwrap_or(0.0);
+            if after >= before {
+                return Err(ctx(format!(
+                    "allocation-reduction contract broken: after ({after}) must be < before ({before})"
+                )));
+            }
+        }
+    }
+    for required in crate::micro::REQUIRED_BENCHES {
+        if !seen.iter().any(|b| b == required) {
+            return Err(format!("missing required bench row {required:?}"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1284,6 +1398,78 @@ mod tests {
         );
         let err = validate_cache_json(&doc).unwrap_err();
         assert!(err.contains("non-empty"), "{err}");
+    }
+
+    fn valid_micro_doc() -> String {
+        let rows = crate::micro::REQUIRED_BENCHES
+            .iter()
+            .map(|bench| {
+                let (before, after, ratio) = if *bench == "redundancy_alloc" {
+                    (400.0, 25.0, 16.0)
+                } else {
+                    (10.0, 25.0, 2.5)
+                };
+                format!(
+                    r#"    {{"bench": "{bench}", "unit": "u", "before": {before}, "after": {after}, "ratio": {ratio}}}"#
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            r#"{{
+  "schema": "{MICRO_SCHEMA}",
+  "samples": 5,
+  "mode": "full",
+  "arena": {{"allocations": 25, "reuse_hits": 375, "peak_bytes": 4096}},
+  "rows": [
+{rows}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn micro_validator_accepts_valid_document() {
+        validate_micro_json(&valid_micro_doc()).expect("valid document accepted");
+    }
+
+    #[test]
+    fn micro_validator_rejects_wrong_schema_tag() {
+        let doc = valid_micro_doc().replace(".v1", ".v0");
+        let err = validate_micro_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn micro_validator_rejects_broken_arena_reuse_contract() {
+        let doc = valid_micro_doc().replace("\"reuse_hits\": 375", "\"reuse_hits\": 5");
+        let err = validate_micro_json(&doc).unwrap_err();
+        assert!(err.contains("reuse contract"), "{err}");
+    }
+
+    #[test]
+    fn micro_validator_rejects_allocation_regression() {
+        let doc = valid_micro_doc().replace(
+            r#""bench": "redundancy_alloc", "unit": "u", "before": 400, "after": 25"#,
+            r#""bench": "redundancy_alloc", "unit": "u", "before": 400, "after": 400"#,
+        );
+        let err = validate_micro_json(&doc).unwrap_err();
+        assert!(err.contains("allocation-reduction contract"), "{err}");
+    }
+
+    #[test]
+    fn micro_validator_rejects_missing_required_bench() {
+        let doc = valid_micro_doc().replace("\"bench\": \"verify_replay\"", "\"bench\": \"other\"");
+        let err = validate_micro_json(&doc).unwrap_err();
+        assert!(err.contains("verify_replay"), "{err}");
+    }
+
+    #[test]
+    fn micro_validator_rejects_missing_row_field() {
+        let doc = valid_micro_doc().replace("\"ratio\": 2.5}", "\"rat\": 2.5}");
+        let err = validate_micro_json(&doc).unwrap_err();
+        assert!(err.contains("ratio"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! Any model of the formula is a semantics-preserving placement; nothing
 //! is optimized.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+
+use flowplace_fasthash::FnvHashSet;
 
 use flowplace_acl::RuleId;
 use flowplace_pbsat::{Lit, SatResult, Solver, SolverOptions, Var};
@@ -71,8 +73,9 @@ impl SatEncoding {
             }
         }
 
-        // Eq. 7: per-path coverage clauses, deduplicated.
-        let mut seen: BTreeSet<Vec<Lit>> = BTreeSet::new();
+        // Eq. 7: per-path coverage clauses, deduplicated. Membership-only
+        // (never iterated), so the unordered FNV set is safe here.
+        let mut seen: FnvHashSet<Vec<Lit>> = FnvHashSet::default();
         for (ingress, policy) in instance.policies() {
             for rid in instance.routes().paths_from(ingress) {
                 let route = instance.routes().route(rid);

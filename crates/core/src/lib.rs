@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena_obs;
 pub mod baseline;
 pub mod candidates;
 pub mod depgraph;

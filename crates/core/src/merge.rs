@@ -24,6 +24,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use flowplace_fasthash::FnvHashMap;
+
 use flowplace_acl::{Action, Policy, Rule, RuleId, Ternary};
 use flowplace_topo::{EntryPortId, SwitchId};
 
@@ -65,9 +67,12 @@ impl fmt::Display for MergeGroup {
 /// placement candidates. Policies contributing several identical copies
 /// of a rule contribute only the highest-priority copy.
 pub fn find_merge_groups(instance: &Instance, candidates: &CandidateMap) -> Vec<MergeGroup> {
-    // Bucket candidate rules by (switch, match, action).
-    let mut buckets: BTreeMap<(SwitchId, Ternary, Action), Vec<(EntryPortId, RuleId)>> =
-        BTreeMap::new();
+    // Bucket candidate rules by (switch, match, action). The bucket map
+    // is insert-hot and probed per candidate×switch, so it is unordered
+    // (FNV); group emission order is semantic, so the buckets are sorted
+    // by key before iteration (the DESIGN.md §16 hasher policy).
+    type BucketKey = (SwitchId, Ternary, Action);
+    let mut buckets: FnvHashMap<BucketKey, Vec<(EntryPortId, RuleId)>> = FnvHashMap::default();
     for (&(ingress, rule_id), switches) in candidates {
         let rule = instance
             .policy(ingress)
@@ -80,8 +85,10 @@ pub fn find_merge_groups(instance: &Instance, candidates: &CandidateMap) -> Vec<
                 .push((ingress, rule_id));
         }
     }
+    let mut bucketed: Vec<(BucketKey, Vec<(EntryPortId, RuleId)>)> = buckets.into_iter().collect();
+    bucketed.sort_unstable_by_key(|e| e.0);
     let mut groups: Vec<MergeGroup> = Vec::new();
-    for ((switch, match_field, action), mut members) in buckets {
+    for ((switch, match_field, action), mut members) in bucketed {
         // One member per policy: keep the highest-priority copy.
         members.sort();
         members.dedup_by_key(|(l, _)| *l);

@@ -64,6 +64,7 @@ use crate::placement::{
 };
 use crate::slicing;
 use crate::{Instance, Objective, PlacerEngine, SolveStatus};
+use flowplace_fasthash::FnvHashMap;
 
 /// A stable 64-bit content hash (FNV-1a over a canonical serialization).
 ///
@@ -75,50 +76,11 @@ use crate::{Instance, Objective, PlacerEngine, SolveStatus};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub struct Fingerprint(pub u64);
 
-/// Incremental FNV-1a hasher over canonical little-endian words.
-#[derive(Clone, Copy, Debug)]
-struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 ^= b as u64;
-        self.0 = self.0.wrapping_mul(Self::PRIME);
-    }
-
-    fn u64(&mut self, x: u64) {
-        for b in x.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn u128(&mut self, x: u128) {
-        self.u64(x as u64);
-        self.u64((x >> 64) as u64);
-    }
-
-    fn usize(&mut self, x: usize) {
-        self.u64(x as u64);
-    }
-
-    fn f64(&mut self, x: f64) {
-        self.u64(x.to_bits());
-    }
-
-    fn bool(&mut self, x: bool) {
-        self.byte(x as u8);
-    }
-
-    fn finish(self) -> Fingerprint {
-        Fingerprint(self.0)
-    }
-}
+/// Incremental FNV-1a hasher over canonical little-endian words — the
+/// shared implementation from `flowplace-fasthash`, re-aliased so the
+/// fingerprint functions below read the same as ever. `finish` returns
+/// the raw `u64`; wrap it in [`Fingerprint`] at the call site.
+type Fnv = flowplace_fasthash::Fnv64;
 
 /// Fingerprint of one policy: width plus `(care, value, action,
 /// priority)` of every rule in priority order.
@@ -133,7 +95,7 @@ pub fn fingerprint_policy(policy: &Policy) -> Fingerprint {
         h.bool(rule.action().is_drop());
         h.u64(rule.priority() as u64);
     }
-    h.finish()
+    Fingerprint(h.finish())
 }
 
 /// Fingerprint of one ingress: its policy plus every route from it
@@ -167,7 +129,7 @@ pub fn fingerprint_ingress(instance: &Instance, ingress: EntryPortId) -> Fingerp
             }
         }
     }
-    h.finish()
+    Fingerprint(h.finish())
 }
 
 /// Fingerprint of every solve-affecting option: engine, encoding knobs,
@@ -247,7 +209,7 @@ fn fingerprint_options(options: &PlacementOptions, objective: &Objective) -> Fin
             }
         }
     }
-    h.finish()
+    Fingerprint(h.finish())
 }
 
 /// Fingerprint of the whole solve instance: every ingress fingerprint,
@@ -272,7 +234,7 @@ pub fn fingerprint_instance(
         h.usize(c);
     }
     h.u64(fingerprint_options(options, objective).0);
-    h.finish()
+    Fingerprint(h.finish())
 }
 
 /// Warm-path configuration, carried in
@@ -347,11 +309,16 @@ type IngressCandidates = BTreeMap<RuleId, BTreeSet<SwitchId>>;
 /// Interior-mutable so it threads through the existing `&self` solve
 /// paths; it is a single-thread object (the parallel pipeline consults
 /// it only from the coordinating thread).
+///
+/// The structural caches are [`FnvHashMap`]s, not `BTreeMap`s: they are
+/// probed by fingerprint and never iterated, so iteration order cannot
+/// leak into placements or telemetry (the DESIGN.md §16 hasher policy;
+/// the 32-seed warm/obs differential suites pin this).
 #[derive(Clone, Debug)]
 pub struct WarmCache {
     config: WarmConfig,
-    depgraphs: RefCell<BTreeMap<Fingerprint, DependencyGraph>>,
-    candidates: RefCell<BTreeMap<Fingerprint, IngressCandidates>>,
+    depgraphs: RefCell<FnvHashMap<Fingerprint, DependencyGraph>>,
+    candidates: RefCell<FnvHashMap<Fingerprint, IngressCandidates>>,
     memo: RefCell<VecDeque<(Fingerprint, PlacementOutcome)>>,
     stats: RefCell<WarmStats>,
     session: RefCell<SessionState>,
@@ -368,8 +335,8 @@ impl WarmCache {
     pub fn new(config: WarmConfig) -> Self {
         WarmCache {
             config,
-            depgraphs: RefCell::new(BTreeMap::new()),
-            candidates: RefCell::new(BTreeMap::new()),
+            depgraphs: RefCell::new(FnvHashMap::default()),
+            candidates: RefCell::new(FnvHashMap::default()),
             memo: RefCell::new(VecDeque::new()),
             stats: RefCell::new(WarmStats::default()),
             session: RefCell::new(SessionState::default()),
@@ -955,7 +922,7 @@ impl SatSession {
                         }
                     }
                 }
-                (ingress, h.finish())
+                (ingress, Fingerprint(h.finish()))
             })
             .collect();
 
@@ -991,7 +958,7 @@ impl SatSession {
         for g in self.groups.values() {
             cap_h.u64(g.fp.0);
         }
-        let cap_fp = cap_h.finish();
+        let cap_fp = Fingerprint(cap_h.finish());
         if self.capacity.as_ref().map(|(fp, _)| *fp) != Some(cap_fp) {
             if let Some((_, old_gate)) = self.capacity.take() {
                 self.solver.add_clause(&[!old_gate]);

@@ -50,8 +50,10 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use flowplace_acl::classify::BatchClassifier;
 use flowplace_acl::{Action, Packet};
 use flowplace_core::tables::{SwitchTable, TableEntry};
+use flowplace_fasthash::FnvHashMap;
 use flowplace_topo::{EntryPortId, SwitchId};
 
 use crate::dataplane::TcamEntry;
@@ -215,11 +217,66 @@ struct Slot {
     children: Vec<usize>,
 }
 
+/// Structure-of-arrays matcher for one ingress tag's slots, built once
+/// per [`RuleCache::set_target`]. Cubes keep slot order, so the kernel's
+/// first match is exactly the first matching slot carrying this tag; the
+/// kernel's width check mirrors the explicit width probe the scalar scan
+/// performed.
+#[derive(Clone, Debug)]
+struct TagMatcher {
+    classifier: BatchClassifier,
+    /// Slot index behind each classifier cube.
+    slots: Vec<u32>,
+}
+
 /// The cache tables of one switch, mirroring the dataplane's sorted
 /// order (descending priority, ties by entry ordering).
 #[derive(Clone, Debug, Default)]
 struct CacheTable {
     slots: Vec<Slot>,
+    /// Per-ingress-tag batched matchers over the slots. Probe-only map
+    /// (never iterated), so the unordered FNV hasher is safe; the match
+    /// data is immutable between target commits, so the matchers never
+    /// go stale.
+    matchers: FnvHashMap<EntryPortId, TagMatcher>,
+}
+
+impl CacheTable {
+    /// Builds the per-tag matchers from the (already sorted) slots.
+    fn from_slots(slots: Vec<Slot>) -> CacheTable {
+        let mut grouped: FnvHashMap<EntryPortId, (Vec<flowplace_acl::Ternary>, Vec<u32>)> =
+            FnvHashMap::default();
+        for (i, slot) in slots.iter().enumerate() {
+            for &tag in &slot.entry.tags {
+                let (cubes, idx) = grouped.entry(tag).or_default();
+                cubes.push(slot.entry.match_field);
+                idx.push(i as u32);
+            }
+        }
+        let matchers = grouped
+            .into_iter()
+            .map(|(tag, (cubes, idx))| {
+                (
+                    tag,
+                    TagMatcher {
+                        classifier: BatchClassifier::new(&cubes),
+                        slots: idx,
+                    },
+                )
+            })
+            .collect();
+        CacheTable { slots, matchers }
+    }
+
+    /// Index of the first slot matching `packet` for `ingress` — the
+    /// batched-kernel replacement for the linear
+    /// `tags.contains && width == && matches` scan.
+    fn first_match(&self, ingress: EntryPortId, packet: &Packet) -> Option<usize> {
+        let m = self.matchers.get(&ingress)?;
+        m.classifier
+            .first_match(packet)
+            .map(|ci| m.slots[ci] as usize)
+    }
 }
 
 impl CacheTable {
@@ -290,10 +347,21 @@ impl RuleCache {
         let mut tables = Vec::with_capacity(targets.len());
         for (i, want) in targets.iter().enumerate() {
             let old = self.tables.get(i);
+            // Index the previous slots by entry so the carry-over probe
+            // is O(1) instead of a scan per target entry. First
+            // occurrence wins on duplicate entries, matching the linear
+            // `find` this replaces; the map is probe-only, so the
+            // unordered FNV hasher cannot leak order anywhere.
+            let mut prev_by_entry: FnvHashMap<&TcamEntry, &Slot> = FnvHashMap::default();
+            if let Some(t) = old {
+                for s in &t.slots {
+                    prev_by_entry.entry(&s.entry).or_insert(s);
+                }
+            }
             let mut slots: Vec<Slot> = want
                 .iter()
                 .map(|e| {
-                    let prev = old.and_then(|t| t.slots.iter().find(|s| &s.entry == e));
+                    let prev = prev_by_entry.get(e).copied();
                     Slot {
                         entry: e.clone(),
                         resident: e.is_safe_mode() || prev.map(|p| p.resident).unwrap_or(false),
@@ -321,7 +389,7 @@ impl RuleCache {
                     }
                 }
             }
-            tables.push(CacheTable { slots });
+            tables.push(CacheTable::from_slots(slots));
         }
         // Keep table count in sync with the dataplane.
         tables.resize_with(self.tables.len().max(targets.len()), CacheTable::default);
@@ -359,11 +427,7 @@ impl RuleCache {
         self.tick += 1;
         let tick = self.tick;
         let table = &mut self.tables[s.0];
-        let first = table.slots.iter().position(|x| {
-            x.entry.tags.contains(&ingress)
-                && x.entry.match_field.width() == packet.width()
-                && x.entry.match_field.matches(packet)
-        });
+        let first = table.first_match(ingress, packet);
         match first {
             None => CacheLookup::NoMatch,
             Some(i) if table.slots[i].resident => {
@@ -943,6 +1007,40 @@ mod tests {
         let d = c.find_slot(SwitchId(0), |e| e.priority == 2).unwrap();
         assert!(c.insert(SwitchId(0), d));
         c.audit().unwrap();
+    }
+
+    #[test]
+    fn batched_matcher_agrees_with_linear_slot_scan() {
+        // Mixed tags, overlapping matches, a width-mismatched entry, and
+        // a foreign ingress: the SoA matcher must pick exactly the slot
+        // the old `tags ∧ width ∧ matches` linear scan picked.
+        let mut c = cache(8, CachePolicy::Lru);
+        let mut e3 = entry(3, "1***", Action::Drop);
+        e3.tags = Set::from([EntryPortId(1)]);
+        let mut e0 = entry(0, "**", Action::Drop); // width 2: never matches width-4 packets
+        e0.tags = Set::from([EntryPortId(0), EntryPortId(1)]);
+        c.set_target(&[vec![
+            entry(2, "10**", Action::Drop),
+            entry(1, "****", Action::Permit),
+            e3,
+            e0,
+        ]]);
+        let slots: Vec<TcamEntry> = c.tables[0].slots.iter().map(|x| x.entry.clone()).collect();
+        for ingress in [EntryPortId(0), EntryPortId(1), EntryPortId(7)] {
+            for bits in 0..16u128 {
+                let p = Packet::from_bits(bits, 4);
+                let want = slots.iter().position(|e| {
+                    e.tags.contains(&ingress)
+                        && e.match_field.width() == p.width()
+                        && e.match_field.matches(&p)
+                });
+                assert_eq!(
+                    c.tables[0].first_match(ingress, &p),
+                    want,
+                    "ingress {ingress:?} packet {bits:04b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use flowplace_topo::{EntryPortId, SwitchId};
 
 /// One deployed TCAM entry. Identity is the full tuple: two entries that
 /// differ only in priority are distinct dataplane state.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TcamEntry {
     /// Table priority (larger wins).
     pub priority: u32,

@@ -75,6 +75,7 @@ use flowplace_core::{
     incremental, verify, Instance, Objective, Placement, PlacementOptions, RulePlacer, WarmCache,
     WarmConfig,
 };
+use flowplace_fasthash::FnvHashSet;
 use flowplace_obs::{AttrValue, Obs, SpanId};
 use flowplace_routing::{Route, RouteSet};
 use flowplace_topo::{EntryPortId, SwitchId, Topology};
@@ -1976,7 +1977,8 @@ impl Controller {
         for s in self.faults.unmanageable.keys() {
             target[s.0] = self.dataplane.switch(*s).entries().to_vec();
         }
-        let mut fenced: BTreeSet<(SwitchId, EntryPortId)> = BTreeSet::new();
+        // Membership-only dedup (never iterated): unordered FNV set.
+        let mut fenced: FnvHashSet<(SwitchId, EntryPortId)> = FnvHashSet::default();
         for route in instance.routes().iter() {
             if !self.faults.safe_mode.contains(&route.ingress) {
                 continue;

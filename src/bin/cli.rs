@@ -55,6 +55,7 @@ place flags:
 
 audit flags:
   --dot FILE           write the dependency graph in Graphviz DOT
+  --metrics-out FILE   write the metrics dump (incl. arena.* gauges)
 
 gen-policy flags:
   --rules N            rule count                                [20]
@@ -456,7 +457,9 @@ fn audit_inner(args: &[String]) -> Result<(), String> {
     let policy = textfmt::parse_policy(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: {} rules", policy.len());
 
-    let report = redundancy::remove_redundant(&policy);
+    let obs = obs_requested(&flags);
+    let mut arena = flowplace::acl::CubeArena::new();
+    let report = redundancy::remove_redundant_with(&policy, &mut arena);
     println!(
         "redundant rules: {} ({} kept)",
         report.removed_count(),
@@ -465,6 +468,10 @@ fn audit_inner(args: &[String]) -> Result<(), String> {
     for (id, rule, kind) in &report.removed {
         println!("  {id} {rule} ({kind:?})");
     }
+    if let Some(obs) = obs.as_ref() {
+        flowplace::core::arena_obs::record_arena_gauges(obs, "redundancy", arena.stats());
+    }
+    write_obs_outputs(&flags, obs.as_ref())?;
 
     let graph = DependencyGraph::build(&report.policy);
     println!("{graph}");

@@ -70,6 +70,31 @@ fn same_seed_chaos_dumps_are_byte_identical() {
     validate_obs_json(&oa.metrics_json()).expect("metrics validates");
 }
 
+/// The committed telemetry artifacts pin the dump bytes across
+/// refactors of the hot-path data structures: swapping the controller's
+/// internal hash maps (e.g. SipHash -> shared FNV) must not reorder a
+/// single span or metrics line. A diff here means an iteration-order
+/// dependence leaked into telemetry — a determinism bug to fix, not an
+/// artifact to regenerate.
+#[test]
+fn chaos_dumps_match_committed_artifacts() {
+    let ctrl = chaos_controller(true);
+    let obs = ctrl.obs().unwrap();
+    let committed_trace = std::fs::read_to_string("OBS_trace.json").expect("committed trace dump");
+    let committed_metrics =
+        std::fs::read_to_string("OBS_metrics.json").expect("committed metrics dump");
+    assert_eq!(
+        obs.trace_json(),
+        committed_trace,
+        "trace dump drifted from the committed artifact"
+    );
+    assert_eq!(
+        obs.metrics_json(),
+        committed_metrics,
+        "metrics dump drifted from the committed artifact"
+    );
+}
+
 fn flowplace_chaos(extra: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_flowplace"))
         .args([

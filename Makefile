@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke bench-sat bench-sat-smoke bench-micro bench-micro-smoke obs-smoke replay-demo chaos clean
+.PHONY: all ci fmt fmt-check clippy no-raw-print build test test-all timing-guard bench-json bench-json-smoke bench-incremental bench-incremental-smoke bench-cache bench-cache-smoke bench-delegation bench-delegation-smoke bench-sat bench-sat-smoke bench-micro bench-micro-smoke bench-shard bench-shard-smoke obs-smoke replay-demo chaos clean
 
 all: ci
 
@@ -51,9 +51,12 @@ bench-json:
 ## the cache-tier smoke (the flowplace.bench.cache.v1 validator), the
 ## delegation smoke (the flowplace.bench.delegation.v1 validator), the
 ## CDCL solver smoke (the flowplace.bench.sat.v1 validator, which also
-## enforces baseline/modern placement identity), and the hot-path micro
-## smoke (the flowplace.bench.micro.v1 validator).
-bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke bench-sat-smoke bench-micro-smoke
+## enforces baseline/modern placement identity), the hot-path micro
+## smoke (the flowplace.bench.micro.v1 validator), and the sharded
+## controller smoke (the flowplace.bench.shard.v1 validator, which
+## also enforces sharded-vs-unsharded byte identity and zero
+## overgrants).
+bench-json-smoke: obs-smoke bench-cache-smoke bench-delegation-smoke bench-sat-smoke bench-micro-smoke bench-shard-smoke
 	$(CARGO) run --release --offline -p flowplace-bench --bin pipeline -- --smoke
 
 ## obs-smoke: chaos replay emitting span-trace and metrics dumps; the
@@ -120,6 +123,18 @@ bench-micro:
 ## bench-micro-smoke: short schema-validation run (CI).
 bench-micro-smoke:
 	$(CARGO) run --release --offline -p flowplace-bench --bin micro_bench -- --smoke
+
+## bench-shard: sharded-controller throughput and p99 epoch latency vs
+## shard count (BENCH_shard.json) under tenant-burst churn; every row
+## must be byte-identical to the unsharded controller with zero
+## arbiter overgrants, and the full run fails unless 4 shards deliver
+## >= 2x 1-shard event throughput on the 4k scenario.
+bench-shard:
+	$(CARGO) run --release --offline -p flowplace-bench --bin shard_bench
+
+## bench-shard-smoke: short schema-validation run (CI).
+bench-shard-smoke:
+	$(CARGO) run --release --offline -p flowplace-bench --bin shard_bench -- --smoke
 
 ## replay-demo: run the controller on the shipped 50+-event trace.
 replay-demo:

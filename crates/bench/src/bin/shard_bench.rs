@@ -1,0 +1,70 @@
+//! Emits `BENCH_shard.json`: sharded-controller event throughput and
+//! p99 epoch latency vs shard count, with the byte-identity bit per
+//! row.
+//!
+//! ```text
+//! cargo run --release -p flowplace-bench --bin shard_bench -- \
+//!     [--out PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the smallest scenario at shards {1, 2} — CI uses it
+//! to validate the JSON schema without paying for the full sweep; the
+//! document then carries `"mode": "smoke"`, which exempts it from the
+//! full-run scaling gate (4-shard throughput ≥ 2× 1-shard on `clb-4k`)
+//! but never from the identity gate. The document is validated against
+//! `flowplace.bench.shard.v1` before it is written; a schema bug, an
+//! identity break, or an arbiter overgrant fails the run instead of
+//! producing a corrupt artifact.
+
+use std::process::ExitCode;
+
+use flowplace_bench::report;
+use flowplace_bench::shard::{self, ShardBenchConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ShardBenchConfig::default();
+    let mut out_path = String::from("BENCH_shard.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take_value(&args, &mut i, "--out");
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("shard bench: smoke={}", cfg.smoke);
+    let rows = shard::run_with_progress(&cfg, &mut |msg| eprintln!("  {msg}"));
+    print!("{}", shard::rows_table(&rows));
+
+    let doc = shard::to_json(&rows, cfg.smoke);
+    if let Err(reason) = report::validate_shard_json(&doc) {
+        eprintln!("emitted document failed schema validation: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows, schema ok)", rows.len());
+    ExitCode::SUCCESS
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+        .clone()
+}

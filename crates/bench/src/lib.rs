@@ -35,5 +35,6 @@ pub mod pipeline;
 pub mod report;
 pub mod sat;
 pub mod scenario;
+pub mod shard;
 
 pub use scenario::{build_instance, ScenarioConfig};

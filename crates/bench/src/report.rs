@@ -1110,6 +1110,145 @@ pub fn validate_micro_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// BENCH_shard.json schema validation
+// ---------------------------------------------------------------------
+
+/// The schema tag [`validate_shard_json`] requires (re-exported from
+/// [`crate::shard::SCHEMA`] so the two cannot drift).
+pub const SHARD_SCHEMA: &str = crate::shard::SCHEMA;
+
+const SHARD_ROW_NUM_FIELDS: &[&str] = &[
+    "rules",
+    "tenants",
+    "shards",
+    "events",
+    "epochs",
+    "elapsed_ms",
+    "events_per_sec",
+    "p99_epoch_us",
+    "routes_skipped",
+    "routes_full",
+    "overgrants",
+];
+
+/// Validates a `BENCH_shard.json` document against the
+/// `flowplace.bench.shard.v1` schema: the tag, the `mode`, and every
+/// row's fields, types, and ranges — **including** two hard gates.
+/// First, every row's `identical` flag must be `true`: the sharded
+/// controller must replay byte-identically to the unsharded one on
+/// every (scenario, shards) cell, or the document is rejected (same
+/// for any nonzero `overgrants` count — the arbiter never grants a
+/// switch beyond its capacity on a consistent run). Second, on full
+/// (non-smoke) documents the `clb-4k` scenario must carry both a
+/// `shards = 1` and a `shards = 4` row, and the 4-shard event
+/// throughput must be at least **2×** the 1-shard throughput — the
+/// scoped-verification payoff the shard runtime exists for. Smoke
+/// documents (`"mode": "smoke"`) skip only the throughput gate.
+pub fn validate_shard_json(text: &str) -> Result<(), String> {
+    let doc = JsonParser::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != SHARD_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {SHARD_SCHEMA:?}"
+        ));
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"mode\"")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!(
+            "field \"mode\" must be \"smoke\" or \"full\", got {mode:?}"
+        ));
+    }
+    match doc.get("identical") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("determinism contract broken: top-level \"identical\" is false".into())
+        }
+        _ => return Err("missing boolean field \"identical\"".into()),
+    }
+    let overgrants = doc
+        .get("overgrants")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"overgrants\"")?;
+    if overgrants != 0.0 {
+        return Err(format!(
+            "capacity contract broken: overgrants = {overgrants}"
+        ));
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing array field \"rows\"".into()),
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must be non-empty".into());
+    }
+    let mut eps_4k = [None::<f64>; 2]; // [shards=1, shards=4]
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |msg: String| format!("rows[{i}]: {msg}");
+        let scenario = row
+            .get("scenario")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ctx("missing non-empty string \"scenario\"".into()))?;
+        for field in SHARD_ROW_NUM_FIELDS {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(format!("missing numeric field {field:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{field:?} must be finite and >= 0, got {v}")));
+            }
+        }
+        match row.get("identical") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(ctx(
+                    "determinism contract broken: \"identical\" is false".into()
+                ))
+            }
+            _ => return Err(ctx("missing boolean field \"identical\"".into())),
+        }
+        let row_overgrants = row.get("overgrants").and_then(Json::as_num).unwrap_or(0.0);
+        if row_overgrants != 0.0 {
+            return Err(ctx(format!(
+                "capacity contract broken: overgrants = {row_overgrants}"
+            )));
+        }
+        let shards = row.get("shards").and_then(Json::as_num).unwrap_or(0.0);
+        if shards < 1.0 {
+            return Err(ctx(format!("\"shards\" must be >= 1, got {shards}")));
+        }
+        if scenario == "clb-4k" {
+            let eps = row
+                .get("events_per_sec")
+                .and_then(Json::as_num)
+                .unwrap_or(0.0);
+            if shards == 1.0 {
+                eps_4k[0] = Some(eps);
+            } else if shards == 4.0 {
+                eps_4k[1] = Some(eps);
+            }
+        }
+    }
+    if mode == "full" {
+        let one = eps_4k[0].ok_or("full document missing the clb-4k shards=1 row")?;
+        let four = eps_4k[1].ok_or("full document missing the clb-4k shards=4 row")?;
+        if one <= 0.0 || four < 2.0 * one {
+            return Err(format!(
+                "scaling contract broken: clb-4k throughput at 4 shards ({four:.0} events/s) \
+                 must be >= 2x the 1-shard throughput ({one:.0} events/s)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

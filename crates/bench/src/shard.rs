@@ -1,0 +1,507 @@
+//! Machine-readable sharded-controller benchmark (`BENCH_shard.json`).
+//!
+//! Measures what the shard runtime buys on multi-tenant event streams:
+//! each ClassBench scenario is deployed once, then driven with a
+//! deterministic *tenant-burst* trace — every epoch's batch holds one
+//! tenant's rule churn (a top-priority add/remove pair ×4, so policy
+//! sizes stay constant and every event settles on the greedy tier).
+//! The identical trace is replayed through a plain [`Controller`]
+//! (the baseline) and through [`ShardedController`] at each shard
+//! count; tenants are pinned to shards in contiguous blocks
+//! (`tenant_index * shards / tenants`) so edge-sharing tenants
+//! co-shard.
+//!
+//! Reported per (scenario, shards) row: event throughput, p99 epoch
+//! latency (from the shard runtime's wall-telemetry spans, in
+//! microseconds), the scoped-verification skip counters, and the
+//! **identity bit** — whether the sharded run's placement, stats, and
+//! dataplane dump are byte-identical to the baseline's. The single-core
+//! scaling story is honest: one shard never skips a route (every epoch
+//! dirties its only slice), so `shards=1` is the unsharded cost, and
+//! finer partitions win exactly the verification their isolation
+//! proves redundant.
+//!
+//! Schema stability is enforced by
+//! [`crate::report::validate_shard_json`], which hard-fails unless
+//! every row's `identical` is true and — on full (non-smoke) documents
+//! — the 4-shard event throughput on the `clb-4k` scenario is at least
+//! twice the 1-shard throughput. Bump [`SCHEMA`] when the shape
+//! changes.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use flowplace_acl::{Action, Rule, RuleId, Ternary};
+use flowplace_core::PlacementOptions;
+use flowplace_ctrl::{Controller, CtrlOptions, Event, ShardSpec, ShardedController};
+use flowplace_obs::Obs;
+use flowplace_topo::EntryPortId;
+
+use crate::scenario::{build_instance, ScenarioConfig};
+
+/// Schema tag stamped into the JSON document.
+pub const SCHEMA: &str = "flowplace.bench.shard.v1";
+
+/// Shard counts swept by a full run.
+pub const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Priority of every churned rule: far above anything the ClassBench
+/// generator emits, so each add lands at `RuleId(0)` (policies order by
+/// descending priority) and the paired remove can name it statically.
+const CHURN_PRIORITY: u32 = 1 << 20;
+
+/// Add/remove pairs per tenant burst; with the controller's default
+/// batch size of 8, one burst is exactly one epoch.
+const PAIRS_PER_BURST: usize = 4;
+
+/// Runner parameters (CLI flags of the `shard_bench` binary).
+#[derive(Clone, Debug, Default)]
+pub struct ShardBenchConfig {
+    /// Smoke mode: smallest scenario, shards {1, 2}, one burst round —
+    /// used by CI to validate the JSON schema cheaply. Smoke documents
+    /// carry `"mode": "smoke"` and are exempt from the throughput gate
+    /// (the identity gate always applies).
+    pub smoke: bool,
+}
+
+/// One (scenario, shards) measurement.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Scenario label (`clb-256` …).
+    pub scenario: String,
+    /// Total policy rules in the instance.
+    pub rules: usize,
+    /// Tenant (ingress policy) count.
+    pub tenants: usize,
+    /// Shard count this row ran with.
+    pub shards: u32,
+    /// Events replayed.
+    pub events: u64,
+    /// Epochs committed.
+    pub epochs: u64,
+    /// Wall-clock replay time, milliseconds.
+    pub elapsed_ms: f64,
+    /// `events / elapsed` — the headline throughput.
+    pub events_per_sec: f64,
+    /// 99th-percentile epoch latency in microseconds, from the
+    /// `ctrl.shard.epoch` wall-telemetry spans.
+    pub p99_epoch_us: u64,
+    /// Whether placement, stats, and dataplane dump are byte-identical
+    /// to the unsharded baseline on the same trace (validated: must be
+    /// true).
+    pub identical: bool,
+    /// Routes that rode the scoped-verification fast path.
+    pub routes_skipped: u64,
+    /// Routes verified in full.
+    pub routes_full: u64,
+    /// Arbiter overgrant alarms (validated: must be zero).
+    pub overgrants: u64,
+}
+
+/// Scenario sweep. Tenants × rules-per-policy give the label's total
+/// rule count; ample uniform capacity keeps every burst on the greedy
+/// tier (capacity pressure is the chaos suite's job, not the
+/// throughput benchmark's).
+///
+/// The shapes are deliberately few-fat-tenant: the deterministic verify
+/// packet set is quadratic in per-policy rules (pairwise rule
+/// intersections), so concentrating the rule budget in few policies
+/// makes full verification the dominant epoch cost — which is exactly
+/// the work the shard runtime's scoped sweep elides for untouched
+/// shards. Many-thin-tenant shapes measure the solver instead and say
+/// nothing about sharding.
+pub fn scenarios(smoke: bool) -> Vec<(String, ScenarioConfig)> {
+    let mk = |rules_per_policy, capacity| ScenarioConfig {
+        k: 4,
+        ingresses: 4,
+        paths_per_ingress: 2,
+        rules_per_policy,
+        shared_rules: 0,
+        capacity,
+        seed: 11,
+    };
+    let mut out = vec![("clb-256".to_string(), mk(64, 256))];
+    if !smoke {
+        out.push(("clb-1k".to_string(), mk(256, 512)));
+        out.push(("clb-4k".to_string(), mk(1024, 1024)));
+    }
+    out
+}
+
+/// Shard counts for a run (smoke keeps the cheap half).
+pub fn shard_counts(smoke: bool) -> Vec<u32> {
+    if smoke {
+        vec![1, 2]
+    } else {
+        SHARD_COUNTS.to_vec()
+    }
+}
+
+/// Burst rounds per run: every tenant gets this many one-epoch bursts.
+fn rounds(smoke: bool) -> usize {
+    if smoke {
+        1
+    } else {
+        4
+    }
+}
+
+/// Contiguous block partition: tenant `t` of `tenants` goes to shard
+/// `t * shards / tenants`, so tenants sharing a fat-tree edge switch
+/// share a shard.
+pub fn block_spec(tenants: usize, shards: u32) -> ShardSpec {
+    let mut spec = ShardSpec::new(shards);
+    for t in 0..tenants {
+        spec = spec.with_override(EntryPortId(t), (t * shards as usize / tenants) as u32);
+    }
+    spec
+}
+
+/// A fresh 16-bit exact match for churn pair `counter` (distinct
+/// low-collision patterns; the exact value only has to be
+/// deterministic).
+fn churn_match(counter: usize) -> Ternary {
+    let bits = (counter.wrapping_mul(0x9E37) ^ 0x2A5A) & 0xFFFF;
+    let text: String = (0..16)
+        .rev()
+        .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+        .collect();
+    Ternary::parse(&text).expect("16 binary digits parse")
+}
+
+/// The deterministic tenant-burst trace: `rounds × tenants` bursts,
+/// each burst [`PAIRS_PER_BURST`] add/remove pairs against one tenant.
+/// A pure function of the scenario shape, so every arm replays the
+/// identical stream.
+pub fn tenant_burst_events(tenants: usize, rounds: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(rounds * tenants * PAIRS_PER_BURST * 2);
+    let mut counter = 0usize;
+    for _ in 0..rounds {
+        for t in 0..tenants {
+            let ingress = EntryPortId(t);
+            for _ in 0..PAIRS_PER_BURST {
+                events.push(Event::AddRule {
+                    ingress,
+                    rule: Rule::new(churn_match(counter), Action::Drop, CHURN_PRIORITY),
+                });
+                events.push(Event::RemoveRule {
+                    ingress,
+                    rule: RuleId(0),
+                });
+                counter += 1;
+            }
+        }
+    }
+    events
+}
+
+/// 99th percentile (nearest-rank) of the `ctrl.shard.epoch` span
+/// durations, which wall telemetry records in microseconds.
+fn p99_epoch_us(obs: &Obs) -> u64 {
+    let mut durations: Vec<u64> = obs
+        .spans
+        .spans()
+        .iter()
+        .filter(|s| s.name == "ctrl.shard.epoch")
+        .filter_map(|s| s.duration_ms())
+        .collect();
+    if durations.is_empty() {
+        return 0;
+    }
+    durations.sort_unstable();
+    durations[(durations.len() - 1) * 99 / 100]
+}
+
+/// Runs the full benchmark.
+///
+/// # Panics
+///
+/// Panics if a scenario is infeasible or any replay errors — the
+/// benchmark's scenarios are sized to stay on the greedy tier.
+pub fn run(cfg: &ShardBenchConfig) -> Vec<ShardRow> {
+    run_with_progress(cfg, &mut |_| {})
+}
+
+/// [`run`] with a progress sink: one message per deployed scenario and
+/// per finished arm.
+pub fn run_with_progress(cfg: &ShardBenchConfig, progress: &mut dyn FnMut(&str)) -> Vec<ShardRow> {
+    // Same solver posture as the delegation bench: greedy warm start
+    // plus a wall-clock budget keeps the initial solves at seconds; the
+    // measured bursts all settle on the greedy tier after that.
+    let mut placement = PlacementOptions {
+        greedy_warm_start: true,
+        ..PlacementOptions::default()
+    };
+    placement.mip.time_limit = Some(Duration::from_secs(10));
+    let options = CtrlOptions {
+        placement,
+        ..CtrlOptions::default()
+    };
+
+    let mut rows = Vec::new();
+    for (name, scenario) in scenarios(cfg.smoke) {
+        let instance = build_instance(&scenario);
+        let events = tenant_burst_events(scenario.ingresses, rounds(cfg.smoke));
+
+        // The unsharded baseline: same deployment, same trace.
+        let mut baseline = Controller::with_instance(instance.clone(), options.clone())
+            .expect("benchmark scenarios are feasible");
+        baseline
+            .replay(events.iter().cloned())
+            .expect("baseline replay stays on the greedy tier");
+        progress(&format!(
+            "{name}: baseline replayed ({} events)",
+            events.len()
+        ));
+
+        for shards in shard_counts(cfg.smoke) {
+            let spec = block_spec(scenario.ingresses, shards);
+            let mut sharded =
+                ShardedController::with_instance(instance.clone(), options.clone(), spec)
+                    .expect("benchmark scenarios are feasible");
+            sharded.attach_shard_obs(Obs::new());
+            sharded.set_wall_telemetry(true);
+
+            let start = Instant::now();
+            let reports = sharded
+                .replay(events.iter().cloned())
+                .expect("sharded replay stays on the greedy tier");
+            let elapsed = start.elapsed();
+
+            let identical = baseline.placement() == sharded.placement()
+                && baseline.stats() == sharded.stats()
+                && baseline.dataplane().dump() == sharded.inner().dataplane().dump();
+            let verify = sharded.verify_counters();
+            let elapsed_ms = elapsed.as_secs_f64() * 1000.0;
+            let row = ShardRow {
+                scenario: name.clone(),
+                rules: instance.total_policy_rules(),
+                tenants: scenario.ingresses,
+                shards,
+                events: events.len() as u64,
+                epochs: reports.len() as u64,
+                elapsed_ms,
+                events_per_sec: if elapsed_ms > 0.0 {
+                    events.len() as f64 * 1000.0 / elapsed_ms
+                } else {
+                    0.0
+                },
+                p99_epoch_us: sharded.shard_obs().map_or(0, p99_epoch_us),
+                identical,
+                routes_skipped: verify.routes_skipped,
+                routes_full: verify.routes_full,
+                overgrants: sharded.coord_stats().overgrants,
+            };
+            progress(&format!(
+                "{name} shards={shards}: {:.0} events/s, p99 {}us, identical={}, {} routes skipped",
+                row.events_per_sec, row.p99_epoch_us, row.identical, row.routes_skipped
+            ));
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0000".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_shard.json` document. `smoke` selects
+/// the `mode` tag, which decides whether the validator enforces the
+/// full-run throughput gate.
+pub fn to_json(rows: &[ShardRow], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    let _ = writeln!(
+        out,
+        "  \"mode\": {},",
+        json_string(if smoke { "smoke" } else { "full" })
+    );
+    let _ = writeln!(
+        out,
+        "  \"identical\": {},",
+        rows.iter().all(|r| r.identical)
+    );
+    let _ = writeln!(
+        out,
+        "  \"overgrants\": {},",
+        rows.iter().map(|r| r.overgrants).sum::<u64>()
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"scenario\": {},", json_string(&r.scenario));
+        let _ = writeln!(out, "      \"rules\": {},", r.rules);
+        let _ = writeln!(out, "      \"tenants\": {},", r.tenants);
+        let _ = writeln!(out, "      \"shards\": {},", r.shards);
+        let _ = writeln!(out, "      \"events\": {},", r.events);
+        let _ = writeln!(out, "      \"epochs\": {},", r.epochs);
+        let _ = writeln!(out, "      \"elapsed_ms\": {},", json_num(r.elapsed_ms));
+        let _ = writeln!(
+            out,
+            "      \"events_per_sec\": {},",
+            json_num(r.events_per_sec)
+        );
+        let _ = writeln!(out, "      \"p99_epoch_us\": {},", r.p99_epoch_us);
+        let _ = writeln!(out, "      \"identical\": {},", r.identical);
+        let _ = writeln!(out, "      \"routes_skipped\": {},", r.routes_skipped);
+        let _ = writeln!(out, "      \"routes_full\": {},", r.routes_full);
+        let _ = writeln!(out, "      \"overgrants\": {}", r.overgrants);
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// ASCII summary for the terminal.
+pub fn rows_table(rows: &[ShardRow]) -> String {
+    let mut out = format!(
+        "{:<10} {:>6} {:>8} {:>7} {:>8} {:>12} {:>12} {:>10} {:>9} {:>9}\n",
+        "scenario",
+        "rules",
+        "tenants",
+        "shards",
+        "events",
+        "events/s",
+        "p99 us",
+        "identical",
+        "skipped",
+        "full"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8} {:>7} {:>8} {:>12.0} {:>12} {:>10} {:>9} {:>9}",
+            r.scenario,
+            r.rules,
+            r.tenants,
+            r.shards,
+            r.events,
+            r.events_per_sec,
+            r.p99_epoch_us,
+            r.identical,
+            r.routes_skipped,
+            r.routes_full
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_shard_json;
+
+    fn sample_row(shards: u32, eps: f64) -> ShardRow {
+        ShardRow {
+            scenario: "clb-4k".into(),
+            rules: 4096,
+            tenants: 64,
+            shards,
+            events: 2048,
+            epochs: 256,
+            elapsed_ms: 1000.0,
+            events_per_sec: eps,
+            p99_epoch_us: 900,
+            identical: true,
+            routes_skipped: 180,
+            routes_full: 76,
+            overgrants: 0,
+        }
+    }
+
+    #[test]
+    fn smoke_json_document_passes_schema_check() {
+        let doc = to_json(&[sample_row(1, 100.0)], true);
+        validate_shard_json(&doc).expect("smoke document is schema-valid");
+    }
+
+    #[test]
+    fn full_document_requires_the_throughput_gate() {
+        let good = to_json(&[sample_row(1, 100.0), sample_row(4, 250.0)], false);
+        validate_shard_json(&good).expect("2.5x at 4 shards passes");
+        let bad = to_json(&[sample_row(1, 100.0), sample_row(4, 150.0)], false);
+        assert!(
+            validate_shard_json(&bad).is_err(),
+            "1.5x at 4 shards must fail the full-mode gate"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_identity_breaks() {
+        let mut row = sample_row(1, 100.0);
+        row.identical = false;
+        let doc = to_json(&[row], true);
+        assert!(validate_shard_json(&doc).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_overgrants() {
+        let mut row = sample_row(1, 100.0);
+        row.overgrants = 3;
+        let doc = to_json(&[row], true);
+        assert!(validate_shard_json(&doc).is_err());
+    }
+
+    #[test]
+    fn tenant_bursts_are_per_tenant_and_size_stable() {
+        let events = tenant_burst_events(4, 2);
+        assert_eq!(events.len(), 2 * 4 * PAIRS_PER_BURST * 2);
+        // Every batch-of-8 window touches exactly one tenant.
+        for burst in events.chunks(PAIRS_PER_BURST * 2) {
+            let tenants: std::collections::BTreeSet<_> = burst
+                .iter()
+                .map(|e| match e {
+                    Event::AddRule { ingress, .. } | Event::RemoveRule { ingress, .. } => *ingress,
+                    other => panic!("unexpected event {other:?}"),
+                })
+                .collect();
+            assert_eq!(tenants.len(), 1);
+        }
+    }
+
+    #[test]
+    fn block_spec_is_contiguous_and_total() {
+        let spec = block_spec(16, 4);
+        let blocks: Vec<u32> = (0..16).map(|t| spec.shard_of(EntryPortId(t))).collect();
+        assert_eq!(blocks, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn smoke_run_is_identical_and_schema_valid() {
+        let cfg = ShardBenchConfig { smoke: true };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), shard_counts(true).len());
+        assert!(rows.iter().all(|r| r.identical), "identity broke: {rows:?}");
+        assert!(rows.iter().all(|r| r.overgrants == 0));
+        let doc = to_json(&rows, true);
+        validate_shard_json(&doc).expect("smoke document is schema-valid");
+    }
+}

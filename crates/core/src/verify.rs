@@ -206,6 +206,23 @@ fn route_packets(
             }
         }
     }
+    route_random_packets(policy, route, random_per_route, rng, &mut packets);
+    packets
+}
+
+/// The seeded random tail of [`route_packets`], drawing exactly
+/// `2 × random_per_route` RNG words regardless of the policy's shape.
+/// The fixed draw count is a load-bearing invariant: it decouples every
+/// route's RNG stream position from the policies of earlier routes, so
+/// a scoped verifier that skips a route's deterministic packet set can
+/// still reproduce the identical random packets for all later routes.
+fn route_random_packets(
+    policy: &flowplace_acl::Policy,
+    route: &Route,
+    random_per_route: usize,
+    rng: &mut StdRng,
+    packets: &mut Vec<Packet>,
+) {
     let width = if policy.is_empty() {
         route.flow.map(|f| f.width()).unwrap_or(4)
     } else {
@@ -224,7 +241,6 @@ fn route_packets(
         };
         packets.push(Packet::from_bits(bits, width));
     }
-    packets
 }
 
 /// Checks a concrete table set against every ingress policy, route by
@@ -245,16 +261,63 @@ pub fn verify_tables(
     random_per_route: usize,
     seed: u64,
     mode: VerifyMode,
+    route_live: impl FnMut(&Route) -> bool,
+) -> Result<(), VerifyError> {
+    verify_tables_scoped(
+        instance,
+        tables,
+        random_per_route,
+        seed,
+        mode,
+        route_live,
+        |_, _| false,
+    )
+}
+
+/// [`verify_tables`] with a verification scope: routes for which
+/// `skip_deterministic` returns true are checked against only their
+/// seeded random packets, skipping the per-rule corner and pairwise
+/// intersection packet sets (and their construction cost).
+///
+/// Soundness contract: the deterministic packet set of a route is a pure
+/// function of `(policy, route, tables on the route)`. A caller may skip
+/// it only when it has previously verified the route against
+/// byte-identical inputs — in which case re-evaluating it would
+/// reproduce the same (passing) verdict. The random packets change with
+/// `seed`, so they are always re-evaluated; the per-route RNG draws are
+/// a fixed count (see `route_random_packets`), so skipping one route's
+/// deterministic set never perturbs another route's packet stream. Under
+/// that contract the result is byte-identical to the unscoped walk,
+/// including which violation is reported first.
+///
+/// # Errors
+///
+/// The first violation found on a live route, in route order then packet
+/// draw order.
+pub fn verify_tables_scoped(
+    instance: &Instance,
+    tables: &[SwitchTable],
+    random_per_route: usize,
+    seed: u64,
+    mode: VerifyMode,
     mut route_live: impl FnMut(&Route) -> bool,
+    mut skip_deterministic: impl FnMut(usize, &Route) -> bool,
 ) -> Result<(), VerifyError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    for route in instance.routes().iter() {
+    for (index, route) in instance.routes().iter().enumerate() {
         let policy = instance
             .policy(route.ingress)
             .expect("validated instance has a policy per route");
         // Draw packets unconditionally so the RNG stream (and therefore
-        // every later route's packet set) does not depend on liveness.
-        let packets = route_packets(policy, route, random_per_route, &mut rng);
+        // every later route's packet set) does not depend on liveness
+        // or scoping.
+        let packets = if skip_deterministic(index, route) {
+            let mut packets = Vec::with_capacity(random_per_route);
+            route_random_packets(policy, route, random_per_route, &mut rng, &mut packets);
+            packets
+        } else {
+            route_packets(policy, route, random_per_route, &mut rng)
+        };
         if !route_live(route) {
             continue;
         }
@@ -643,5 +706,135 @@ mod tests {
         let inst = Instance::new(topo, routes, vec![(EntryPortId(0), policy)]).unwrap();
         verify_placement(&inst, &Placement::new(), 64, 5)
             .expect("rule is irrelevant to this route's flow");
+    }
+
+    /// Two routed ingresses on a shared chain, with a correct placement
+    /// for both (each policy pinned on a switch of its route).
+    fn two_ingress_instance() -> (Instance, Placement) {
+        let mut topo = Topology::linear(4);
+        topo.set_uniform_capacity(10);
+        let mut routes = RouteSet::new();
+        routes.push(Route::new(
+            EntryPortId(0),
+            EntryPortId(2),
+            vec![SwitchId(0), SwitchId(1)],
+        ));
+        routes.push(Route::new(
+            EntryPortId(1),
+            EntryPortId(3),
+            vec![SwitchId(2), SwitchId(3)],
+        ));
+        let p0 = Policy::from_ordered(vec![(t("11**"), Action::Permit), (t("1***"), Action::Drop)])
+            .unwrap();
+        let p1 = Policy::from_ordered(vec![(t("00**"), Action::Permit), (t("0***"), Action::Drop)])
+            .unwrap();
+        let inst = Instance::new(
+            topo,
+            routes,
+            vec![(EntryPortId(0), p0), (EntryPortId(1), p1)],
+        )
+        .unwrap();
+        let mut p = Placement::new();
+        p.place(EntryPortId(0), RuleId(0), SwitchId(0));
+        p.place(EntryPortId(0), RuleId(1), SwitchId(0));
+        p.place(EntryPortId(1), RuleId(0), SwitchId(2));
+        p.place(EntryPortId(1), RuleId(1), SwitchId(2));
+        (inst, p)
+    }
+
+    /// The scoped walk with an all-false skip predicate is the plain
+    /// walk (one code path; `verify_tables` is a thin wrapper).
+    #[test]
+    fn scoped_never_skip_matches_unscoped() {
+        let (inst, p) = two_ingress_instance();
+        let tables = emit_tables(&inst, &p).unwrap();
+        let plain = verify_tables(&inst, &tables, 16, 9, VerifyMode::Exact, |_| true);
+        let scoped = verify_tables_scoped(
+            &inst,
+            &tables,
+            16,
+            9,
+            VerifyMode::Exact,
+            |_| true,
+            |_, _| false,
+        );
+        assert_eq!(plain, scoped);
+    }
+
+    /// Skipping one route's deterministic packets must not perturb a
+    /// later route's seeded random stream: a violation only reachable
+    /// via route 1's random packets is reported identically whether or
+    /// not route 0 was scoped out.
+    #[test]
+    fn skip_preserves_later_route_rng_stream() {
+        let (inst, p) = two_ingress_instance();
+        // Break ingress 1 only: drop its DROP rule from the deployment.
+        let mut broken = Placement::new();
+        broken.place(EntryPortId(0), RuleId(0), SwitchId(0));
+        broken.place(EntryPortId(0), RuleId(1), SwitchId(0));
+        let tables = emit_tables(&inst, &broken).unwrap();
+        let full = verify_tables(&inst, &tables, 16, 9, VerifyMode::Exact, |_| true).unwrap_err();
+        let scoped = verify_tables_scoped(
+            &inst,
+            &tables,
+            16,
+            9,
+            VerifyMode::Exact,
+            |_| true,
+            // Route 0 previously verified unchanged; route 1 is dirty.
+            |i, _| i == 0,
+        )
+        .unwrap_err();
+        assert_eq!(full, scoped, "scoping route 0 changed route 1's verdict");
+        // And the violating random packet itself is byte-identical even
+        // when route 1's own deterministic set is (unsoundly, for the
+        // purpose of this stream test) skipped too: the corner packets
+        // of a 1-rule policy never catch this, the random ones do.
+        let all_skipped = verify_tables_scoped(
+            &inst,
+            &tables,
+            64,
+            9,
+            VerifyMode::Exact,
+            |_| true,
+            |_, _| true,
+        );
+        assert!(all_skipped.is_err(), "random packets still catch the hole");
+    }
+
+    /// A clean skip of every route (placement verified before, inputs
+    /// unchanged) still passes, and a deterministic-only violation is
+    /// indeed invisible when skipped — the caller's fingerprint guard is
+    /// what makes that sound.
+    #[test]
+    fn skip_elides_deterministic_packets_only() {
+        let (inst, p) = two_ingress_instance();
+        let tables = emit_tables(&inst, &p).unwrap();
+        verify_tables_scoped(
+            &inst,
+            &tables,
+            8,
+            3,
+            VerifyMode::Exact,
+            |_| true,
+            |_, _| true,
+        )
+        .expect("correct deployment passes under a full skip");
+        // Zero random packets + full skip = no packets at all: even a
+        // broken deployment "passes". This is exactly why the scoped
+        // entry point is gated behind the byte-unchanged contract.
+        let empty = Placement::new();
+        let tables = emit_tables(&inst, &empty).unwrap();
+        verify_tables_scoped(
+            &inst,
+            &tables,
+            0,
+            3,
+            VerifyMode::Exact,
+            |_| true,
+            |_, _| true,
+        )
+        .expect("skip without the contract is vacuous by design");
+        assert!(verify_tables(&inst, &tables, 0, 3, VerifyMode::Exact, |_| true).is_err());
     }
 }

@@ -98,6 +98,23 @@ pub fn fingerprint_policy(policy: &Policy) -> Fingerprint {
     Fingerprint(h.finish())
 }
 
+/// Salts a fingerprint with a shard id, keeping per-shard scratch
+/// streams (slice fingerprints, shard-local caches) disjoint from the
+/// global warm-path key space and from each other. The salt is mixed
+/// through the same FNV stream as every other fingerprint input, so the
+/// result is stable across processes; `shard_fingerprint(fp, a) ≠
+/// shard_fingerprint(fp, b)` for `a ≠ b` under the usual 64-bit-hash
+/// assumption. The *authoritative* warm cache is never salted — its
+/// keys must stay byte-identical between sharded and unsharded runs.
+pub fn shard_fingerprint(fp: Fingerprint, shard: u32) -> Fingerprint {
+    let mut h = Fnv::new();
+    h.u64(fp.0);
+    // Tag byte separates the salted stream from plain two-word hashes.
+    h.byte(b'S');
+    h.u64(shard as u64);
+    Fingerprint(h.finish())
+}
+
 /// Fingerprint of one ingress: its policy plus every route from it
 /// (egress, switch sequence, and flow slice). This is the dirty-ingress
 /// key — candidate sets depend on exactly these inputs (capacities enter
@@ -1117,6 +1134,19 @@ mod tests {
 
     fn t(s: &str) -> Ternary {
         Ternary::parse(s).unwrap()
+    }
+
+    #[test]
+    fn shard_fingerprints_are_disjoint_and_stable() {
+        let fp = Fingerprint(0xdead_beef_cafe_f00d);
+        let salted: Vec<Fingerprint> = (0..8).map(|s| shard_fingerprint(fp, s)).collect();
+        for (i, a) in salted.iter().enumerate() {
+            assert_ne!(*a, fp, "salting must move the key off the global stream");
+            for b in &salted[i + 1..] {
+                assert_ne!(a, b, "two shards collided on the same salted key");
+            }
+        }
+        assert_eq!(salted[3], shard_fingerprint(fp, 3), "salting is pure");
     }
 
     fn small_instance(capacity: usize) -> Instance {

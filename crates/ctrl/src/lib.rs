@@ -63,6 +63,7 @@ pub mod delegate;
 pub mod epoch;
 pub mod event;
 pub mod faults;
+pub mod shard;
 pub mod stats;
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -89,6 +90,9 @@ pub use event::{format_trace, parse_trace, Event, TraceError};
 pub use faults::{
     format_fault_schedule, parse_fault_schedule, CircuitBreaker, FaultInjector, FaultKind,
     FaultPlan, RetryPolicy, ScheduledFault, VirtualClock,
+};
+pub use shard::{
+    ShardArbiterReport, ShardCoordStats, ShardSpec, ShardVerifyCounters, ShardedController,
 };
 pub use stats::CtrlStats;
 
@@ -441,6 +445,10 @@ pub struct Controller {
     warm: WarmCache,
     cache: RuleCache,
     obs: Option<Obs>,
+    /// Slice-scoped verification state, installed by
+    /// [`shard::ShardedController`]; `None` (the default) keeps the
+    /// full verification sweep on every atomic commit.
+    pub(crate) shard_verify: Option<shard::ShardVerifyState>,
 }
 
 /// Rebuilds `instance` with one switch's capacity changed (capacity
@@ -503,6 +511,7 @@ impl Controller {
             options,
             stats: CtrlStats::default(),
             obs: None,
+            shard_verify: None,
         }
     }
 
@@ -591,7 +600,12 @@ impl Controller {
         self.epochs.current()
     }
 
-    /// Events waiting in the queue.
+    /// The controller's configuration.
+    pub fn options(&self) -> &CtrlOptions {
+        &self.options
+    }
+
+    /// Queued events not yet consumed by an epoch.
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
@@ -719,6 +733,11 @@ impl Controller {
         let mut batch = self.inject_due_faults(epoch);
         let take = self.options.batch_size.max(1).min(self.queue.len());
         batch.extend(self.queue.drain(..take));
+        if let Some(sv) = self.shard_verify.as_mut() {
+            for event in &batch {
+                sv.note_event(event);
+            }
+        }
 
         // Working copy: events mutate this; the deployed pair is only
         // replaced if the commit below succeeds.
@@ -834,6 +853,15 @@ impl Controller {
             || !self.faults.safe_mode.is_empty()
             || !self.faults.delegations.is_empty()
             || capacity_pressure(&instance, &placement);
+        if resilient {
+            // The resilient pipeline mutates placement outside the
+            // event stream (degradation, delegation, reconciliation),
+            // so no slice may ride the scoped-verify fast path after
+            // it.
+            if let Some(sv) = self.shard_verify.as_mut() {
+                sv.dirty_all();
+            }
+        }
 
         let commit_span = self.span_begin("ctrl.commit");
         self.span_attr(
@@ -894,9 +922,16 @@ impl Controller {
     ) -> Result<(ApplyReport, Vec<SwitchId>), CtrlError> {
         let tables =
             emit_tables(instance, placement).map_err(|e| CtrlError::Table(e.to_string()))?;
-        if let Err(e) =
-            verify::verify_placement(instance, placement, self.options.verify_packets, epoch)
-        {
+        // With a shard runtime attached, the verify gate is scoped to
+        // the slices whose inputs changed (byte-identical verdict,
+        // reusing the tables already emitted above); without one, the
+        // full golden-model sweep runs as before.
+        let verify_packets = self.options.verify_packets;
+        let verdict = match self.shard_verify.as_mut() {
+            Some(sv) => sv.verify(instance, &tables, verify_packets, epoch),
+            None => verify::verify_placement(instance, placement, verify_packets, epoch),
+        };
+        if let Err(e) = verdict {
             self.stats.verify_failures += 1;
             return Err(CtrlError::VerifyFailed {
                 epoch,

@@ -1,0 +1,74 @@
+//! Pre-rendered label values for high-cardinality sharded telemetry.
+//!
+//! The metrics registry takes labels as `&[(&str, &str)]`, so emitting a
+//! per-shard counter every epoch would otherwise `format!` the same
+//! `"shard{id}"` string over and over on the hot path. [`ShardLabels`]
+//! renders the whole label set once at controller construction; lookups
+//! are a slice index. Span names follow the same `ctrl.shard{id}`
+//! namespace so a trace dump groups by shard with a plain prefix match.
+
+/// Pre-rendered `shard{id}` label values (and `ctrl.shard{id}` span
+/// names) for a fixed shard count.
+#[derive(Clone, Debug)]
+pub struct ShardLabels {
+    values: Vec<String>,
+    span_names: Vec<String>,
+}
+
+impl ShardLabels {
+    /// Renders labels for shards `0..shards`.
+    pub fn new(shards: u32) -> Self {
+        ShardLabels {
+            values: (0..shards).map(|i| format!("shard{i}")).collect(),
+            span_names: (0..shards).map(|i| format!("ctrl.shard{i}")).collect(),
+        }
+    }
+
+    /// Number of shards the labels were rendered for.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when rendered for zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `shard{id}` label value for counters and gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the rendered range.
+    pub fn value(&self, id: u32) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// The `ctrl.shard{id}` span name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the rendered range.
+    pub fn span_name(&self, id: u32) -> &str {
+        &self.span_names[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_render_the_shard_namespace() {
+        let labels = ShardLabels::new(4);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.value(0), "shard0");
+        assert_eq!(labels.value(3), "shard3");
+        assert_eq!(labels.span_name(2), "ctrl.shard2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_shard_panics() {
+        ShardLabels::new(2).value(2);
+    }
+}

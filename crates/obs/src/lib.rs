@@ -61,11 +61,13 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod labels;
 pub mod metrics;
 pub mod span;
 pub mod summary;
 
 pub use json::{validate_obs_json, ObsDoc};
+pub use labels::ShardLabels;
 pub use metrics::{MetricValue, Registry, Sample};
 pub use span::{AttrValue, Recorder, ScopedSpan, SpanData, SpanId};
 

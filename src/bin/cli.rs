@@ -86,6 +86,11 @@ ctrl replay flags:
   --metrics-out FILE   write the metrics registry dump (flowplace.obs.v1)
   --cache SPEC         enable the TCAM-as-cache tier: N | lru:N | depfreq:N
                        (per-switch resident entries; dependency-safe eviction)
+  --shards SPEC        shard the controller by tenant: N | N:l0=2,l7=0
+                       (stable hash partition over N shards, with explicit
+                       per-ingress overrides); placements, stats, and dumps
+                       stay byte-identical to the unsharded run, and a shard
+                       summary is appended after the standard output
   --delegation on|off  the flow-delegation rung: detour saturated
                        ingresses through a neighbor with spare TCAM
                        before falling back to drop-all             [on]
@@ -568,12 +573,32 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         ..CtrlOptions::default()
     };
     let verbose = flags.contains_key("verbose");
+    let shards = match flags.get("shards") {
+        None => None,
+        Some(spec) => Some(
+            flowplace::ctrl::ShardSpec::parse_spec(spec).map_err(|e| format!("--shards: {e}"))?,
+        ),
+    };
 
     let mut ctrl = Controller::new(topo, options);
     if let Some(obs) = obs_requested(&flags) {
         ctrl.attach_obs(obs);
     }
-    let reports = ctrl.replay_trace(&text).map_err(|e| e.to_string())?;
+    // With --shards, replay through the shard runtime and unwrap the
+    // authoritative controller afterwards: every report below reads the
+    // same bytes as an unsharded run, and the shard summary is appended
+    // at the end.
+    let (reports, shard_summary) = match &shards {
+        None => (ctrl.replay_trace(&text).map_err(|e| e.to_string())?, None),
+        Some(spec) => {
+            let mut sharded =
+                flowplace::ctrl::ShardedController::from_controller(ctrl, spec.clone());
+            let reports = sharded.replay_trace(&text).map_err(|e| e.to_string())?;
+            let summary = render_shard_summary(&sharded);
+            ctrl = sharded.into_inner();
+            (reports, Some(summary))
+        }
+    };
 
     for r in &reports {
         print!(
@@ -651,6 +676,9 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
     }
     println!("{}", ctrl.stats());
     print!("{}", ctrl.dataplane().dump());
+    if let Some(summary) = &shard_summary {
+        print!("{summary}");
+    }
     write_obs_outputs(&flags, ctrl.obs())?;
 
     if cache_violation {
@@ -674,6 +702,42 @@ fn ctrl_replay_inner(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `--shards` summary appended after the standard replay output
+/// (so sharded stdout is the unsharded stdout plus this suffix).
+fn render_shard_summary(sharded: &flowplace::ctrl::ShardedController) -> String {
+    use std::fmt::Write as _;
+
+    let coord = sharded.coord_stats();
+    let verify = sharded.verify_counters();
+    let mut out = String::new();
+    let _ = writeln!(out, "sharding: {} shards", sharded.spec().shards());
+    for (shard, routed) in coord.events_routed.iter().enumerate() {
+        let granted = sharded
+            .last_arbiter()
+            .map_or(0, |a| a.granted_to(shard as u32));
+        let _ = writeln!(
+            out,
+            "  shard{shard}: {routed} events routed, {granted} entries granted"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  coordinator: {} epochs, {} global events, {} overgrant alarms",
+        coord.epochs, coord.global_events, coord.overgrants
+    );
+    let _ = writeln!(
+        out,
+        "  cross-shard merge: {} groups saving {} entries",
+        coord.cross_shard_groups, coord.cross_shard_entries_saved
+    );
+    let _ = writeln!(
+        out,
+        "  scoped verify: {} sweeps, {} slice-epochs clean / {} full, {} routes skipped / {} verified",
+        verify.sweeps, verify.slices_clean, verify.slices_full, verify.routes_skipped, verify.routes_full
+    );
+    out
 }
 
 fn traffic_cmd(args: &[String]) -> ExitCode {

@@ -1,0 +1,334 @@
+//! Differential determinism harness for the sharded controller.
+//!
+//! The shard runtime's headline contract is *byte-identity*: for any
+//! event stream, [`ShardedController`] at any shard count produces the
+//! same placements, [`CtrlStats`], dataplane dump, virtual clock, and
+//! obs dumps as the plain [`Controller`] — the partition and the
+//! scoped verification sweep are pure accelerators, never observable.
+//! This suite pins that over 32 randomized seeds × N ∈ {1, 2, 4, 8}
+//! (cache tier and warm path enabled, fault events included), checks
+//! the capacity arbiter's conservation invariants on every committed
+//! epoch, and exercises the `--shards` CLI surface end to end.
+
+use std::process::Command;
+
+use flowplace::acl::{Action, Policy, Rule, RuleId, Ternary};
+use flowplace::ctrl::{CacheConfig, Controller, CtrlOptions, Event, ShardSpec, ShardedController};
+use flowplace::obs::Obs;
+use flowplace::prelude::*;
+use flowplace::rng::{Rng, StdRng};
+
+const WIDTH: u32 = 4;
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+fn rand_rule(rng: &mut StdRng, priority: u32) -> Rule {
+    let care = rng.gen_range(0u128..(1 << WIDTH));
+    let value = rng.gen_range(0u128..(1 << WIDTH));
+    let action = if rng.gen_bool(0.7) {
+        Action::Drop
+    } else {
+        Action::Permit
+    };
+    Rule::new(Ternary::new(WIDTH, care, value), action, priority)
+}
+
+fn install(rng: &mut StdRng, ingress: usize, switches: Vec<usize>) -> Event {
+    let egress = ingress + 4;
+    let n = rng.gen_range(1..=4usize);
+    let mut rules: Vec<Rule> = (0..n).map(|p| rand_rule(rng, p as u32 + 2)).collect();
+    rules.push(Rule::new(Ternary::new(WIDTH, 0, 0), Action::Permit, 1));
+    Event::InstallPolicy {
+        ingress: EntryPortId(ingress),
+        policy: Policy::from_rules(rules).expect("distinct priorities"),
+        routes: vec![Route::new(
+            EntryPortId(ingress),
+            EntryPortId(egress),
+            switches.into_iter().map(SwitchId).collect(),
+        )],
+    }
+}
+
+/// A randomized event stream over four tenants on `linear(4)`: rule
+/// churn, reroutes, capacity changes, faults, snapshots — everything
+/// the controller accepts, so both the atomic and the resilient commit
+/// paths get exercised under sharding.
+fn rand_events(rng: &mut StdRng) -> Vec<Event> {
+    let mut events = vec![
+        install(rng, 0, vec![0, 1]),
+        install(rng, 1, vec![1, 2]),
+        install(rng, 2, vec![2, 3]),
+        install(rng, 3, vec![3, 2, 1, 0]),
+    ];
+    let mut priority = 10;
+    for _ in 0..rng.gen_range(8..20usize) {
+        priority += 1;
+        let ingress = EntryPortId(rng.gen_range(0..4usize));
+        let switch = SwitchId(rng.gen_range(0..4usize));
+        events.push(match rng.gen_range(0..12u32) {
+            0..=4 => Event::AddRule {
+                ingress,
+                rule: rand_rule(rng, priority),
+            },
+            5..=6 => Event::RemoveRule {
+                ingress,
+                rule: RuleId(rng.gen_range(0..4usize)),
+            },
+            7 => Event::CapacityChange {
+                switch,
+                capacity: rng.gen_range(4..16usize),
+            },
+            8 => Event::SwitchFail { switch },
+            9 => Event::SwitchRecover { switch },
+            10 => Event::Solve,
+            _ => Event::Checkpoint,
+        });
+    }
+    events
+}
+
+fn options() -> CtrlOptions {
+    CtrlOptions {
+        batch_size: 4,
+        verify_packets: 4,
+        // The satellites demand the differential hold with the cache
+        // tier and the warm path enabled — both default-on here.
+        cache: CacheConfig {
+            enabled: true,
+            capacity: 4,
+            ..CacheConfig::default()
+        },
+        ..CtrlOptions::default()
+    }
+}
+
+/// Every observable of a finished run, as comparable strings.
+fn observables(ctrl: &Controller) -> [String; 6] {
+    let obs = ctrl.obs().expect("obs attached");
+    [
+        format!("{:?}", ctrl.placement()),
+        ctrl.stats().to_string(),
+        ctrl.dataplane().dump(),
+        format!("{}/{}", ctrl.epoch(), ctrl.virtual_time_ms()),
+        obs.trace_json(),
+        obs.metrics_json(),
+    ]
+}
+
+/// The tentpole differential: 32 seeds × N ∈ {1, 2, 4, 8}, sharded ≡
+/// unsharded on every observable surface, byte for byte.
+#[test]
+fn sharded_controller_is_byte_identical_over_32_seeds() {
+    for seed in 0..32u64 {
+        let events = rand_events(&mut StdRng::seed_from_u64(0x5AAD_0000 ^ seed));
+        let mut topo = Topology::linear(4);
+        topo.set_uniform_capacity(12);
+
+        let mut plain = Controller::new(topo.clone(), options());
+        plain.attach_obs(Obs::new());
+        plain
+            .replay(events.iter().cloned())
+            .unwrap_or_else(|e| panic!("seed {seed}: baseline replay: {e}"));
+        let want = observables(&plain);
+
+        for shards in SHARD_COUNTS {
+            let mut sharded =
+                ShardedController::new(topo.clone(), options(), ShardSpec::new(shards));
+            sharded.attach_obs(Obs::new());
+            sharded.attach_shard_obs(Obs::new());
+            sharded
+                .replay(events.iter().cloned())
+                .unwrap_or_else(|e| panic!("seed {seed} N={shards}: sharded replay: {e}"));
+            let got = observables(sharded.inner());
+            for (name, (w, g)) in [
+                "placement",
+                "stats",
+                "dataplane",
+                "clock",
+                "trace",
+                "metrics",
+            ]
+            .iter()
+            .zip(want.iter().zip(got.iter()))
+            {
+                assert_eq!(w, g, "seed {seed} N={shards}: {name} diverged");
+            }
+            assert_eq!(
+                sharded.coord_stats().overgrants,
+                0,
+                "seed {seed} N={shards}: arbiter overgranted"
+            );
+        }
+    }
+}
+
+/// The capacity-accounting property: on every committed epoch, the
+/// per-shard billable grants sum to exactly the unsharded per-switch
+/// bill (cross-shard merged entries billed once), and the arbiter
+/// never grants a switch beyond its capacity. Checked epoch by epoch,
+/// not just at the end, over streams that include capacity shrinks
+/// (where overgrant alarms are legitimate and the grant cap still
+/// holds).
+#[test]
+fn arbiter_bills_exactly_the_unsharded_load_every_epoch() {
+    for seed in 0..16u64 {
+        let events = rand_events(&mut StdRng::seed_from_u64(0xB111_0000 ^ seed));
+        for shards in [2u32, 4, 8] {
+            let mut topo = Topology::linear(4);
+            topo.set_uniform_capacity(12);
+            let mut sharded = ShardedController::new(topo, options(), ShardSpec::new(shards));
+            let mut epochs = 0u64;
+            for event in &events {
+                if sharded.inner().pending() >= sharded.inner().options().queue_capacity {
+                    while sharded
+                        .run_epoch()
+                        .unwrap_or_else(|e| panic!("seed {seed} N={shards}: {e}"))
+                        .is_some()
+                    {}
+                }
+                sharded.submit(event.clone()).expect("queue has room");
+                while sharded
+                    .run_epoch()
+                    .unwrap_or_else(|e| panic!("seed {seed} N={shards}: {e}"))
+                    .is_some()
+                {
+                    epochs += 1;
+                    let arbiter = sharded
+                        .last_arbiter()
+                        .expect("a committed epoch leaves a report");
+                    let granted = arbiter.granted_per_switch();
+                    let capacities = sharded.instance().topology().capacities();
+                    for (s, (g, c)) in granted.iter().zip(capacities.iter()).enumerate() {
+                        assert!(
+                            g <= c,
+                            "seed {seed} N={shards} epoch {}: switch s{s} granted {g} > capacity {c}",
+                            arbiter.epoch
+                        );
+                    }
+                    if arbiter.overgrants == 0 {
+                        let bill = sharded.placement().per_switch_load(sharded.instance());
+                        assert_eq!(
+                            granted, bill,
+                            "seed {seed} N={shards} epoch {}: grants != unsharded bill",
+                            arbiter.epoch
+                        );
+                    }
+                }
+            }
+            assert!(epochs > 0, "seed {seed} N={shards}: no epochs committed");
+        }
+    }
+}
+
+/// Explicit overrides co-exist with the hash partition and survive the
+/// differential: pinning every tenant to one shard (maximal imbalance)
+/// still replays byte-identically.
+#[test]
+fn pinned_partition_is_still_byte_identical() {
+    let events = rand_events(&mut StdRng::seed_from_u64(0x9147));
+    let mut topo = Topology::linear(4);
+    topo.set_uniform_capacity(12);
+
+    let mut plain = Controller::new(topo.clone(), options());
+    plain.attach_obs(Obs::new());
+    plain.replay(events.iter().cloned()).expect("baseline");
+    let want = observables(&plain);
+
+    let mut spec = ShardSpec::new(4);
+    for t in 0..4 {
+        spec = spec.with_override(EntryPortId(t), 3);
+    }
+    let mut sharded = ShardedController::new(topo, options(), spec);
+    sharded.attach_obs(Obs::new());
+    sharded.replay(events.iter().cloned()).expect("sharded");
+    assert_eq!(want, observables(sharded.inner()));
+}
+
+// ---------------------------------------------------------------------
+// CLI surface
+// ---------------------------------------------------------------------
+
+fn cli(trace: &str, extra: &[&str]) -> std::process::Output {
+    let path = std::env::temp_dir().join(format!(
+        "flowplace-shard-diff-{}-{}.trace",
+        std::process::id(),
+        extra.join("_").replace([':', '=', ','], "-")
+    ));
+    std::fs::write(&path, trace).expect("trace written");
+    let out = Command::new(env!("CARGO_BIN_EXE_flowplace"))
+        .arg("ctrl")
+        .arg("replay")
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+const CLI_TRACE: &str = "\
+install-policy l0 via l4:s0-s1 rules 11**:drop:2,****:permit:1
+install-policy l1 via l5:s2-s3 rules 00**:drop:2,****:permit:1
+add-rule l0 1010 drop 3
+add-rule l1 0101 drop 3
+remove-rule l0 r0
+solve
+";
+
+/// `--shards N` output is the unsharded output plus an appended shard
+/// summary — the byte-identity contract, observable from the CLI.
+#[test]
+fn cli_sharded_stdout_extends_unsharded_stdout() {
+    let plain = cli(CLI_TRACE, &[]);
+    assert!(
+        plain.status.success(),
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    let plain_stdout = String::from_utf8(plain.stdout).expect("utf8");
+    for shards in ["1", "2", "4", "8"] {
+        let sharded = cli(CLI_TRACE, &["--shards", shards]);
+        assert!(
+            sharded.status.success(),
+            "--shards {shards}: {}",
+            String::from_utf8_lossy(&sharded.stderr)
+        );
+        let stdout = String::from_utf8(sharded.stdout).expect("utf8");
+        assert!(
+            stdout.starts_with(&plain_stdout),
+            "--shards {shards}: sharded stdout must extend the unsharded bytes"
+        );
+        let summary = &stdout[plain_stdout.len()..];
+        assert!(
+            summary.starts_with(&format!("sharding: {shards} shards")),
+            "--shards {shards}: summary missing, got {summary:?}"
+        );
+        assert!(summary.contains("0 overgrant alarms"), "{summary:?}");
+    }
+}
+
+/// Bad `--shards` specs are rejected before any replay work, with the
+/// offending token named (the `--cache` parse_spec convention).
+#[test]
+fn cli_shard_spec_errors_name_the_offending_token() {
+    for (spec, needle) in [
+        ("0", "shard count must be positive"),
+        ("00", "shard count must be positive"),
+        ("4294967296", "bad shard count \"4294967296\""),
+        ("garbage", "bad shard count \"garbage\""),
+        ("-3", "bad shard count \"-3\""),
+        ("4:l0=9", "override shard out of range in \"l0=9\""),
+        ("4:l0", "bad override \"l0\""),
+    ] {
+        let out = cli(CLI_TRACE, &["--shards", spec]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--shards {spec}: want usage-error exit"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--shards:") && stderr.contains(needle),
+            "--shards {spec}: stderr {stderr:?} should contain {needle:?}"
+        );
+    }
+}
